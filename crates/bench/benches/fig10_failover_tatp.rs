@@ -1,0 +1,37 @@
+//! **Figure 10** — TATP average fail-over throughput under compute and
+//! memory faults (paper §6.3). TATP is 80 % read-only, so the compute-
+//! fault dip is dominated by the lost coordinators, not by conflicts.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pandora::ProtocolKind;
+use pandora_bench::{cfg, print_series, run_failover, tatp_default, window_mean, FailoverSpec, FaultKind};
+
+fn main() {
+    println!("# Figure 10 — TATP fail-over (Pandora), fault at t=3s");
+    let base = FailoverSpec {
+        duration: Duration::from_secs(8),
+        fault_at: Duration::from_secs(3),
+        latency: pandora_bench::failover_latency(),
+        ..Default::default()
+    };
+    let compute = run_failover(
+        Arc::new(tatp_default()),
+        cfg(ProtocolKind::Pandora),
+        &FailoverSpec { fault: FaultKind::ComputeCrash { fraction: 0.5 }, respawn: true, ..base.clone() },
+    );
+    let memory = run_failover(
+        Arc::new(tatp_default()),
+        cfg(ProtocolKind::Pandora),
+        &FailoverSpec { fault: FaultKind::MemoryKill { node: 2 }, ..base.clone() },
+    );
+    let pre = window_mean(&compute, Duration::from_secs(1), Duration::from_secs(3));
+    let post = window_mean(&compute, Duration::from_secs(5), Duration::from_secs(8));
+    println!("\ncompute fault: pre {pre:.0} tps, post {post:.0} tps ({:.2}x)", post / pre.max(1.0));
+    print_series(
+        "Fig 10: TATP tps over time",
+        &[("compute fault", compute), ("memory fault", memory)],
+        250,
+    );
+}

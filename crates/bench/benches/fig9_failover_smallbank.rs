@@ -1,0 +1,42 @@
+//! **Figure 9** — SmallBank average fail-over throughput under compute
+//! and memory faults (paper §6.3): a compute fault dips throughput to
+//! roughly the surviving-coordinator fraction without stopping the KVS;
+//! a memory fault briefly stops the world and rapidly recovers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pandora::ProtocolKind;
+use pandora_bench::{cfg, print_series, run_failover, smallbank_default, window_mean, FailoverSpec, FaultKind};
+
+fn main() {
+    println!("# Figure 9 — SmallBank fail-over (Pandora), fault at t=3s");
+    let base = FailoverSpec {
+        duration: Duration::from_secs(8),
+        fault_at: Duration::from_secs(3),
+        latency: pandora_bench::failover_latency(),
+        ..Default::default()
+    };
+    let compute = run_failover(
+        Arc::new(smallbank_default()),
+        cfg(ProtocolKind::Pandora),
+        &FailoverSpec { fault: FaultKind::ComputeCrash { fraction: 0.5 }, respawn: true, ..base.clone() },
+    );
+    let memory = run_failover(
+        Arc::new(smallbank_default()),
+        cfg(ProtocolKind::Pandora),
+        &FailoverSpec { fault: FaultKind::MemoryKill { node: 2 }, ..base.clone() },
+    );
+    let pre = window_mean(&compute, Duration::from_secs(1), Duration::from_secs(3));
+    let during = window_mean(&compute, Duration::from_millis(3000), Duration::from_millis(3500));
+    let post = window_mean(&compute, Duration::from_secs(5), Duration::from_secs(8));
+    println!("\ncompute fault: pre {pre:.0} tps, fail-over window {during:.0} tps, post {post:.0} tps");
+    let mem_during = window_mean(&memory, Duration::from_millis(3000), Duration::from_millis(3500));
+    let mem_post = window_mean(&memory, Duration::from_secs(5), Duration::from_secs(8));
+    println!("memory fault:  fail-over window {mem_during:.0} tps (stop-the-world), post {mem_post:.0} tps");
+    print_series(
+        "Fig 9: SmallBank tps over time",
+        &[("compute fault", compute), ("memory fault", memory)],
+        250,
+    );
+}

@@ -1,0 +1,425 @@
+//! `pandora-cli` — drive the simulated DKVS from the command line.
+//!
+//! ```text
+//! pandora-cli run      --workload smallbank --protocol pandora --coordinators 8 \
+//!                      --duration 8 --fault compute:0.5@3 --respawn
+//! pandora-cli recovery --workload tpcc --frozen 128
+//! pandora-cli litmus   --protocol ford --bug covert-locks
+//! pandora-cli info
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use args::{Args, FaultSpec, ParseError};
+use pandora::config::PersistenceMode;
+use pandora::{
+    BugFlags, MemoryFailureHandler, ProtocolKind, Sampler, SimCluster, SystemConfig,
+};
+use pandora_workloads::{
+    with_tables, MicroBench, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner,
+    Ycsb, YcsbMix,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdma_sim::{CrashMode, CrashPlan, LatencyModel, NodeId};
+
+const HELP: &str = "\
+pandora-cli — fast, highly available, recoverable transactions on a simulated DKVS
+
+COMMANDS
+  run        run a workload, optionally injecting a fault
+  recovery   freeze N coordinators mid-transaction and time their recovery
+  litmus     run the litmus validation suite (optionally with a FORD bug re-enabled)
+  info       list protocols, workloads, bugs
+  help       this text
+
+RUN FLAGS
+  --workload micro|smallbank|tatp|tpcc|ycsb-a..ycsb-f   (default micro)
+  --protocol pandora|ford|traditional                   (default pandora)
+  --coordinators N      worker coordinators            (default 4)
+  --duration SECS       run length                     (default 5)
+  --warmup SECS         excluded from the mean         (default 1)
+  --fault SPEC          compute:<frac>@<secs> | memory:<node>@<secs>
+  --respawn             respawn crashed coordinators after recovery
+  --latency-us N        per-verb RTT to inject         (default 0)
+  --stalls              stall (not abort) on lock conflicts
+  --persistence volatile|battery|nvm                   (default volatile)
+  --doorbell            coalesce commit writes per node (doorbell batching)
+  --write-ratio R       micro only                     (default 0.5)
+  --hot-keys N          micro only: contention hot set
+
+RECOVERY FLAGS
+  --workload ... --protocol ...   as above
+  --frozen N            outstanding coordinators to crash (default 8)
+
+LITMUS FLAGS
+  --protocol ...        (default pandora)
+  --bug NAME            complicit-abort|missing-actions|covert-locks|
+                        relaxed-locks|lost-decision|logging-without-locking
+  --iterations N        random iterations per test (default 20)
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `pandora-cli help`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), ParseError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "recovery" => cmd_recovery(&args),
+        "litmus" => cmd_litmus(&args),
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        "help" | "-h" | "--help" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(ParseError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn parse_protocol(args: &Args) -> Result<ProtocolKind, ParseError> {
+    match args.get("protocol").unwrap_or("pandora") {
+        "pandora" => Ok(ProtocolKind::Pandora),
+        "ford" | "baseline" => Ok(ProtocolKind::Ford),
+        "traditional" => Ok(ProtocolKind::Traditional),
+        other => Err(ParseError(format!("unknown protocol {other:?}"))),
+    }
+}
+
+fn parse_workload(args: &Args) -> Result<Box<dyn Workload>, ParseError> {
+    let micro_keys = args.get_u64("keys", 65_536)?;
+    let w: Box<dyn Workload> = match args.get("workload").unwrap_or("micro") {
+        "micro" => {
+            let mut m = MicroBench::new(micro_keys, args.get_f64("write-ratio", 0.5)?);
+            if let Some(hot) = args.get("hot-keys") {
+                let hot: u64 = hot
+                    .parse()
+                    .map_err(|_| ParseError("--hot-keys expects an integer".into()))?;
+                m = m.with_hot_keys(hot);
+            }
+            Box::new(m)
+        }
+        "smallbank" => Box::new(SmallBank::new(args.get_u64("accounts", 16_384)?)),
+        "tatp" => Box::new(Tatp::new(args.get_u64("subscribers", 8_192)?)),
+        "tpcc" => Box::new(Tpcc::new(args.get_u64("warehouses", 4)?)),
+        "ycsb-a" => Box::new(Ycsb::new(YcsbMix::A, micro_keys)),
+        "ycsb-b" => Box::new(Ycsb::new(YcsbMix::B, micro_keys)),
+        "ycsb-c" => Box::new(Ycsb::new(YcsbMix::C, micro_keys)),
+        "ycsb-d" => Box::new(Ycsb::new(YcsbMix::D, micro_keys)),
+        "ycsb-e" => Box::new(Ycsb::new(YcsbMix::E, micro_keys)),
+        "ycsb-f" => Box::new(Ycsb::new(YcsbMix::F, micro_keys)),
+        other => return Err(ParseError(format!("unknown workload {other:?}"))),
+    };
+    Ok(w)
+}
+
+fn parse_config(args: &Args) -> Result<SystemConfig, ParseError> {
+    let mut config = SystemConfig::new(parse_protocol(args)?);
+    if args.has("stalls") {
+        config = config.with_stalls(Duration::from_millis(50));
+    }
+    if args.has("doorbell") {
+        config = config.with_doorbell_batching();
+    }
+    config.persistence = match args.get("persistence").unwrap_or("volatile") {
+        "volatile" => PersistenceMode::VolatileReplicated,
+        "battery" => PersistenceMode::BatteryBackedDram,
+        "nvm" => PersistenceMode::NvmFlush,
+        other => return Err(ParseError(format!("unknown persistence mode {other:?}"))),
+    };
+    Ok(config)
+}
+
+/// Wrap a boxed workload so the generic runner can use it.
+struct Shim(Box<dyn Workload>);
+
+impl Workload for Shim {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn tables(&self) -> Vec<dkvs::TableDef> {
+        self.0.tables()
+    }
+    fn load(&self, cluster: &SimCluster) {
+        self.0.load(cluster)
+    }
+    fn execute(
+        &self,
+        co: &mut pandora::Coordinator,
+        rng: &mut StdRng,
+    ) -> Result<(), pandora::TxnError> {
+        self.0.execute(co, rng)
+    }
+}
+
+fn build_cluster(
+    workload: &dyn Workload,
+    config: SystemConfig,
+    latency: LatencyModel,
+) -> Arc<SimCluster> {
+    let segments: u64 = workload.tables().iter().map(|t| t.segment_bytes()).sum();
+    let capacity = (segments + (96 << 20)).next_power_of_two();
+    let cluster = with_tables(
+        SimCluster::builder(config.protocol)
+            .memory_nodes(3)
+            .replication(2)
+            .capacity_per_node(capacity)
+            .max_coord_slots(2048)
+            .config(config)
+            .latency(latency),
+        workload,
+    )
+    .build()
+    .expect("build cluster");
+    workload.load(&cluster);
+    Arc::new(cluster)
+}
+
+fn cmd_run(args: &Args) -> Result<(), ParseError> {
+    let config = parse_config(args)?;
+    let workload = Arc::new(Shim(parse_workload(args)?));
+    let coordinators = args.get_u64("coordinators", 4)? as usize;
+    let duration = args.get_secs("duration", Duration::from_secs(5))?;
+    let warmup = args.get_secs("warmup", Duration::from_secs(1))?;
+    let latency_us = args.get_u64("latency-us", 0)?;
+    let latency = if latency_us == 0 {
+        LatencyModel::zero()
+    } else {
+        LatencyModel { rtt: Duration::from_micros(latency_us), ns_per_kib: 0 }
+    };
+    let fault = args.get("fault").map(FaultSpec::parse).transpose()?;
+    if let Some(FaultSpec::Memory { node, .. }) = fault {
+        // The harness builds a 3-node cluster; reject bad targets up
+        // front instead of panicking mid-run.
+        if node >= 3 {
+            return Err(ParseError(format!(
+                "memory fault targets node {node}, but the cluster has nodes 0..2"
+            )));
+        }
+    }
+
+    println!(
+        "workload={} protocol={:?} coordinators={coordinators} duration={duration:?} fault={fault:?}",
+        workload.name(),
+        config.protocol
+    );
+    let cluster = build_cluster(workload.as_ref(), config, latency);
+    let mut runner = WorkloadRunner::spawn(
+        Arc::clone(&cluster),
+        Arc::clone(&workload),
+        RunnerConfig { coordinators, seed: args.get_u64("seed", 7)? },
+    );
+    let sampler = Sampler::start(runner.probe(), Duration::from_millis(100));
+    let t0 = Instant::now();
+
+    if let Some(fault) = fault {
+        let at = match fault {
+            FaultSpec::Compute { at, .. } | FaultSpec::Memory { at, .. } => at,
+        };
+        std::thread::sleep(at.min(duration));
+        match fault {
+            FaultSpec::Compute { fraction, .. } => {
+                let n = ((coordinators as f64) * fraction).round() as usize;
+                let victims = runner.crash_first(n);
+                println!("t={:?}: crashed {} coordinators", t0.elapsed(), victims.len());
+                std::thread::sleep(Duration::from_millis(5)); // detection
+                for v in &victims {
+                    cluster.fd.declare_failed(*v);
+                }
+                for report in cluster.fd.reports() {
+                    println!(
+                        "  recovered coord {}: logged={} fwd={} back={} log-recovery={:?}",
+                        report.coord,
+                        report.logged_txns,
+                        report.rolled_forward,
+                        report.rolled_back,
+                        report.log_recovery
+                    );
+                }
+                if args.has("respawn") {
+                    let n = runner.respawn_crashed();
+                    println!("  respawned {n} coordinators");
+                }
+            }
+            FaultSpec::Memory { node, .. } => {
+                cluster.ctx.fabric.kill_node(NodeId(node)).expect("kill node");
+                std::thread::sleep(Duration::from_millis(5));
+                let handler = MemoryFailureHandler::new(Arc::clone(&cluster.ctx))
+                    .expect("memfail handler");
+                let report = handler.handle_failure(NodeId(node));
+                println!(
+                    "t={:?}: memory node {node} failed; {} buckets promoted, {} lost, reconfig {:?}",
+                    t0.elapsed(),
+                    report.promoted_buckets,
+                    report.lost_buckets,
+                    report.total
+                );
+            }
+        }
+    }
+
+    std::thread::sleep(duration.saturating_sub(t0.elapsed()));
+    let samples = sampler.finish();
+    let latency_hist = runner.latency();
+    let probe = runner.probe();
+    let stats = runner.stop_and_join();
+
+    let mean = pandora::mean_tps(&samples, warmup.as_millis() as u64, duration.as_millis() as u64);
+    let (p50, p95, p99) = latency_hist.percentiles();
+    let stolen: u64 = stats.iter().map(|s| s.locks_stolen).sum();
+    println!("\ncommitted={} aborted={} abort_rate={:.2}%", probe.committed_total(), probe.aborted_total(), probe.abort_rate() * 100.0);
+    println!("mean_tps={mean:.0} (after warmup)");
+    println!("latency p50={p50:?} p95={p95:?} p99={p99:?} mean={:?}", latency_hist.mean());
+    println!("locks_stolen={stolen}");
+    Ok(())
+}
+
+fn cmd_recovery(args: &Args) -> Result<(), ParseError> {
+    let config = parse_config(args)?;
+    let workload = parse_workload(args)?;
+    let frozen_n = args.get_u64("frozen", 8)? as usize;
+    println!(
+        "workload={} protocol={:?} frozen={frozen_n}",
+        workload.name(),
+        config.protocol
+    );
+    let protocol = config.protocol;
+    let cluster = build_cluster(workload.as_ref(), config, LatencyModel::zero());
+
+    let mut rng = StdRng::seed_from_u64(args.get_u64("seed", 7)?);
+    let mut frozen = Vec::new();
+    for _ in 0..frozen_n {
+        let (mut co, lease) = cluster.coordinator().expect("coordinator");
+        for _ in 0..4 {
+            let base = co.injector().ops_issued();
+            use rand::RngExt;
+            co.injector().arm(CrashPlan {
+                at_op: base + rng.random_range(1..=25u64),
+                mode: if rng.random_bool(0.5) { CrashMode::AfterOp } else { CrashMode::BeforeOp },
+            });
+            let _ = workload.execute(&mut co, &mut rng);
+            if co.injector().is_crashed() {
+                break;
+            }
+        }
+        if !co.injector().is_crashed() {
+            co.injector().crash_now();
+            co.gate().mark_dead();
+        }
+        frozen.push((lease.coord_id, lease.endpoint));
+    }
+
+    let rc = cluster.fd.recovery();
+    let t0 = Instant::now();
+    let mut logged = 0;
+    match protocol {
+        ProtocolKind::Pandora => {
+            for &(coord, ep) in &frozen {
+                logged += rc.recover_pandora(coord, ep).logged_txns;
+            }
+        }
+        ProtocolKind::Ford => logged += rc.recover_baseline(&frozen).logged_txns,
+        ProtocolKind::Traditional => logged += rc.recover_traditional(&frozen).logged_txns,
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "recovered {} coordinators ({} logged stray txns) in {:?} ({:.0} us/coordinator)",
+        frozen.len(),
+        logged,
+        elapsed,
+        elapsed.as_secs_f64() * 1e6 / frozen.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_litmus(args: &Args) -> Result<(), ParseError> {
+    use pandora_litmus::harness::{run_random, LitmusConfig};
+    use pandora_litmus::{run_scenario, suite, Scenario};
+
+    let protocol = parse_protocol(args)?;
+    if let Some(bug) = args.get("bug") {
+        let scenario = match bug {
+            "complicit-abort" => Scenario::ComplicitAbort,
+            "missing-actions" => Scenario::MissingActions,
+            "covert-locks" => Scenario::CovertLocks,
+            "relaxed-locks" => Scenario::RelaxedLocks,
+            "lost-decision" => Scenario::LostDecision,
+            "logging-without-locking" => Scenario::LoggingWithoutLocking,
+            other => return Err(ParseError(format!("unknown bug {other:?}"))),
+        };
+        println!("scenario {scenario:?} with the bug ENABLED:");
+        let buggy = run_scenario(scenario, protocol, scenario.bug_flags());
+        match buggy.violation {
+            Some(v) => println!("  VIOLATION: {v}"),
+            None => println!("  no violation observed (timing-dependent scenarios may need reruns)"),
+        }
+        println!("scenario {scenario:?} with the fix:");
+        let fixed = run_scenario(scenario, protocol, BugFlags::none());
+        match fixed.violation {
+            // The buggy run reproducing its violation is the expected
+            // demonstration; the FIXED protocol violating is a failure.
+            Some(v) => {
+                println!("  VIOLATION (unexpected!): {v}");
+                return Err(ParseError(format!(
+                    "fixed protocol violated litmus {scenario:?}"
+                )));
+            }
+            None => println!("  passes"),
+        }
+        return Ok(());
+    }
+    let iterations = args.get_u64("iterations", 20)? as u32;
+    let mut failed = 0usize;
+    for test in suite::all_tests() {
+        let mut cfg = LitmusConfig::new(protocol);
+        cfg.iterations = iterations;
+        let outcome = run_random(&test, &cfg);
+        if !outcome.ok() {
+            failed += 1;
+        }
+        println!(
+            "{:26} iters={} crashes={} recoveries={} → {}",
+            test.name,
+            outcome.iterations,
+            outcome.crashes_injected,
+            outcome.recoveries_run,
+            if outcome.ok() {
+                "PASS".to_string()
+            } else {
+                format!("{} VIOLATIONS: {}", outcome.violations.len(), outcome.violations[0])
+            }
+        );
+    }
+    if failed > 0 {
+        return Err(ParseError(format!("{failed} litmus test(s) violated")));
+    }
+    Ok(())
+}
+
+fn cmd_info() {
+    println!("pandora-cli {}", env!("CARGO_PKG_VERSION"));
+    println!("protocols : pandora (PILL + non-blocking recovery), ford (baseline, scan recovery), traditional (lock-intent logging)");
+    println!("workloads : micro, smallbank, tatp, tpcc, ycsb-a..ycsb-f");
+    println!("bugs      : complicit-abort, missing-actions, covert-locks, relaxed-locks, lost-decision, logging-without-locking");
+    println!("persistence: volatile (replication), battery (DRAM), nvm (selective flush)");
+}

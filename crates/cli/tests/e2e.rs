@@ -1,0 +1,165 @@
+//! End-to-end tests driving the compiled `pandora-cli` binary — the
+//! user-facing surface, not the library API.
+
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pandora-cli"))
+        .args(args)
+        .output()
+        .expect("spawn pandora-cli")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = cli(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["run", "recovery", "litmus", "info"] {
+        assert!(text.contains(cmd), "help must mention `{cmd}`");
+    }
+}
+
+#[test]
+fn bare_invocation_shows_help() {
+    let out = cli(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let out = cli(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn info_lists_protocols_workloads_and_bugs() {
+    let out = cli(&["info"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for item in ["pandora", "ford", "traditional", "smallbank", "tatp", "tpcc"] {
+        assert!(
+            text.to_lowercase().contains(item),
+            "info must list `{item}`:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn run_micro_reports_throughput() {
+    let out = cli(&[
+        "run",
+        "--workload",
+        "micro",
+        "--coordinators",
+        "2",
+        "--duration",
+        "1",
+        "--warmup",
+        "0",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("tps") || text.contains("committed"),
+        "run must report throughput:\n{text}"
+    );
+}
+
+#[test]
+fn run_with_compute_fault_and_respawn_survives() {
+    let out = cli(&[
+        "run",
+        "--workload",
+        "micro",
+        "--coordinators",
+        "2",
+        "--duration",
+        "2",
+        "--warmup",
+        "0",
+        "--fault",
+        "compute:0.5@1",
+        "--respawn",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn run_rejects_bad_fault_spec() {
+    for spec in ["compute:2.0@1", "memory:9@0.2", "banana", "compute:@"] {
+        let out = cli(&[
+            "run", "--workload", "micro", "--duration", "1", "--fault", spec,
+        ]);
+        assert!(!out.status.success(), "fault spec `{spec}` must be rejected");
+        assert!(!stderr(&out).is_empty(), "rejection of `{spec}` must explain itself");
+    }
+}
+
+#[test]
+fn run_rejects_unknown_workload_and_protocol() {
+    let out = cli(&["run", "--workload", "nope"]);
+    assert!(!out.status.success());
+    let out = cli(&["run", "--protocol", "nope"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn recovery_reports_latency() {
+    let out = cli(&["recovery", "--frozen", "2", "--workload", "micro"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("µs") || text.contains("us") || text.contains("recover"),
+        "recovery must report a latency:\n{text}"
+    );
+}
+
+#[test]
+fn litmus_clean_run_passes() {
+    let out = cli(&["litmus", "--iterations", "2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("PASS"), "litmus must report PASS lines:\n{text}");
+    assert!(!text.contains("VIOLATION"), "clean litmus must not violate:\n{text}");
+}
+
+#[test]
+fn litmus_with_bug_reproduces_violation() {
+    let out = cli(&[
+        "litmus",
+        "--bug",
+        "complicit-abort",
+        "--iterations",
+        "2",
+    ]);
+    // Reproducing the bug is the expected demonstration (exit 0); only
+    // a violation under the FIXED protocol would fail the command.
+    let text = stdout(&out);
+    assert!(
+        text.contains("VIOLATION"),
+        "buggy litmus must reproduce the violation:\n{text}\nstderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        text.contains("passes"),
+        "the fixed protocol must pass:\n{text}"
+    );
+    assert!(out.status.success());
+}
+
+#[test]
+fn litmus_rejects_unknown_bug() {
+    let out = cli(&["litmus", "--bug", "nonexistent-bug"]);
+    assert!(!out.status.success());
+    assert!(!stderr(&out).is_empty());
+}

@@ -1,0 +1,117 @@
+//! The shared runtime context every compute server receives as its
+//! "initial configuration" from the failure detector (paper §3.1.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dkvs::ClusterMap;
+use parking_lot::RwLock;
+use rdma_sim::{Fabric, NodeId};
+
+use crate::config::SystemConfig;
+use crate::failed_ids::FailedIds;
+use crate::pause::WorldPause;
+
+/// Cluster-wide shared state: the fabric, the layout map, the failed-ids
+/// set, the dead-memory-node list, and the stop-the-world controller.
+///
+/// In a real deployment most of this is distributed (the FD pushes
+/// failed-id notifications; the cluster map is part of the join
+/// handshake); in-process sharing is the simulation equivalent and keeps
+/// the same information boundaries: coordinators only *read* this state,
+/// the FD/recovery side writes it.
+pub struct SharedContext {
+    pub fabric: Arc<Fabric>,
+    pub map: Arc<ClusterMap>,
+    pub failed: Arc<FailedIds>,
+    pub pause: WorldPause,
+    pub config: SystemConfig,
+    dead_nodes: RwLock<Vec<NodeId>>,
+    dead_epoch: AtomicU64,
+}
+
+impl SharedContext {
+    pub fn new(
+        fabric: Arc<Fabric>,
+        map: Arc<ClusterMap>,
+        config: SystemConfig,
+    ) -> Arc<SharedContext> {
+        Arc::new(SharedContext {
+            fabric,
+            map,
+            failed: Arc::new(FailedIds::new()),
+            pause: WorldPause::new(),
+            config,
+            dead_nodes: RwLock::new(Vec::new()),
+            dead_epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshot of the known-dead memory nodes (placement input).
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.dead_nodes.read().clone()
+    }
+
+    pub fn is_node_dead(&self, n: NodeId) -> bool {
+        self.dead_nodes.read().contains(&n)
+    }
+
+    /// Record a memory-node death (called by the FD under world pause).
+    pub fn mark_node_dead(&self, n: NodeId) {
+        let mut dead = self.dead_nodes.write();
+        if !dead.contains(&n) {
+            dead.push(n);
+            self.dead_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Remove a node from the dead list after re-replication/revival.
+    pub fn mark_node_live(&self, n: NodeId) {
+        let mut dead = self.dead_nodes.write();
+        if let Some(pos) = dead.iter().position(|&d| d == n) {
+            dead.remove(pos);
+            self.dead_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Bumped on every dead-node change.
+    pub fn dead_epoch(&self) -> u64 {
+        self.dead_epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+    use dkvs::{ClusterMapBuilder, TableDef};
+    use rdma_sim::FabricConfig;
+
+    fn ctx() -> Arc<SharedContext> {
+        let fabric = Fabric::new(FabricConfig {
+            memory_nodes: 2,
+            capacity_per_node: 8 << 20,
+            latency: rdma_sim::LatencyModel::zero(),
+        });
+        let map = ClusterMapBuilder::new(2)
+            .table(TableDef::sized_for(0, "t", 8, 64))
+            .max_coord_slots(16)
+            .build(&fabric)
+            .unwrap();
+        SharedContext::new(fabric, map, SystemConfig::new(ProtocolKind::Pandora))
+    }
+
+    #[test]
+    fn dead_node_tracking() {
+        let c = ctx();
+        assert!(c.dead_nodes().is_empty());
+        let e0 = c.dead_epoch();
+        c.mark_node_dead(NodeId(1));
+        assert!(c.is_node_dead(NodeId(1)));
+        assert!(c.dead_epoch() > e0);
+        c.mark_node_dead(NodeId(1)); // idempotent
+        assert_eq!(c.dead_nodes().len(), 1);
+        c.mark_node_live(NodeId(1));
+        assert!(!c.is_node_dead(NodeId(1)));
+    }
+}

@@ -1,0 +1,289 @@
+//! The transaction coordinator: the compute-side engine that executes the
+//! transactional protocol over one-sided verbs (paper §2.1: "compute
+//! servers perform those over the memory servers through one-sided RDMA").
+
+use std::sync::Arc;
+
+use dkvs::hash::FxHashMap;
+use dkvs::{ClusterMap, LockWord, SlotImage, SlotLayout, SlotRef, TableId};
+use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
+
+use crate::context::SharedContext;
+use crate::metrics::ThroughputProbe;
+use crate::pause::CoordGate;
+use crate::txn::{AbortReason, Txn, TxnError};
+
+/// Statistics one coordinator accumulates over its lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoordStats {
+    pub committed: u64,
+    pub aborted: u64,
+    pub locks_stolen: u64,
+}
+
+/// A transaction coordinator (paper §2.1 "Architecture"). One coordinator
+/// runs one transaction at a time; a compute server hosts many
+/// coordinators. Each coordinator owns a QP to every memory node, all
+/// sharing one [`FaultInjector`] so a crash stops the whole context.
+pub struct Coordinator {
+    pub(crate) ctx: Arc<SharedContext>,
+    pub(crate) coord_id: u16,
+    pub(crate) endpoint: EndpointId,
+    pub(crate) qps: Vec<QueuePair>,
+    pub(crate) injector: Arc<FaultInjector>,
+    pub(crate) gate: Arc<CoordGate>,
+    pub(crate) addr_cache: FxHashMap<(TableId, u64), SlotRef>,
+    pub(crate) txn_seq: u64,
+    pub(crate) probe: Option<Arc<ThroughputProbe>>,
+    pub(crate) tracer: Option<Arc<crate::trace::Tracer>>,
+    pub stats: CoordStats,
+}
+
+/// A parsed full-slot read: `[key][lock][version][value]`.
+#[derive(Debug, Clone)]
+pub(crate) struct FullSlot {
+    pub key: u64,
+    pub image: SlotImage,
+}
+
+impl Coordinator {
+    /// Connect a coordinator with the given id (ids are handed out by the
+    /// failure detector; see [`crate::fd::FailureDetector`]). Registers a
+    /// fresh endpoint.
+    pub fn connect(ctx: Arc<SharedContext>, coord_id: u16) -> RdmaResult<Coordinator> {
+        let endpoint = ctx.fabric.register_endpoint();
+        Coordinator::connect_at(ctx, coord_id, endpoint)
+    }
+
+    /// Connect with a pre-registered endpoint (the FD registration flow:
+    /// endpoint first, then the id lease, then the queue pairs).
+    pub fn connect_at(
+        ctx: Arc<SharedContext>,
+        coord_id: u16,
+        endpoint: EndpointId,
+    ) -> RdmaResult<Coordinator> {
+        Coordinator::connect_grouped(ctx, coord_id, endpoint, FaultInjector::new())
+    }
+
+    /// Connect a coordinator that shares its compute server's endpoint
+    /// and fault injector (see [`crate::compute::ComputeNode`]): the
+    /// server's crash stops every coordinator on it, and one link
+    /// termination fences them all.
+    pub fn connect_grouped(
+        ctx: Arc<SharedContext>,
+        coord_id: u16,
+        endpoint: EndpointId,
+        injector: Arc<FaultInjector>,
+    ) -> RdmaResult<Coordinator> {
+        let mut qps = Vec::with_capacity(ctx.fabric.num_nodes() as usize);
+        for n in ctx.fabric.node_ids() {
+            qps.push(ctx.fabric.qp(endpoint, n, Arc::clone(&injector))?);
+        }
+        let gate = ctx.pause.register();
+        Ok(Coordinator {
+            ctx,
+            coord_id,
+            endpoint,
+            qps,
+            injector,
+            gate,
+            addr_cache: FxHashMap::default(),
+            txn_seq: 0,
+            probe: None,
+            tracer: None,
+            stats: CoordStats::default(),
+        })
+    }
+
+    pub fn coord_id(&self) -> u16 {
+        self.coord_id
+    }
+
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    pub fn injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.injector)
+    }
+
+    pub fn gate(&self) -> Arc<CoordGate> {
+        Arc::clone(&self.gate)
+    }
+
+    pub fn context(&self) -> &Arc<SharedContext> {
+        &self.ctx
+    }
+
+    /// Attach a throughput probe (commit/abort counters).
+    pub fn with_probe(mut self, probe: Arc<ThroughputProbe>) -> Coordinator {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Attach an event tracer (see [`crate::trace`]); shared tracers
+    /// interleave events from many coordinators in one global order.
+    pub fn with_tracer(mut self, tracer: Arc<crate::trace::Tracer>) -> Coordinator {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Record a protocol event if a tracer is attached.
+    #[inline]
+    pub(crate) fn trace(&self, event: crate::trace::TxnEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(self.coord_id, event);
+        }
+    }
+
+    /// Per-node verb counters of this coordinator's queue pairs (used to
+    /// assert round-trip counts, e.g. Pandora's f+1 log writes).
+    pub fn op_counters(&self) -> Vec<(NodeId, rdma_sim::OpCountersSnapshot)> {
+        self.qps.iter().map(|qp| (qp.node_id(), qp.counters().snapshot())).collect()
+    }
+
+    /// Snapshot of the address cache (key → slot). A replacement
+    /// coordinator restarted on the same compute server can be
+    /// pre-warmed with this ([`Coordinator::warm_addr_cache`]) — slot
+    /// locations are verified on every use, so stale entries are safe.
+    pub fn export_addr_cache(&self) -> Vec<((TableId, u64), SlotRef)> {
+        self.addr_cache.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Pre-warm the address cache (see [`Coordinator::export_addr_cache`]).
+    pub fn warm_addr_cache(&mut self, entries: Vec<((TableId, u64), SlotRef)>) {
+        self.addr_cache.extend(entries);
+    }
+
+    /// Begin a transaction. Blocks while the world is paused (Baseline /
+    /// Traditional recovery, memory-failure handling).
+    pub fn begin(&mut self) -> Txn<'_> {
+        self.ctx.pause.enter_txn(&self.gate);
+        self.txn_seq += 1;
+        let txn_id = ((self.coord_id as u64) << 48) | self.txn_seq;
+        self.trace(crate::trace::TxnEvent::Begin { txn_id });
+        Txn::new(self, txn_id)
+    }
+
+    /// Run `body` as a transaction, retrying aborts until it commits or a
+    /// non-abort error surfaces. Returns the number of aborts endured.
+    pub fn run<T>(
+        &mut self,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<T, TxnError>,
+    ) -> Result<(T, u64), TxnError> {
+        let mut aborts = 0u64;
+        loop {
+            let mut txn = self.begin();
+            match body(&mut txn).and_then(|v| txn.commit().map(|()| v)) {
+                Ok(v) => return Ok((v, aborts)),
+                Err(TxnError::Aborted(_)) => {
+                    aborts += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn qp(&self, node: NodeId) -> &QueuePair {
+        &self.qps[node.0 as usize]
+    }
+
+    pub(crate) fn map(&self) -> &ClusterMap {
+        &self.ctx.map
+    }
+
+    /// My lock word (PILL carries the coordinator-id, paper §3.1.2).
+    /// The tag mixes the endpoint id — unique per coordinator
+    /// *incarnation*, never recycled — with the transaction counter, so
+    /// a reincarnation of a recycled coordinator-id can never produce a
+    /// lock word bit-identical to its predecessor's stray lock (steal
+    /// ABA, see [`LockWord::pill_tagged`]).
+    #[inline]
+    pub(crate) fn my_lock(&self) -> LockWord {
+        if self.ctx.config.pill_active() {
+            let tag = (self.endpoint.0.wrapping_mul(0x9E37_79B1)) ^ (self.txn_seq as u32);
+            LockWord::pill_tagged(self.coord_id, tag)
+        } else {
+            LockWord::anonymous()
+        }
+    }
+
+    /// Acting primary for a bucket under the current dead-node set.
+    pub(crate) fn primary_of(&self, table: TableId, bucket: u64) -> Result<NodeId, TxnError> {
+        let dead = self.ctx.dead_nodes();
+        self.ctx
+            .map
+            .live_replicas(table, bucket, &dead)
+            .first()
+            .copied()
+            .ok_or(TxnError::Aborted(AbortReason::MemoryFailure))
+    }
+
+    /// READ and parse one full slot (key..value) from `node`.
+    pub(crate) fn read_full_slot(
+        &self,
+        node: NodeId,
+        slot: SlotRef,
+    ) -> Result<FullSlot, TxnError> {
+        let layout = self.map().layout(slot.table);
+        let addr = self.map().slot_addr(node, slot.table, slot.bucket, slot.slot);
+        let mut buf = vec![0u8; layout.slot_bytes() as usize];
+        self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
+        Ok(parse_full_slot(layout, &buf))
+    }
+
+    /// READ a whole bucket from `node` and parse every slot.
+    pub(crate) fn read_bucket(
+        &self,
+        node: NodeId,
+        table: TableId,
+        bucket: u64,
+    ) -> Result<Vec<FullSlot>, TxnError> {
+        let def = self.map().table(table);
+        let layout = def.layout();
+        let addr = self.map().bucket_addr(node, table, bucket);
+        let mut buf = vec![0u8; def.bucket_bytes() as usize];
+        self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
+        let sb = layout.slot_bytes() as usize;
+        Ok((0..def.slots_per_bucket as usize)
+            .map(|i| parse_full_slot(layout, &buf[i * sb..(i + 1) * sb]))
+            .collect())
+    }
+
+    /// READ just the `[lock][version]` pair of a slot (validation phase;
+    /// a single 16-byte READ because the two words are adjacent — the
+    /// covert-locks fix of §5.1 relies on this costing no extra trip).
+    pub(crate) fn read_lock_version(
+        &self,
+        node: NodeId,
+        slot: SlotRef,
+    ) -> Result<(LockWord, dkvs::VersionWord), TxnError> {
+        let addr = self.map().slot_addr(node, slot.table, slot.bucket, slot.slot)
+            + SlotLayout::LOCK_OFF;
+        let mut buf = [0u8; 16];
+        self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
+        Ok((
+            LockWord(u64::from_le_bytes(buf[0..8].try_into().expect("8B"))),
+            dkvs::VersionWord(u64::from_le_bytes(buf[8..16].try_into().expect("8B"))),
+        ))
+    }
+
+    /// Byte address of a slot's lock word on `node`.
+    pub(crate) fn lock_addr(&self, node: NodeId, slot: SlotRef) -> u64 {
+        self.map().slot_addr(node, slot.table, slot.bucket, slot.slot) + SlotLayout::LOCK_OFF
+    }
+
+    /// Mark this coordinator crashed (after a `TxnError::Crashed`): frees
+    /// the world-pause gate so recoveries never wait on a corpse.
+    pub(crate) fn note_crashed(&self) {
+        self.gate.mark_dead();
+    }
+}
+
+pub(crate) fn parse_full_slot(layout: SlotLayout, buf: &[u8]) -> FullSlot {
+    let key = u64::from_le_bytes(buf[0..8].try_into().expect("8B"));
+    let image = SlotImage::parse(layout, &buf[SlotLayout::LOCK_OFF as usize..]);
+    FullSlot { key, image }
+}

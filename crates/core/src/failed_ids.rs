@@ -1,0 +1,151 @@
+//! The failed-ids set: which coordinator-ids are known-dead.
+//!
+//! Paper §3.1.2: "we must ensure that the overhead of checking the
+//! failed-ids stays constant. We achieve this by implementing failed-ids
+//! as a compact bitset with 64K entries." Every failed lock acquisition
+//! (and every read that finds a lock) performs one O(1) lookup here —
+//! the `micro_ops` bench measures it at a few nanoseconds, matching §6.2.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dkvs::MAX_COORDINATORS;
+
+const WORDS: usize = MAX_COORDINATORS / 64;
+
+/// Lock-free 64K-entry bitset of failed coordinator-ids, plus an epoch
+/// counter bumped on every change (compute servers use the epoch to learn
+/// about stray-lock notifications without re-reading the whole set).
+pub struct FailedIds {
+    bits: Box<[AtomicU64; WORDS]>,
+    epoch: AtomicU64,
+    population: AtomicU64,
+}
+
+impl Default for FailedIds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FailedIds {
+    pub fn new() -> FailedIds {
+        let bits: Vec<AtomicU64> = (0..WORDS).map(|_| AtomicU64::new(0)).collect();
+        let bits: Box<[AtomicU64; WORDS]> =
+            bits.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("fixed size"));
+        FailedIds { bits, epoch: AtomicU64::new(0), population: AtomicU64::new(0) }
+    }
+
+    /// O(1) membership check — the PILL hot path.
+    #[inline]
+    pub fn contains(&self, coord: u16) -> bool {
+        let idx = coord as usize;
+        self.bits[idx / 64].load(Ordering::Acquire) & (1 << (idx % 64)) != 0
+    }
+
+    /// Mark `coord` failed (stray-lock notification, recovery step 4).
+    /// Returns true if this call changed the set.
+    pub fn set(&self, coord: u16) -> bool {
+        let idx = coord as usize;
+        let prev = self.bits[idx / 64].fetch_or(1 << (idx % 64), Ordering::AcqRel);
+        let changed = prev & (1 << (idx % 64)) == 0;
+        if changed {
+            self.population.fetch_add(1, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        changed
+    }
+
+    /// Clear `coord` (id recycling after the background unlock scan,
+    /// paper §3.1.2 "Recycling coordinator-ids").
+    pub fn clear(&self, coord: u16) -> bool {
+        let idx = coord as usize;
+        let prev = self.bits[idx / 64].fetch_and(!(1 << (idx % 64)), Ordering::AcqRel);
+        let changed = prev & (1 << (idx % 64)) != 0;
+        if changed {
+            self.population.fetch_sub(1, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        changed
+    }
+
+    /// Number of failed ids currently set.
+    pub fn population(&self) -> u64 {
+        self.population.load(Ordering::Acquire)
+    }
+
+    /// Change counter (bumped on every set/clear).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of all failed ids (recovery/recycling, not the hot path).
+    pub fn iter_failed(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        for w in 0..WORDS {
+            let mut word = self.bits[w].load(Ordering::Acquire);
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push((w * 64 + bit) as u16);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_contains_nothing() {
+        let f = FailedIds::new();
+        for id in [0u16, 1, 63, 64, 1000, u16::MAX] {
+            assert!(!f.contains(id));
+        }
+        assert_eq!(f.population(), 0);
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let f = FailedIds::new();
+        assert!(f.set(1234));
+        assert!(f.contains(1234));
+        assert!(!f.set(1234)); // idempotent
+        assert_eq!(f.population(), 1);
+        assert!(f.clear(1234));
+        assert!(!f.contains(1234));
+        assert!(!f.clear(1234));
+        assert_eq!(f.population(), 0);
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_change() {
+        let f = FailedIds::new();
+        let e0 = f.epoch();
+        f.set(9);
+        let e1 = f.epoch();
+        assert!(e1 > e0);
+        f.set(9);
+        assert_eq!(f.epoch(), e1);
+    }
+
+    #[test]
+    fn boundary_ids_work() {
+        let f = FailedIds::new();
+        f.set(u16::MAX);
+        f.set(0);
+        assert!(f.contains(u16::MAX));
+        assert!(f.contains(0));
+        assert_eq!(f.iter_failed(), vec![0, u16::MAX]);
+    }
+
+    #[test]
+    fn iter_failed_is_sorted_and_complete() {
+        let f = FailedIds::new();
+        for id in [5u16, 64, 65, 129, 4000] {
+            f.set(id);
+        }
+        assert_eq!(f.iter_failed(), vec![5, 64, 65, 129, 4000]);
+    }
+}

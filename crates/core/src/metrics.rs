@@ -1,0 +1,281 @@
+//! Throughput/latency instrumentation for the evaluation harness.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared commit/abort counters, bumped by every coordinator.
+#[derive(Debug, Default)]
+pub struct ThroughputProbe {
+    pub committed: AtomicU64,
+    pub aborted: AtomicU64,
+}
+
+impl ThroughputProbe {
+    pub fn new() -> Arc<ThroughputProbe> {
+        Arc::new(ThroughputProbe::default())
+    }
+
+    #[inline]
+    pub fn commit(&self) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn abort(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn committed_total(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    pub fn aborted_total(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Abort rate in [0, 1] over everything recorded so far.
+    pub fn abort_rate(&self) -> f64 {
+        let c = self.committed_total() as f64;
+        let a = self.aborted_total() as f64;
+        if c + a == 0.0 {
+            0.0
+        } else {
+            a / (c + a)
+        }
+    }
+}
+
+/// One point of a throughput time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Milliseconds since sampling started.
+    pub at_ms: u64,
+    /// Committed transactions during this interval.
+    pub committed_delta: u64,
+    /// Committed transactions per second over this interval.
+    pub tps: f64,
+}
+
+/// Background sampler producing the throughput-over-time series that the
+/// fail-over figures (paper Figures 6–14) plot.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<Sample>>>,
+}
+
+impl Sampler {
+    /// Start sampling `probe` every `interval`.
+    pub fn start(probe: Arc<ThroughputProbe>, interval: Duration) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("throughput-sampler".into())
+            .spawn(move || {
+                let t0 = Instant::now();
+                let mut last = probe.committed_total();
+                let mut last_t = t0;
+                let mut out = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    let now = Instant::now();
+                    let cur = probe.committed_total();
+                    let dt = now.duration_since(last_t).as_secs_f64().max(1e-9);
+                    out.push(Sample {
+                        at_ms: now.duration_since(t0).as_millis() as u64,
+                        committed_delta: cur - last,
+                        tps: (cur - last) as f64 / dt,
+                    });
+                    last = cur;
+                    last_t = now;
+                }
+                out
+            })
+            .expect("spawn sampler");
+        Sampler { stop, handle: Some(handle) }
+    }
+
+    /// Stop sampling and collect the series.
+    pub fn finish(mut self) -> Vec<Sample> {
+        self.stop.store(true, Ordering::Release);
+        self.handle.take().expect("finish called once").join().expect("sampler panicked")
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Lock-free log₂-bucket latency histogram (nanosecond resolution,
+/// buckets 2⁰ ns … 2⁶³ ns). Coarse but allocation-free and shareable
+/// across coordinator threads; good to ~2× resolution per bucket, which
+/// is plenty for p50/p99 shape reporting.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; 64]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        let v: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; 64]> =
+            v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("fixed size"));
+        LatencyHistogram { buckets, count: AtomicU64::new(0), sum_ns: AtomicU64::new(0) }
+    }
+
+    /// Record one latency observation.
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// Approximate quantile (`q` in [0, 1]): the upper edge of the bucket
+    /// containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// (p50, p95, p99) summary.
+    pub fn percentiles(&self) -> (Duration, Duration, Duration) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+/// Mean tps over the samples whose timestamps fall in `[from_ms, to_ms)`.
+pub fn mean_tps(samples: &[Sample], from_ms: u64, to_ms: u64) -> f64 {
+    let window: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.at_ms >= from_ms && s.at_ms < to_ms)
+        .map(|s| s.tps)
+        .collect();
+    if window.is_empty() {
+        0.0
+    } else {
+        window.iter().sum::<f64>() / window.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts() {
+        let p = ThroughputProbe::new();
+        p.commit();
+        p.commit();
+        p.abort();
+        assert_eq!(p.committed_total(), 2);
+        assert_eq!(p.aborted_total(), 1);
+        assert!((p.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_of_empty_probe_is_zero() {
+        assert_eq!(ThroughputProbe::new().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn sampler_produces_series() {
+        let p = ThroughputProbe::new();
+        let sampler = Sampler::start(Arc::clone(&p), Duration::from_millis(10));
+        for _ in 0..50 {
+            p.commit();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let samples = sampler.finish();
+        assert!(samples.len() >= 3);
+        let total: u64 = samples.iter().map(|s| s.committed_delta).sum();
+        assert!(total >= 40, "most commits should be captured, got {total}");
+        assert!(samples.iter().any(|s| s.tps > 0.0));
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_are_ordered() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 100, 200, 400, 800, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let (p50, p95, p99) = h.percentiles();
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        assert!(p50 >= Duration::from_micros(10));
+        assert!(p99 >= Duration::from_micros(800));
+        assert!(h.mean() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_bucket_resolution_is_within_2x() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        let p50 = h.quantile(0.5);
+        // 100 µs falls in bucket [2^16, 2^17) ns → reported edge 2^17 ns
+        // ≈ 131 µs: within 2× of the true value.
+        assert!(p50 >= Duration::from_micros(100) && p50 <= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn mean_tps_windows() {
+        let samples = vec![
+            Sample { at_ms: 10, committed_delta: 10, tps: 100.0 },
+            Sample { at_ms: 20, committed_delta: 10, tps: 200.0 },
+            Sample { at_ms: 30, committed_delta: 10, tps: 300.0 },
+        ];
+        assert!((mean_tps(&samples, 0, 25) - 150.0).abs() < 1e-9);
+        assert!((mean_tps(&samples, 25, 100) - 300.0).abs() < 1e-9);
+        assert_eq!(mean_tps(&samples, 100, 200), 0.0);
+    }
+}

@@ -1,0 +1,583 @@
+//! The recovery protocol (paper §3.2).
+//!
+//! Pandora's four steps for a compute failure (Figure 3):
+//!
+//! 1. **Failure detection** — the FD (see [`crate::fd`]) declares the
+//!    coordinator failed.
+//! 2. **Active-link termination** — revoke the failed server's RDMA
+//!    rights on every memory node via control-path RPCs, so even a
+//!    falsely-suspected server can no longer touch memory (Cor1).
+//! 3. **Log recovery** — read the f+1 log regions, reconstruct each
+//!    Logged-Stray-Tx, and roll it forward iff *every* replica of *every*
+//!    write-set object was updated (commit-ack possible, abort-ack
+//!    impossible — Cor2/Cor3); otherwise roll it back from the undo
+//!    images. All logs are then truncated, making re-execution of any
+//!    step idempotent (§3.2.3).
+//! 4. **Stray-lock notification** — set the failed-id bit so live
+//!    coordinators start stealing the NotLogged strays (only now: Cor4).
+//!
+//! The Baseline (FORD + this recovery, §4.1) cannot identify lock owners,
+//! so it must stop the world and scan the entire KVS; the Traditional
+//! scheme reads its lock-intent logs instead of scanning but still stops
+//! the world. Both are implemented here for the evaluation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dkvs::hash::FxHashMap;
+use dkvs::{LockWord, LogEntry, SlotLayout, TableId, UndoRecord, LOG_REGION_BYTES};
+use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
+
+use crate::config::ProtocolKind;
+use crate::context::SharedContext;
+
+/// What one compute-failure recovery did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    pub coord: u16,
+    /// Logged-Stray-Txs found in the log regions.
+    pub logged_txns: usize,
+    pub rolled_forward: usize,
+    pub rolled_back: usize,
+    /// Stray locks released during a Baseline scan / Traditional intent
+    /// replay (Pandora leaves NotLogged strays to lock stealing).
+    pub locks_released: usize,
+    /// Wall time of the log-recovery step only (what Table 2 reports).
+    pub log_recovery: Duration,
+    /// End-to-end recovery time (revocation through notification).
+    pub total: Duration,
+    /// False when the RC itself crashed mid-recovery: the run must be
+    /// re-executed by a fresh RC (recovery is idempotent, paper §3.2.3 —
+    /// "Pandora allows for the re-execution of the log-recovery step
+    /// until the final acknowledgment is received").
+    pub completed: bool,
+}
+
+/// The Recovery Coordinator (RC): a thread on a standard compute server
+/// (paper §3.2.2 step 3) with its own endpoint and queue pairs.
+///
+/// The RC is itself just compute, so it can crash mid-recovery; its
+/// [`FaultInjector`] makes that failure mode testable. A crashed RC
+/// reports `completed: false` and the failure detector re-runs the
+/// recovery on a fresh RC (see `FailureDetector`).
+pub struct RecoveryCoordinator {
+    ctx: Arc<SharedContext>,
+    qps: Vec<QueuePair>,
+    injector: Arc<FaultInjector>,
+}
+
+impl RecoveryCoordinator {
+    pub fn new(ctx: Arc<SharedContext>) -> RdmaResult<RecoveryCoordinator> {
+        Self::with_injector(ctx, FaultInjector::new())
+    }
+
+    /// RC with an externally-controlled fault injector (tests of the
+    /// crash-during-recovery path).
+    pub fn with_injector(
+        ctx: Arc<SharedContext>,
+        injector: Arc<FaultInjector>,
+    ) -> RdmaResult<RecoveryCoordinator> {
+        let endpoint = ctx.fabric.register_endpoint();
+        let mut qps = Vec::new();
+        for n in ctx.fabric.node_ids() {
+            qps.push(ctx.fabric.qp(endpoint, n, Arc::clone(&injector))?);
+        }
+        Ok(RecoveryCoordinator { ctx, qps, injector })
+    }
+
+    /// This RC's fault injector.
+    pub fn injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.injector)
+    }
+
+    fn qp(&self, node: NodeId) -> &QueuePair {
+        &self.qps[node.0 as usize]
+    }
+
+    /// Full compute-failure recovery for one coordinator, dispatching on
+    /// the configured protocol.
+    pub fn recover_compute(&self, coord: u16, endpoint: EndpointId) -> RecoveryReport {
+        match self.ctx.config.protocol {
+            ProtocolKind::Pandora => self.recover_pandora(coord, endpoint),
+            ProtocolKind::Ford => self.recover_baseline(&[(coord, endpoint)]),
+            ProtocolKind::Traditional => self.recover_traditional(&[(coord, endpoint)]),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Pandora: non-blocking recovery
+    // ----------------------------------------------------------------
+
+    /// Pandora recovery. Live coordinators keep running throughout; only
+    /// transactions conflicting with the failed coordinator's objects
+    /// wait (for at most the duration of log recovery).
+    pub fn recover_pandora(&self, coord: u16, endpoint: EndpointId) -> RecoveryReport {
+        let t0 = Instant::now();
+        // Step 2: active-link termination (Cor1).
+        self.ctx.fabric.revoke_everywhere(endpoint);
+
+        // Step 3: log recovery.
+        let t_log = Instant::now();
+        let mut report = self.log_recovery(coord, &self.ctx.map.log_servers(coord));
+        report.log_recovery = t_log.elapsed();
+
+        // Step 4: stray-lock notification (strictly after log recovery —
+        // Cor4: only NotLogged strays may be stolen). A crashed RC must
+        // NOT notify: its log recovery may be partial, and notifying
+        // would let thieves steal locks of unresolved Logged-Stray-Txs.
+        report.completed = !self.injector.is_crashed();
+        if report.completed {
+            self.ctx.failed.set(coord);
+        }
+
+        report.coord = coord;
+        report.total = t0.elapsed();
+        report
+    }
+
+    /// Read the failed coordinator's log regions from `log_nodes`, merge
+    /// entries (f+1 copies; some may be torn/missing), and resolve the
+    /// coordinator's in-flight transaction. Idempotent: ends by
+    /// truncating all regions.
+    ///
+    /// Two hardening rules beyond the paper's sketch (found by review):
+    ///
+    /// * **Only the newest entry acts.** Commits do not truncate their
+    ///   logs (DESIGN §9.2), so a crash between the log writes of txn
+    ///   N+1 can leave txn N's stale committed entry on one log server
+    ///   and N+1's on another. A coordinator runs one transaction at a
+    ///   time, so any entry older than the newest is necessarily a
+    ///   *committed* transaction whose locks were already released —
+    ///   acting on it (in particular CAS-unlocking `pill(coord)`) could
+    ///   release locks the newest, unresolved transaction still holds.
+    /// * **Restore → truncate → unlock for roll-backs.** If the RC dies
+    ///   after unlocking some pre-image-restored objects but before
+    ///   truncating, a live transaction can commit into the freed slot
+    ///   and a re-executed recovery would clobber that acked commit.
+    ///   Keeping every lock held until the pre-images are restored and
+    ///   the log is truncated makes re-execution safe at every step.
+    fn log_recovery(&self, coord: u16, log_nodes: &[NodeId]) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let dead = self.ctx.dead_nodes();
+
+        // f+1 region READs (paper: "the RC can read all logs by issuing
+        // f+1 RDMA Reads").
+        let mut txns: FxHashMap<u64, Vec<UndoRecord>> = FxHashMap::default();
+        for &node in log_nodes {
+            if dead.contains(&node) {
+                continue;
+            }
+            let region = self.ctx.map.log_region(node, coord);
+            let mut buf = vec![0u8; LOG_REGION_BYTES as usize];
+            if self.qp(node).read(region.base, &mut buf).is_err() {
+                continue;
+            }
+            if let Some(entry) = LogEntry::decode(&buf) {
+                if entry.coord != coord {
+                    continue; // slot reused by another id — not ours
+                }
+                let records = txns.entry(entry.txn_id).or_default();
+                for r in entry.writes {
+                    if !self.record_in_range(&r) {
+                        continue; // garbage coordinates (decode cannot know table shapes)
+                    }
+                    if !records.iter().any(|e| e.table == r.table && e.key == r.key) {
+                        records.push(r);
+                    }
+                }
+            }
+        }
+
+        // Only the newest entry can be un-resolved (see docs above).
+        let newest = txns.keys().copied().max();
+        let records = match newest {
+            Some(id) => {
+                report.logged_txns = 1;
+                txns.remove(&id).expect("key came from the map")
+            }
+            None => Vec::new(),
+        };
+
+        if !records.is_empty() {
+            if self.txn_fully_applied(&records, &dead) {
+                // Roll forward: updates are in place; truncate, then
+                // release the primary locks (owner-checked CAS so a live
+                // coordinator that re-acquired a lock is never clobbered).
+                self.truncate_logs(coord, log_nodes, &dead);
+                for r in &records {
+                    self.unlock_primary_cas(coord, r, &dead);
+                }
+                report.rolled_forward += 1;
+            } else {
+                // Roll back: restore every pre-image (value first,
+                // version second) while the locks are still held, then
+                // truncate, then unlock.
+                for r in &records {
+                    for node in self.ctx.map.replicas(r.table, r.bucket) {
+                        if dead.contains(&node) {
+                            continue;
+                        }
+                        let base = self.ctx.map.slot_addr(node, r.table, r.bucket, r.slot);
+                        let _ = self.qp(node).write(base + SlotLayout::VALUE_OFF, &r.old_value);
+                        let _ = self
+                            .qp(node)
+                            .write_u64(base + SlotLayout::VERSION_OFF, r.old_version.raw());
+                    }
+                }
+                self.truncate_logs(coord, log_nodes, &dead);
+                for r in &records {
+                    self.unlock_primary_cas(coord, r, &dead);
+                }
+                report.rolled_back += 1;
+            }
+        } else {
+            // Nothing logged (or only stale committed entries): truncate
+            // so re-execution and slot reuse start clean (§3.2.3).
+            self.truncate_logs(coord, log_nodes, &dead);
+        }
+        report
+    }
+
+    /// Truncate `coord`'s log and lock-intent regions on every live
+    /// memory node (used when an id is returned to the pool, so the next
+    /// holder of the same log slot starts clean).
+    pub fn truncate_all_regions(&self, coord: u16) {
+        let dead = self.ctx.dead_nodes();
+        for node in self.ctx.fabric.node_ids() {
+            if dead.contains(&node) {
+                continue;
+            }
+            let log = self.ctx.map.log_region(node, coord);
+            let _ = self.qp(node).write_u64(log.base, 0);
+            let intents = self.ctx.map.intent_region(node, coord);
+            let _ = self.qp(node).write_u64(intents.base, 0);
+        }
+    }
+
+    /// Truncate `coord`'s log regions on every live log node.
+    fn truncate_logs(&self, coord: u16, log_nodes: &[NodeId], dead: &[NodeId]) {
+        for &node in log_nodes {
+            if dead.contains(&node) {
+                continue;
+            }
+            let region = self.ctx.map.log_region(node, coord);
+            let _ = self.qp(node).write_u64(region.base, 0);
+        }
+    }
+
+    /// Decoded records carry attacker-grade coordinates (the log codec
+    /// cannot know table shapes); reject anything out of range before
+    /// using it in address arithmetic.
+    fn record_in_range(&self, r: &UndoRecord) -> bool {
+        if (r.table.0 as usize) >= self.ctx.map.num_tables() {
+            return false;
+        }
+        let def = self.ctx.map.table(r.table);
+        r.bucket < def.buckets
+            && r.slot < def.slots_per_bucket
+            && r.old_value.len() == def.layout().value_padded()
+    }
+
+    /// Cor2/Cor3 decision: roll forward iff every live replica of every
+    /// write-set object moved past its pre-image version. (While the
+    /// failed coordinator held the primary locks nobody else could
+    /// advance these objects, so `!= old` ⇔ "this txn's update landed";
+    /// after a full commit+unlock, later writers only advance versions
+    /// further, keeping the predicate true — which makes re-running
+    /// recovery after the fact harmless.)
+    fn txn_fully_applied(&self, records: &[UndoRecord], dead: &[NodeId]) -> bool {
+        for r in records {
+            for node in self.ctx.map.replicas(r.table, r.bucket) {
+                if dead.contains(&node) {
+                    continue;
+                }
+                let addr = self.ctx.map.slot_addr(node, r.table, r.bucket, r.slot)
+                    + SlotLayout::VERSION_OFF;
+                match self.qp(node).read_u64(addr) {
+                    Ok(v) => {
+                        if v == r.old_version.raw() {
+                            return false;
+                        }
+                    }
+                    Err(_) => {
+                        // A replica died between the dead-node snapshot
+                        // and this read: treat it like any other dead
+                        // replica (skip) rather than forcing a rollback —
+                        // the commit-ack criterion is "all *live*
+                        // replicas updated" (§3.2.5), and rolling back a
+                        // possibly-acked commit would violate Cor3.
+                        if self.ctx.fabric.node(node).map(|n| n.is_alive()).unwrap_or(false) {
+                            return false; // live node, real read failure
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Owner-checked unlock of a record's primary.
+    fn unlock_primary_cas(&self, coord: u16, r: &UndoRecord, dead: &[NodeId]) {
+        let Some(&primary) = self
+            .ctx
+            .map
+            .live_replicas(r.table, r.bucket, dead)
+            .first()
+        else {
+            return;
+        };
+        let addr =
+            self.ctx.map.slot_addr(primary, r.table, r.bucket, r.slot) + SlotLayout::LOCK_OFF;
+        if self.ctx.config.pill_active() {
+            // Lock words carry a per-txn tag, so read the exact word and
+            // CAS on it — still owner-checked (a lock re-acquired by a
+            // live coordinator has a different owner or tag and the CAS
+            // fails harmlessly).
+            if let Ok(raw) = self.qp(primary).read_u64(addr) {
+                let observed = LockWord(raw);
+                if observed.is_locked() && observed.owner() == coord {
+                    let _ = self.qp(primary).cas(addr, raw, 0);
+                }
+            }
+        } else {
+            // Anonymous locks: blind unlock — only safe because FORD /
+            // Traditional recovery runs under a world pause.
+            let _ = self.qp(primary).write_u64(addr, 0);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Baseline: stop-the-world + full-KVS scan (paper §6.1)
+    // ----------------------------------------------------------------
+
+    /// Baseline recovery for a batch of failed coordinators: pause the
+    /// whole KVS, resolve their logs, then scan *every bucket of every
+    /// table* to find and release stray locks — the seconds-scale cost
+    /// the paper measures (~5 s per million keys).
+    pub fn recover_baseline(&self, failed: &[(u16, EndpointId)]) -> RecoveryReport {
+        let t0 = Instant::now();
+        for &(_, ep) in failed {
+            self.ctx.fabric.revoke_everywhere(ep);
+        }
+        let quiesced = self.ctx.pause.pause_and_quiesce(Duration::from_secs(60));
+        debug_assert!(quiesced, "a live coordinator failed to quiesce");
+
+        let t_log = Instant::now();
+        let all_nodes: Vec<NodeId> = self.ctx.fabric.node_ids().collect();
+        let mut report = RecoveryReport::default();
+        for &(coord, _) in failed {
+            let r = self.log_recovery(coord, &all_nodes);
+            report.logged_txns += r.logged_txns;
+            report.rolled_forward += r.rolled_forward;
+            report.rolled_back += r.rolled_back;
+        }
+        // Full scan: with the world stopped and live transactions
+        // aborted, every remaining lock is stray — release it.
+        report.locks_released = self.scan_release_all_locks();
+        report.log_recovery = t_log.elapsed();
+
+        report.completed = !self.injector.is_crashed();
+        // Resume unconditionally (the pause is a counted lease and a
+        // crashed RC must not orphan it). This is safe mid-recovery:
+        // every partially-rolled object still holds its lock until the
+        // log is truncated, so live transactions cannot observe torn
+        // state; the FD's retry re-pauses and finishes the job.
+        self.ctx.pause.resume();
+        report.coord = failed.first().map(|&(c, _)| c).unwrap_or(0);
+        report.total = t0.elapsed();
+        report
+    }
+
+    /// Scan every bucket of every table (on the acting primary) and
+    /// release every lock found. Returns the number released.
+    fn scan_release_all_locks(&self) -> usize {
+        let dead = self.ctx.dead_nodes();
+        let mut released = 0;
+        let table_ids: Vec<TableId> =
+            self.ctx.map.tables().map(|t| t.id).collect();
+        for table in table_ids {
+            let def = self.ctx.map.table(table).clone();
+            let layout = def.layout();
+            let mut buf = vec![0u8; def.bucket_bytes() as usize];
+            for bucket in 0..def.buckets {
+                let Some(&primary) =
+                    self.ctx.map.live_replicas(table, bucket, &dead).first()
+                else {
+                    continue;
+                };
+                let addr = self.ctx.map.bucket_addr(primary, table, bucket);
+                if self.qp(primary).read(addr, &mut buf).is_err() {
+                    continue;
+                }
+                let sb = layout.slot_bytes() as usize;
+                for i in 0..def.slots_per_bucket as usize {
+                    let lock_off = i * sb + SlotLayout::LOCK_OFF as usize;
+                    let lock = LockWord(u64::from_le_bytes(
+                        buf[lock_off..lock_off + 8].try_into().expect("8B"),
+                    ));
+                    if lock.is_locked() {
+                        let la = addr + (i as u64) * layout.slot_bytes() + SlotLayout::LOCK_OFF;
+                        if self.qp(primary).write_u64(la, 0).is_ok() {
+                            released += 1;
+                        }
+                    }
+                }
+            }
+        }
+        released
+    }
+
+    // ----------------------------------------------------------------
+    // Traditional scheme: lock-intent replay (paper §6.1, §6.2.1)
+    // ----------------------------------------------------------------
+
+    /// Traditional recovery: like Baseline but the stray locks are found
+    /// by replaying the failed coordinators' lock-intent logs instead of
+    /// scanning the KVS. Still stop-the-world (anonymous locks), but no
+    /// scan — recovery is milliseconds, at the cost of the extra
+    /// steady-state logging round trip per lock.
+    pub fn recover_traditional(&self, failed: &[(u16, EndpointId)]) -> RecoveryReport {
+        let t0 = Instant::now();
+        for &(_, ep) in failed {
+            self.ctx.fabric.revoke_everywhere(ep);
+        }
+        let quiesced = self.ctx.pause.pause_and_quiesce(Duration::from_secs(60));
+        debug_assert!(quiesced, "a live coordinator failed to quiesce");
+
+        let t_log = Instant::now();
+        let all_nodes: Vec<NodeId> = self.ctx.fabric.node_ids().collect();
+        let mut report = RecoveryReport::default();
+        for &(coord, _) in failed {
+            let r = self.log_recovery(coord, &all_nodes);
+            report.logged_txns += r.logged_txns;
+            report.rolled_forward += r.rolled_forward;
+            report.rolled_back += r.rolled_back;
+            report.locks_released += self.replay_lock_intents(coord);
+        }
+        report.log_recovery = t_log.elapsed();
+        report.completed = !self.injector.is_crashed();
+        self.ctx.pause.resume(); // counted lease; see recover_baseline
+        report.coord = failed.first().map(|&(c, _)| c).unwrap_or(0);
+        report.total = t0.elapsed();
+        report
+    }
+
+    /// Read `coord`'s lock-intent regions and release every still-held
+    /// lock they reference.
+    fn replay_lock_intents(&self, coord: u16) -> usize {
+        let dead = self.ctx.dead_nodes();
+        let mut released = 0;
+        let mut seen: Vec<(u64, u64, u64)> = Vec::new();
+        for node in self.ctx.map.log_servers(coord) {
+            if dead.contains(&node) {
+                continue;
+            }
+            let region = self.ctx.map.intent_region(node, coord);
+            let mut buf = vec![0u8; dkvs::cluster::INTENT_REGION_BYTES as usize];
+            if self.qp(node).read(region.base, &mut buf).is_err() {
+                continue;
+            }
+            let count = u64::from_le_bytes(buf[0..8].try_into().expect("8B")) as usize;
+            if count > (buf.len() - 8) / 24 {
+                continue; // torn/garbage
+            }
+            for i in 0..count {
+                let off = 8 + i * 24;
+                let w = |j: usize| {
+                    u64::from_le_bytes(
+                        buf[off + j * 8..off + (j + 1) * 8].try_into().expect("8B"),
+                    )
+                };
+                let rec = (w(0), w(1), w(2));
+                if !seen.contains(&rec) {
+                    seen.push(rec);
+                }
+            }
+        }
+        for (table, bucket, slot) in seen {
+            let table = TableId(table as u16);
+            let Some(&primary) = self.ctx.map.live_replicas(table, bucket, &dead).first()
+            else {
+                continue;
+            };
+            let addr = self.ctx.map.slot_addr(primary, table, bucket, slot as u32)
+                + SlotLayout::LOCK_OFF;
+            if let Ok(v) = self.qp(primary).read_u64(addr) {
+                if LockWord(v).is_locked() && self.qp(primary).write_u64(addr, 0).is_ok() {
+                    released += 1;
+                }
+            }
+        }
+        // Clear the intent regions (idempotency).
+        for node in self.ctx.map.log_servers(coord) {
+            if dead.contains(&node) {
+                continue;
+            }
+            let region = self.ctx.map.intent_region(node, coord);
+            let _ = self.qp(node).write_u64(region.base, 0);
+        }
+        released
+    }
+
+    // ----------------------------------------------------------------
+    // Coordinator-id recycling (paper §3.1.2 "Recycling coordinator-ids")
+    // ----------------------------------------------------------------
+
+    /// Background mechanism: scan the KVS, release every stray lock owned
+    /// by a failed id (owner-checked CAS — "sufficient to resolve race
+    /// conditions with in-flight transactions"), then clear the failed
+    /// bits so the ids can be reassigned. Returns (locks released, ids
+    /// recycled).
+    pub fn recycle_failed_ids(&self) -> (usize, usize) {
+        let failed: Vec<u16> = self.ctx.failed.iter_failed();
+        if failed.is_empty() {
+            return (0, 0);
+        }
+        let dead = self.ctx.dead_nodes();
+        let mut released = 0;
+        // An incomplete scan must NOT clear the failed bits: a stray lock
+        // in a bucket we failed to read would then masquerade as a live
+        // coordinator's lock forever (unstealable, unreleasable).
+        let mut scan_complete = true;
+        let table_ids: Vec<TableId> = self.ctx.map.tables().map(|t| t.id).collect();
+        for table in table_ids {
+            let def = self.ctx.map.table(table).clone();
+            let layout = def.layout();
+            let mut buf = vec![0u8; def.bucket_bytes() as usize];
+            for bucket in 0..def.buckets {
+                let Some(&primary) =
+                    self.ctx.map.live_replicas(table, bucket, &dead).first()
+                else {
+                    continue;
+                };
+                let addr = self.ctx.map.bucket_addr(primary, table, bucket);
+                if self.qp(primary).read(addr, &mut buf).is_err() {
+                    scan_complete = false;
+                    continue;
+                }
+                let sb = layout.slot_bytes() as usize;
+                for i in 0..def.slots_per_bucket as usize {
+                    let lock_off = i * sb + SlotLayout::LOCK_OFF as usize;
+                    let lock = LockWord(u64::from_le_bytes(
+                        buf[lock_off..lock_off + 8].try_into().expect("8B"),
+                    ));
+                    if lock.is_locked() && failed.contains(&lock.owner()) {
+                        let la = addr + (i as u64) * layout.slot_bytes() + SlotLayout::LOCK_OFF;
+                        if self.qp(primary).cas(la, lock.raw(), 0).is_ok() {
+                            released += 1;
+                        } else {
+                            scan_complete = false;
+                        }
+                    }
+                }
+            }
+        }
+        if !scan_complete {
+            return (released, 0); // ids stay failed; retry recycling later
+        }
+        for id in &failed {
+            self.ctx.failed.clear(*id);
+        }
+        (released, failed.len())
+    }
+}

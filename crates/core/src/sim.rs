@@ -1,0 +1,271 @@
+//! Simulation test-kit: one-call cluster construction used by tests,
+//! examples, the litmus framework, and the benchmark harness.
+
+use std::sync::Arc;
+
+use dkvs::{ClusterMapBuilder, SlotLayout, TableDef, TableId, VersionWord};
+use rdma_sim::{Fabric, FabricConfig, FaultInjector, LatencyModel, RdmaResult};
+
+use crate::config::{BugFlags, ProtocolKind, SystemConfig};
+use crate::context::SharedContext;
+use crate::coordinator::Coordinator;
+use crate::fd::{CoordinatorLease, FailureDetector};
+
+/// Builder for a full simulated DKVS: fabric + layout + shared context +
+/// failure detector.
+pub struct SimClusterBuilder {
+    memory_nodes: u16,
+    capacity_per_node: u64,
+    replication: usize,
+    tables: Vec<TableDef>,
+    config: SystemConfig,
+    latency: LatencyModel,
+    max_coord_slots: u32,
+}
+
+impl SimClusterBuilder {
+    pub fn new(protocol: ProtocolKind) -> SimClusterBuilder {
+        SimClusterBuilder {
+            memory_nodes: 2,
+            capacity_per_node: 64 << 20,
+            replication: 2,
+            tables: Vec::new(),
+            config: SystemConfig::new(protocol),
+            latency: LatencyModel::zero(),
+            max_coord_slots: 1024,
+        }
+    }
+
+    pub fn memory_nodes(mut self, n: u16) -> Self {
+        self.memory_nodes = n;
+        self
+    }
+
+    pub fn capacity_per_node(mut self, bytes: u64) -> Self {
+        self.capacity_per_node = bytes;
+        self
+    }
+
+    /// Replication degree f+1.
+    pub fn replication(mut self, r: usize) -> Self {
+        self.replication = r;
+        self
+    }
+
+    pub fn table(mut self, def: TableDef) -> Self {
+        self.tables.push(def);
+        self
+    }
+
+    pub fn bugs(mut self, bugs: BugFlags) -> Self {
+        self.config.bugs = bugs;
+        self
+    }
+
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    pub fn max_coord_slots(mut self, slots: u32) -> Self {
+        self.max_coord_slots = slots;
+        self
+    }
+
+    pub fn build(self) -> RdmaResult<SimCluster> {
+        let fabric = Fabric::new(FabricConfig {
+            memory_nodes: self.memory_nodes,
+            capacity_per_node: self.capacity_per_node,
+            latency: self.latency,
+        });
+        let mut mb = ClusterMapBuilder::new(self.replication).max_coord_slots(self.max_coord_slots);
+        for t in self.tables {
+            mb = mb.table(t);
+        }
+        let map = mb.build(&fabric)?;
+        let ctx = SharedContext::new(fabric, map, self.config);
+        let fd = FailureDetector::new(Arc::clone(&ctx))?;
+        Ok(SimCluster { ctx, fd })
+    }
+}
+
+/// A running simulated cluster.
+pub struct SimCluster {
+    pub ctx: Arc<SharedContext>,
+    pub fd: Arc<FailureDetector>,
+}
+
+impl SimCluster {
+    pub fn builder(protocol: ProtocolKind) -> SimClusterBuilder {
+        SimClusterBuilder::new(protocol)
+    }
+
+    /// Spawn a coordinator: registers an endpoint, obtains a
+    /// coordinator-id lease from the FD, and connects queue pairs.
+    pub fn coordinator(&self) -> RdmaResult<(Coordinator, CoordinatorLease)> {
+        let endpoint = self.ctx.fabric.register_endpoint();
+        let lease = self.fd.register(endpoint);
+        let co = Coordinator::connect_at(Arc::clone(&self.ctx), lease.coord_id, endpoint)?;
+        Ok((co, lease))
+    }
+
+    /// Setup-path bulk load: writes `(key, value)` pairs straight into
+    /// every replica (no locks, no logs — legitimate before the system
+    /// goes live, exactly like loading a dataset before an experiment).
+    /// Values must match the table's `value_len`.
+    pub fn bulk_load(
+        &self,
+        table: TableId,
+        items: impl IntoIterator<Item = (u64, Vec<u8>)>,
+    ) -> RdmaResult<u64> {
+        let endpoint = self.ctx.fabric.register_endpoint();
+        let injector = FaultInjector::new();
+        let mut qps = Vec::new();
+        for n in self.ctx.fabric.node_ids() {
+            // Setup path: loads never pay the modelled network latency.
+            qps.push(self.ctx.fabric.qp_with_latency(
+                endpoint,
+                n,
+                Arc::clone(&injector),
+                LatencyModel::zero(),
+            )?);
+        }
+        let def = self.ctx.map.table(table).clone();
+        let layout = def.layout();
+        // Deterministic slot assignment per bucket (same on all replicas),
+        // spilling along the probe sequence exactly like live inserts.
+        let mut next_slot: dkvs::hash::FxHashMap<u64, u32> = dkvs::hash::FxHashMap::default();
+        let mut loaded = 0u64;
+        for (key, value) in items {
+            assert_eq!(value.len(), layout.value_len, "value_len mismatch in bulk_load");
+            let home = def.bucket_for(key);
+            let (bucket, slot) = (0..dkvs::table::PROBE_LIMIT.min(def.buckets))
+                .map(|p| (home + p) % def.buckets)
+                .find_map(|b| {
+                    let used = *next_slot.get(&b).unwrap_or(&0);
+                    (used < def.slots_per_bucket).then_some((b, used))
+                })
+                .unwrap_or_else(|| {
+                    panic!("probe range around bucket {home} exhausted in bulk_load — size the table larger")
+                });
+            *next_slot.entry(bucket).or_insert(0) += 1;
+            let mut padded = value;
+            padded.resize(layout.value_padded(), 0);
+            for node in self.ctx.map.replicas(table, bucket) {
+                let base = self.ctx.map.slot_addr(node, table, bucket, slot);
+                let qp = &qps[node.0 as usize];
+                qp.write_u64(base + SlotLayout::KEY_OFF, dkvs::layout::stored_key(key))?;
+                qp.write(base + SlotLayout::VALUE_OFF, &padded)?;
+                qp.write_u64(base + SlotLayout::VERSION_OFF, VersionWord::new(1, false).raw())?;
+            }
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Read a committed value outside any transaction (test assertions).
+    /// Goes through a fresh read-only transaction so it sees only
+    /// consistent state.
+    pub fn peek(&self, table: TableId, key: u64) -> Option<Vec<u8>> {
+        let (mut co, lease) = self.coordinator().ok()?;
+        let result = co.run(|txn| txn.read(table, key));
+        // Throwaway coordinator: return its id/log slot to the pool.
+        self.fd.deregister(lease.coord_id);
+        co.gate().mark_dead();
+        result.ok()?.0
+    }
+
+    /// Raw (non-transactional) inspection of a key's slot on one replica:
+    /// `(lock, version, value)`. Test/debug only — bypasses the protocol.
+    pub fn raw_slot(
+        &self,
+        table: TableId,
+        key: u64,
+        node: rdma_sim::NodeId,
+    ) -> Option<(dkvs::LockWord, VersionWord, Vec<u8>)> {
+        let endpoint = self.ctx.fabric.register_endpoint();
+        let injector = FaultInjector::new();
+        let qp = self
+            .ctx
+            .fabric
+            .qp_with_latency(endpoint, node, injector, LatencyModel::zero())
+            .ok()?;
+        let def = self.ctx.map.table(table);
+        let layout = def.layout();
+        let home = def.bucket_for(key);
+        let mut buf = vec![0u8; def.bucket_bytes() as usize];
+        let sb = layout.slot_bytes() as usize;
+        for p in 0..dkvs::table::PROBE_LIMIT.min(def.buckets) {
+            let bucket = (home + p) % def.buckets;
+            qp.read(self.ctx.map.bucket_addr(node, table, bucket), &mut buf).ok()?;
+            for i in 0..def.slots_per_bucket as usize {
+                let s = &buf[i * sb..(i + 1) * sb];
+                let k = u64::from_le_bytes(s[0..8].try_into().expect("8B"));
+                if k == dkvs::layout::stored_key(key) {
+                    let img = dkvs::SlotImage::parse(layout, &s[SlotLayout::LOCK_OFF as usize..]);
+                    return Some((img.lock, img.version, img.value));
+                }
+            }
+        }
+        None
+    }
+
+    /// The bucket a key actually occupies (following the probe chain on
+    /// the acting primary), or its home bucket if not found.
+    fn bucket_of_key(&self, table: TableId, key: u64) -> u64 {
+        let def = self.ctx.map.table(table);
+        let home = def.bucket_for(key);
+        let dead = self.ctx.dead_nodes();
+        for p in 0..dkvs::table::PROBE_LIMIT.min(def.buckets) {
+            let bucket = (home + p) % def.buckets;
+            let Some(&primary) = self.ctx.map.live_replicas(table, bucket, &dead).first() else {
+                continue;
+            };
+            if self.raw_slot_in_bucket(table, key, bucket, primary).is_some() {
+                return bucket;
+            }
+        }
+        home
+    }
+
+    fn raw_slot_in_bucket(
+        &self,
+        table: TableId,
+        key: u64,
+        bucket: u64,
+        node: rdma_sim::NodeId,
+    ) -> Option<u32> {
+        let endpoint = self.ctx.fabric.register_endpoint();
+        let qp = self
+            .ctx
+            .fabric
+            .qp_with_latency(endpoint, node, FaultInjector::new(), LatencyModel::zero())
+            .ok()?;
+        let def = self.ctx.map.table(table);
+        let layout = def.layout();
+        let mut buf = vec![0u8; def.bucket_bytes() as usize];
+        qp.read(self.ctx.map.bucket_addr(node, table, bucket), &mut buf).ok()?;
+        let sb = layout.slot_bytes() as usize;
+        (0..def.slots_per_bucket as usize).find_map(|i| {
+            let k = u64::from_le_bytes(buf[i * sb..i * sb + 8].try_into().expect("8B"));
+            (k == dkvs::layout::stored_key(key)).then_some(i as u32)
+        })
+    }
+
+    /// The acting primary node for `key` (placement inspection).
+    pub fn primary_node(&self, table: TableId, key: u64) -> rdma_sim::NodeId {
+        let bucket = self.bucket_of_key(table, key);
+        self.ctx.map.live_replicas(table, bucket, &self.ctx.dead_nodes())[0]
+    }
+
+    /// All replica nodes (primary first) for `key`, ignoring failures.
+    pub fn replica_nodes(&self, table: TableId, key: u64) -> Vec<rdma_sim::NodeId> {
+        let bucket = self.bucket_of_key(table, key);
+        self.ctx.map.replicas(table, bucket)
+    }
+}

@@ -1,0 +1,168 @@
+//! Lightweight per-coordinator event tracing.
+//!
+//! A fixed-capacity ring buffer of protocol events, cheap enough to stay
+//! on in tests. The litmus harness attaches one per coordinator and dumps
+//! the interleaved trace when an assertion fails — the "rich trace"
+//! history-based checkers need, but collected only on demand
+//! (paper §5 contrasts this cost with Adya-history frameworks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dkvs::TableId;
+use parking_lot::Mutex;
+
+/// One protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnEvent {
+    Begin { txn_id: u64 },
+    Read { table: TableId, key: u64, found: bool },
+    Lock { table: TableId, key: u64, stolen: bool },
+    LockConflict { table: TableId, key: u64, owner: u16 },
+    Staged { table: TableId, key: u64, kind: &'static str },
+    Validated,
+    ValidationFailed { reason: &'static str },
+    Logged { nodes: usize },
+    Applied { table: TableId, key: u64, node: u16 },
+    Committed { txn_id: u64 },
+    Aborted { txn_id: u64, reason: &'static str },
+    Crashed { txn_id: u64 },
+}
+
+/// A timestamped, coordinator-attributed event.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    pub coord: u16,
+    pub seq: u64,
+    pub at: Instant,
+    pub event: TxnEvent,
+}
+
+/// Shared ring buffer of [`TraceRecord`]s. Multiple coordinators may
+/// append to one tracer; `seq` totally orders records across them.
+pub struct Tracer {
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<Vec<TraceRecord>>,
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Arc<Tracer> {
+        assert!(capacity > 0);
+        Arc::new(Tracer {
+            capacity,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(Vec::with_capacity(capacity)),
+        })
+    }
+
+    /// Append an event for `coord`.
+    pub fn record(&self, coord: u16, event: TxnEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        let rec = TraceRecord { coord, seq, at: Instant::now(), event };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            let idx = (seq % self.capacity as u64) as usize;
+            ring[idx] = rec;
+        } else {
+            ring.push(rec);
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of retained records in global order.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut records = self.ring.lock().clone();
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+
+    /// Render the retained trace for a failure report.
+    pub fn dump(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(records.len() * 48);
+        let t0 = records.first().map(|r| r.at);
+        for r in &records {
+            let dt = t0.map(|t| r.at.duration_since(t)).unwrap_or_default();
+            out.push_str(&format!(
+                "[{:>10?}] seq={:<6} coord={:<4} {:?}\n",
+                dt, r.seq, r.coord, r.event
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_global_order() {
+        let t = Tracer::new(16);
+        t.record(1, TxnEvent::Begin { txn_id: 10 });
+        t.record(2, TxnEvent::Begin { txn_id: 20 });
+        t.record(1, TxnEvent::Committed { txn_id: 10 });
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(snap[0].coord, 1);
+        assert_eq!(snap[1].coord, 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = Tracer::new(4);
+        for i in 0..10u64 {
+            t.record(0, TxnEvent::Begin { txn_id: i });
+        }
+        assert_eq!(t.recorded(), 10);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 4);
+        // The four newest events survive.
+        let ids: Vec<u64> = snap
+            .iter()
+            .map(|r| match r.event {
+                TxnEvent::Begin { txn_id } => txn_id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_is_humane() {
+        let t = Tracer::new(8);
+        t.record(3, TxnEvent::Lock { table: TableId(0), key: 7, stolen: true });
+        t.record(3, TxnEvent::Aborted { txn_id: 1, reason: "LockConflict" });
+        let dump = t.dump();
+        assert!(dump.contains("coord=3"));
+        assert!(dump.contains("stolen: true"));
+        assert!(dump.contains("LockConflict"));
+        assert_eq!(dump.lines().count(), 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = Tracer::new(256);
+        let mut handles = Vec::new();
+        for c in 0..4u16 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    t.record(c, TxnEvent::Begin { txn_id: i });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.recorded(), 400);
+        assert_eq!(t.snapshot().len(), 256);
+    }
+}

@@ -1,0 +1,1170 @@
+//! The transaction: execution, validation, logging, commit/abort
+//! (paper §2.3 for FORD, §3.1.5 for Pandora's phase summary).
+//!
+//! Phase structure implemented here:
+//!
+//! * **Execution** — reads fetch `[key][lock][version][value]` in one
+//!   READ; writes eagerly lock (CAS) the primary and re-read the object
+//!   under the lock (the lock-then-read order forced by RC ordering,
+//!   §3.1.1 "What's the problem?"). Under PILL, a failed CAS whose owner
+//!   is in the failed-ids is *stolen* with a second CAS (§3.1.2).
+//! * **Validation** — every read-set object's `[lock][version]` pair is
+//!   re-read in a single 16 B READ; the object must be unlocked (or
+//!   stray-locked) and version-unchanged (covert-locks fix, §5.1).
+//! * **Logging** — only after validation succeeds (lost-decision fix,
+//!   §3.1.4): Pandora writes the whole write-set with one WRITE per
+//!   designated log server (f+1 total); FORD/Baseline writes per-object
+//!   logs to each object's own replica nodes.
+//! * **Commit** — apply value then version (two ordered verbs, so a
+//!   concurrent reader can never pass validation with a torn value —
+//!   DESIGN §4), ack the client, unlock primaries.
+//! * **Abort** — truncate any logs, unlock **only the locks actually
+//!   acquired** (complicit-aborts fix, §5.1), ack the client.
+
+use dkvs::{LockWord, LogEntry, SlotLayout, SlotRef, TableId, UndoRecord, VersionWord};
+use rdma_sim::{NodeId, RdmaError};
+
+use crate::coordinator::Coordinator;
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A write-set object was locked by a live coordinator.
+    LockConflict,
+    /// A read-set object's version changed before validation.
+    ValidationVersion,
+    /// A read-set object was locked at validation time.
+    ValidationLocked,
+    /// Write/delete of a key that does not exist (or was deleted).
+    NotFound,
+    /// Insert of a key that already exists.
+    AlreadyExists,
+    /// No free slot in the target hash bucket.
+    BucketFull,
+    /// The world was paused for a stop-the-world recovery.
+    Paused,
+    /// Data became unavailable (> f replica failures).
+    MemoryFailure,
+    /// The client explicitly rolled the transaction back.
+    UserAbort,
+    /// The key is outside the supported space (`u64::MAX` is reserved
+    /// as the empty-slot sentinel's complement — see `dkvs::layout`).
+    InvalidKey,
+}
+
+/// Transaction-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The transaction aborted cleanly; the client received an abort-ack.
+    Aborted(AbortReason),
+    /// The coordinator crashed (fault injection): no ack was delivered,
+    /// and remote state (locks, logs, partial updates) is left as-is.
+    Crashed,
+    /// Unhandled fabric error.
+    Rdma(RdmaError),
+}
+
+impl TxnError {
+    pub(crate) fn from_rdma(e: RdmaError) -> TxnError {
+        match e {
+            RdmaError::Crashed => TxnError::Crashed,
+            other => TxnError::Rdma(other),
+        }
+    }
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Aborted(r) => write!(f, "transaction aborted: {r:?}"),
+            TxnError::Crashed => write!(f, "coordinator crashed"),
+            TxnError::Rdma(e) => write!(f, "fabric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClaimOutcome {
+    Winner,
+    LostToClaim,
+    LostToValue,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteKind {
+    Update,
+    Insert,
+    Delete,
+}
+
+pub(crate) struct WriteEntry {
+    pub table: TableId,
+    pub key: u64,
+    pub slot: SlotRef,
+    pub old_version: VersionWord,
+    pub new_version: VersionWord,
+    /// Pre-image, padded (undo).
+    pub old_value: Vec<u8>,
+    /// Post-image, padded.
+    pub new_value: Vec<u8>,
+    pub kind: WriteKind,
+    pub locked: bool,
+}
+
+pub(crate) struct ReadEntry {
+    pub table: TableId,
+    pub key: u64,
+    pub slot: SlotRef,
+    pub version: VersionWord,
+    /// Unpadded value, served on repeated reads.
+    pub value: Vec<u8>,
+}
+
+/// An in-flight transaction. Obtain via [`Coordinator::begin`]; finish
+/// with [`Txn::commit`]. Dropping an unfinished transaction aborts it
+/// (best-effort lock release).
+pub struct Txn<'c> {
+    pub(crate) co: &'c mut Coordinator,
+    txn_id: u64,
+    pub(crate) read_set: Vec<ReadEntry>,
+    pub(crate) write_set: Vec<WriteEntry>,
+    /// Log servers holding this txn's undo entry (for truncation).
+    logged_nodes: Vec<NodeId>,
+    /// True once apply_updates issued its first replica write: from then
+    /// on, error cleanup must leave locks and logs in place for recovery
+    /// (a partial apply can only be repaired from the undo log).
+    apply_started: bool,
+    done: bool,
+}
+
+impl<'c> Txn<'c> {
+    pub(crate) fn new(co: &'c mut Coordinator, txn_id: u64) -> Txn<'c> {
+        Txn {
+            co,
+            txn_id,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            logged_nodes: Vec::new(),
+            apply_started: false,
+            done: false,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.txn_id
+    }
+
+    #[inline]
+    fn check_pause(&mut self) -> Result<(), TxnError> {
+        if self.co.ctx.pause.pause_requested() {
+            return Err(self.abort_now(AbortReason::Paused));
+        }
+        Ok(())
+    }
+
+    fn pad_value(&self, table: TableId, value: &[u8]) -> Vec<u8> {
+        let layout = self.co.map().layout(table);
+        assert_eq!(
+            value.len(),
+            layout.value_len,
+            "value length must match the table's value_len"
+        );
+        let mut v = value.to_vec();
+        v.resize(layout.value_padded(), 0);
+        v
+    }
+
+    // ---------------------------------------------------------------
+    // Execution phase: reads
+    // ---------------------------------------------------------------
+
+    /// Transactional read. `None` = key absent (or deleted).
+    pub fn read(&mut self, table: TableId, key: u64) -> Result<Option<Vec<u8>>, TxnError> {
+        self.check_pause()?;
+        if key == u64::MAX {
+            return Ok(None); // reserved key can never exist
+        }
+        if let Some(w) = self.write_set.iter().find(|w| w.table == table && w.key == key) {
+            let layout = self.co.map().layout(table);
+            return Ok(match w.kind {
+                WriteKind::Delete => None,
+                _ => Some(w.new_value[..layout.value_len].to_vec()),
+            });
+        }
+        if let Some(r) = self.read_set.iter().find(|r| r.table == table && r.key == key) {
+            return Ok(Some(r.value.clone()));
+        }
+        let Some((slot, mut full)) = self.resolve(table, key)? else {
+            // Absent key: no read-set entry is recorded — like FORD, the
+            // protocol offers no phantom protection for absent reads.
+            return Ok(None);
+        };
+        // Retry while locked by a live owner (a locked object is being
+        // committed; its value may be mid-update).
+        let mut tries = 0u32;
+        loop {
+            let lock = full.image.lock;
+            if !lock.is_locked() || self.lock_is_stray(lock) {
+                break;
+            }
+            tries += 1;
+            if tries > self.co.ctx.config.read_lock_retries {
+                return Err(self.abort_now(AbortReason::LockConflict));
+            }
+            if self.co.ctx.pause.pause_requested() {
+                return Err(self.abort_now(AbortReason::Paused));
+            }
+            std::thread::yield_now();
+            let primary = self.co.primary_of(table, slot.bucket)?;
+            full = self.co.read_full_slot(primary, slot)?;
+            if full.key != dkvs::layout::stored_key(key) {
+                // The slot was reclaimed under us; treat as absent.
+                self.co.addr_cache.remove(&(table, key));
+                return Ok(None);
+            }
+        }
+        if !full.image.version.is_present() {
+            return Ok(None);
+        }
+        let layout = self.co.map().layout(table);
+        let value = full.image.value[..layout.value_len].to_vec();
+        self.read_set.push(ReadEntry {
+            table,
+            key,
+            slot,
+            version: full.image.version,
+            value: value.clone(),
+        });
+        Ok(Some(value))
+    }
+
+    /// Client-side range read over a dense key range (the DKVS hash index
+    /// has no order; ReadRange is provided as an API convenience for
+    /// workloads with dense key spaces — see DESIGN.md).
+    pub fn read_range(
+        &mut self,
+        table: TableId,
+        keys: std::ops::Range<u64>,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        let mut out = Vec::new();
+        for key in keys {
+            if let Some(v) = self.read(table, key)? {
+                out.push((key, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// True if `lock` belongs to a coordinator in the failed-ids set
+    /// (PILL only): the lock is *stray* and may be treated as unlocked
+    /// for reads or stolen for writes (paper §3.1.2).
+    fn lock_is_stray(&self, lock: LockWord) -> bool {
+        self.co.ctx.config.pill_active()
+            && lock.is_locked()
+            && self.co.ctx.failed.contains(lock.owner())
+    }
+
+    /// Locate a key: address-cache fast path (one slot READ + key check)
+    /// or bucket READs along the bounded probe sequence
+    /// ([`dkvs::table::PROBE_LIMIT`]).
+    fn resolve(
+        &mut self,
+        table: TableId,
+        key: u64,
+    ) -> Result<Option<(SlotRef, crate::coordinator::FullSlot)>, TxnError> {
+        if let Some(&slot) = self.co.addr_cache.get(&(table, key)) {
+            let primary = self.co.primary_of(table, slot.bucket)?;
+            let full = self.co.read_full_slot(primary, slot)?;
+            if full.key == dkvs::layout::stored_key(key) {
+                return Ok(Some((slot, full)));
+            }
+            self.co.addr_cache.remove(&(table, key));
+        }
+        let (buckets, home) = {
+            let def = self.co.map().table(table);
+            (def.buckets, def.bucket_for(key))
+        };
+        // Collect every matching slot in the probe range: racing inserts
+        // can transiently leave DUPLICATE claims for one key (the claim
+        // CAS protects a slot, not the key), and a crash can strand a
+        // losing claim forever. Prefer a slot with a live value; fall
+        // back to the first (lowest-position) claim — the same
+        // deterministic choice every coordinator makes.
+        let mut first_match: Option<(SlotRef, crate::coordinator::FullSlot)> = None;
+        'probe: for p in 0..dkvs::table::PROBE_LIMIT.min(buckets) {
+            let bucket = (home + p) % buckets;
+            let primary = self.co.primary_of(table, bucket)?;
+            let slots = self.co.read_bucket(primary, table, bucket)?;
+            let mut saw_empty = false;
+            for (i, full) in slots.into_iter().enumerate() {
+                if full.key == dkvs::layout::EMPTY_KEY {
+                    saw_empty = true;
+                    continue;
+                }
+                if full.key == dkvs::layout::stored_key(key) {
+                    let slot = SlotRef { table, bucket, slot: i as u32 };
+                    if full.image.version.raw() != 0 {
+                        // Live or tombstoned value: authoritative slot.
+                        self.co.addr_cache.insert((table, key), slot);
+                        return Ok(Some((slot, full)));
+                    }
+                    if first_match.is_none() {
+                        first_match = Some((slot, full));
+                    }
+                }
+            }
+            if saw_empty {
+                break 'probe; // the key cannot live past an empty slot
+            }
+        }
+        if let Some((slot, full)) = first_match {
+            self.co.addr_cache.insert((table, key), slot);
+            return Ok(Some((slot, full)));
+        }
+        Ok(None)
+    }
+
+    // ---------------------------------------------------------------
+    // Execution phase: writes / inserts / deletes
+    // ---------------------------------------------------------------
+
+    /// Transactional update of an existing key.
+    pub fn write(&mut self, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
+        self.check_pause()?;
+        if key == u64::MAX {
+            return Err(self.abort_now(AbortReason::InvalidKey));
+        }
+        let new_value = self.pad_value(table, value);
+        if self
+            .write_set
+            .iter()
+            .any(|w| w.table == table && w.key == key && w.kind == WriteKind::Delete)
+        {
+            // This txn already deleted the key: it reads as absent, so a
+            // write is NotFound (re-creating it requires an insert).
+            return Err(self.abort_now(AbortReason::NotFound));
+        }
+        if let Some(w) = self.write_set.iter_mut().find(|w| w.table == table && w.key == key) {
+            w.new_value = new_value;
+            return Ok(());
+        }
+        let Some((slot, full)) = self.resolve(table, key)? else {
+            return Err(self.abort_now(AbortReason::NotFound));
+        };
+        if !full.image.version.is_present() && !self.lock_is_stray(full.image.lock) {
+            return Err(self.abort_now(AbortReason::NotFound));
+        }
+        self.stage_locked_write(table, key, slot, full, new_value, WriteKind::Update)
+    }
+
+    /// Transactional insert of a new key.
+    pub fn insert(&mut self, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
+        self.check_pause()?;
+        if key == u64::MAX {
+            return Err(self.abort_now(AbortReason::InvalidKey));
+        }
+        let new_value = self.pad_value(table, value);
+        if let Some(w) = self.write_set.iter_mut().find(|w| w.table == table && w.key == key) {
+            if w.kind != WriteKind::Delete {
+                return Err(self.abort_now(AbortReason::AlreadyExists));
+            }
+            // Insert over this txn's own delete: revive the entry. If the
+            // pre-image was live this nets out to an update; a fresh or
+            // tombstoned slot stays an insert (backups must get the key).
+            w.kind = if w.old_version.is_present() { WriteKind::Update } else { WriteKind::Insert };
+            w.new_version = w.old_version.next_write();
+            w.new_value = new_value;
+            return Ok(());
+        }
+        let (buckets, home) = {
+            let def = self.co.map().table(table);
+            (def.buckets, def.bucket_for(key))
+        };
+
+        // Find the key's slot or claim the earliest free one along the
+        // probe sequence (CAS on the key word).
+        let mut claim_attempts = 0;
+        let (slot, full) = 'claimed: loop {
+            if let Some((slot, full)) = self.resolve(table, key)? {
+                if full.image.version.is_present() {
+                    return Err(self.abort_now(AbortReason::AlreadyExists));
+                }
+                break (slot, full); // tombstone or claimed-but-unwritten: revive
+            }
+            for p in 0..dkvs::table::PROBE_LIMIT.min(buckets) {
+                let bucket = (home + p) % buckets;
+                let primary = self.co.primary_of(table, bucket)?;
+                let slots = self.co.read_bucket(primary, table, bucket)?;
+                let Some(free) = slots.iter().position(|s| s.key == dkvs::layout::EMPTY_KEY) else {
+                    continue; // bucket full; spill to the next
+                };
+                let slot = SlotRef { table, bucket, slot: free as u32 };
+                let key_addr = self.co.map().slot_addr(primary, table, bucket, free as u32);
+                let prev =
+                    self.co
+                    .qp(primary)
+                    .cas(key_addr, dkvs::layout::EMPTY_KEY, dkvs::layout::stored_key(key))
+                    .map_err(TxnError::from_rdma)?;
+                if prev == 0 {
+                    // Claimed — but a racing inserter may have claimed a
+                    // DIFFERENT slot for the same key concurrently (the
+                    // CAS protects a slot, not the key). Re-scan the
+                    // probe range; on a duplicate, the lowest-position
+                    // claim wins (the same deterministic rule resolve()
+                    // uses), and a live value always wins.
+                    match self.dedup_claim(table, key, slot)? {
+                        ClaimOutcome::Winner => {
+                            let full = self.co.read_full_slot(primary, slot)?;
+                            self.co.addr_cache.insert((table, key), slot);
+                            break 'claimed (slot, full);
+                        }
+                        ClaimOutcome::LostToClaim => {
+                            // Our claim was released; retry against the
+                            // winner's slot via resolve().
+                            continue;
+                        }
+                        ClaimOutcome::LostToValue => {
+                            return Err(self.abort_now(AbortReason::AlreadyExists));
+                        }
+                    }
+                }
+                // Lost the race for this slot; restart the whole probe
+                // (the key itself may have been claimed by a peer).
+                break;
+            }
+            claim_attempts += 1;
+            if claim_attempts > dkvs::table::PROBE_LIMIT {
+                return Err(self.abort_now(AbortReason::BucketFull));
+            }
+        };
+        if full.image.version.is_present() {
+            return Err(self.abort_now(AbortReason::AlreadyExists));
+        }
+        self.stage_locked_write(table, key, slot, full, new_value, WriteKind::Insert)
+    }
+
+    /// Transactional delete of an existing key.
+    pub fn delete(&mut self, table: TableId, key: u64) -> Result<(), TxnError> {
+        self.check_pause()?;
+        if key == u64::MAX {
+            return Err(self.abort_now(AbortReason::InvalidKey));
+        }
+        if let Some(pos) =
+            self.write_set.iter().position(|w| w.table == table && w.key == key)
+        {
+            let w = &mut self.write_set[pos];
+            if w.kind == WriteKind::Delete {
+                // Already deleted by this txn: the key reads as absent.
+                return Err(self.abort_now(AbortReason::NotFound));
+            }
+            // Update or Insert nets out to a delete. For an insert the
+            // slot was already claimed; the delete keeps the claim and
+            // tombstones it at commit.
+            w.kind = WriteKind::Delete;
+            w.new_version = w.old_version.next_delete();
+            return Ok(());
+        }
+        let Some((slot, full)) = self.resolve(table, key)? else {
+            return Err(self.abort_now(AbortReason::NotFound));
+        };
+        if !full.image.version.is_present() {
+            return Err(self.abort_now(AbortReason::NotFound));
+        }
+        let old = full.image.value.clone();
+        self.stage_locked_write(table, key, slot, full, old, WriteKind::Delete)
+    }
+
+    /// Resolve duplicate claims for `key` after winning the claim CAS on
+    /// `mine`. Scans the probe range; if another slot holds the same key:
+    /// a slot with a non-zero version wins outright (committed value),
+    /// otherwise the lowest (probe, slot) position wins. A losing claim
+    /// is released by clearing its key word — any racer that already
+    /// locked the losing slot fails the key re-check in
+    /// `stage_locked_write` and aborts cleanly.
+    fn dedup_claim(
+        &mut self,
+        table: TableId,
+        key: u64,
+        mine: SlotRef,
+    ) -> Result<ClaimOutcome, TxnError> {
+        let (buckets, home) = {
+            let def = self.co.map().table(table);
+            (def.buckets, def.bucket_for(key))
+        };
+        let my_pos: Option<(u64, u32)> = (0..dkvs::table::PROBE_LIMIT)
+            .position(|p| (home + p) % buckets == mine.bucket)
+            .map(|p| (p as u64, mine.slot));
+        for p in 0..dkvs::table::PROBE_LIMIT.min(buckets) {
+            let bucket = (home + p) % buckets;
+            let primary = self.co.primary_of(table, bucket)?;
+            let slots = self.co.read_bucket(primary, table, bucket)?;
+            let mut saw_empty = false;
+            for (i, full) in slots.into_iter().enumerate() {
+                let here = SlotRef { table, bucket, slot: i as u32 };
+                if here == mine {
+                    continue;
+                }
+                let their_pos: (u64, u32) = (p, i as u32);
+                if full.key == dkvs::layout::stored_key(key) {
+                    let release_mine = |txn: &Txn<'_>| -> Result<(), TxnError> {
+                        let pm = txn.co.primary_of(table, mine.bucket)?;
+                        let addr =
+                            txn.co.map().slot_addr(pm, table, mine.bucket, mine.slot);
+                        txn.co
+                            .qp(pm)
+                            .write_u64(addr + SlotLayout::KEY_OFF, dkvs::layout::EMPTY_KEY)
+                            .map_err(TxnError::from_rdma)
+                    };
+                    if full.image.version.raw() != 0 {
+                        release_mine(self)?;
+                        return Ok(ClaimOutcome::LostToValue);
+                    }
+                    if my_pos.is_none_or(|mp| their_pos < mp) {
+                        release_mine(self)?;
+                        return Ok(ClaimOutcome::LostToClaim);
+                    }
+                    // We are the lowest so far; the other claimer's own
+                    // dedup pass will release theirs.
+                }
+                if full.key == dkvs::layout::EMPTY_KEY {
+                    saw_empty = true;
+                }
+            }
+            if saw_empty {
+                break;
+            }
+        }
+        Ok(ClaimOutcome::Winner)
+    }
+
+    /// Common tail of write/insert/delete: lock the primary (unless the
+    /// relaxed-locks bug defers locking), re-read under the lock, and
+    /// stage the write-set entry.
+    fn stage_locked_write(
+        &mut self,
+        table: TableId,
+        key: u64,
+        slot: SlotRef,
+        resolve_image: crate::coordinator::FullSlot,
+        new_value: Vec<u8>,
+        kind: WriteKind,
+    ) -> Result<(), TxnError> {
+        let bugs = self.co.ctx.config.bugs;
+
+        // Bug: "Logging without locking" — undo-log before the lock CAS.
+        if bugs.logging_without_locking {
+            self.push_provisional_entry(table, key, slot, &resolve_image, &new_value, kind);
+            self.write_undo_logs()?;
+            self.write_set.pop();
+        }
+
+        if bugs.relaxed_locks {
+            // Bug: locking is deferred to the commit path, *after*
+            // validation has started (paper §5.1, litmus 2).
+            self.push_provisional_entry(table, key, slot, &resolve_image, &new_value, kind);
+            return Ok(());
+        }
+
+        // Traditional scheme: one extra lock-intent logging round trip
+        // per lock, *before* the lock is taken (paper §6.1).
+        if self.co.ctx.config.protocol.uses_lock_intents() {
+            self.push_provisional_entry(table, key, slot, &resolve_image, &new_value, kind);
+            self.write_lock_intents()?;
+            self.write_set.pop();
+        }
+
+        let mut locked = self.try_lock(slot, key)?;
+        if !locked && self.co.ctx.config.stall_on_conflict {
+            // Stall path (§6.4): wait for the lock instead of aborting —
+            // a stray lock resolves only when recovery completes, which
+            // is exactly what the fig. 13/14 sensitivity study measures.
+            let deadline = std::time::Instant::now() + self.co.ctx.config.stall_limit;
+            while !locked && std::time::Instant::now() < deadline {
+                if self.co.ctx.pause.pause_requested() {
+                    return Err(self.abort_now(AbortReason::Paused));
+                }
+                std::thread::yield_now();
+                locked = self.try_lock(slot, key)?;
+            }
+        }
+        if !locked {
+            // FORD's complicit-aborts bug: the failed-to-lock object is
+            // already part of the write-set, and the abort path releases
+            // its lock even though this txn never acquired it (§5.1).
+            if bugs.complicit_abort {
+                self.push_provisional_entry(table, key, slot, &resolve_image, &new_value, kind);
+            }
+            return Err(self.abort_now(AbortReason::LockConflict));
+        }
+        // Re-read under the lock: this is the authoritative pre-image.
+        let primary = self.co.primary_of(table, slot.bucket)?;
+        let full = match self.co.read_full_slot(primary, slot) {
+            Ok(f) => f,
+            Err(e) => {
+                // Leave the lock for recovery if we crashed; otherwise
+                // release it before surfacing the error.
+                if !matches!(e, TxnError::Crashed) {
+                    let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, slot), 0);
+                }
+                return Err(e);
+            }
+        };
+        // The slot must still belong to this key: a racing inserter's
+        // duplicate-claim cleanup can clear a key word between our
+        // resolve and our lock.
+        let key_ok = full.key == dkvs::layout::stored_key(key);
+        let entry_ok = key_ok
+            && match kind {
+                WriteKind::Update => full.image.version.is_present(),
+                WriteKind::Delete => full.image.version.is_present(),
+                WriteKind::Insert => !full.image.version.is_present(),
+            };
+        // Continuity with this txn's own earlier read of the same key.
+        let read_version_ok = self
+            .read_set
+            .iter()
+            .find(|r| r.table == table && r.key == key)
+            .is_none_or(|r| r.version == full.image.version);
+        if !entry_ok || !read_version_ok {
+            let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, slot), 0);
+            let reason = if !key_ok {
+                AbortReason::LockConflict // slot repurposed under us; retryable
+            } else if !read_version_ok {
+                AbortReason::ValidationVersion
+            } else if kind == WriteKind::Insert {
+                AbortReason::AlreadyExists
+            } else {
+                AbortReason::NotFound
+            };
+            return Err(self.abort_now(reason));
+        }
+        let old_version = full.image.version;
+        let new_version = match kind {
+            WriteKind::Delete => old_version.next_delete(),
+            _ => old_version.next_write(),
+        };
+        self.write_set.push(WriteEntry {
+            table,
+            key,
+            slot,
+            old_version,
+            new_version,
+            old_value: pad8(full.image.value.clone()),
+            new_value: if kind == WriteKind::Delete { pad8(full.image.value) } else { new_value },
+            kind,
+            locked: true,
+        });
+
+        // Bug: "Lost decision" — FORD logs during execution, before the
+        // decision, and aborts leave the log behind (paper §3.1.3).
+        if bugs.lost_decision {
+            self.write_undo_logs()?;
+        }
+        Ok(())
+    }
+
+    /// Stage an entry from an *unlocked* resolve image (bug paths and the
+    /// traditional scheme's intent logging use this provisional view).
+    fn push_provisional_entry(
+        &mut self,
+        table: TableId,
+        key: u64,
+        slot: SlotRef,
+        image: &crate::coordinator::FullSlot,
+        new_value: &[u8],
+        kind: WriteKind,
+    ) {
+        let old_version = image.image.version;
+        let new_version = match kind {
+            WriteKind::Delete => old_version.next_delete(),
+            _ => old_version.next_write(),
+        };
+        self.write_set.push(WriteEntry {
+            table,
+            key,
+            slot,
+            old_version,
+            new_version,
+            old_value: pad8(image.image.value.clone()),
+            new_value: if kind == WriteKind::Delete {
+                pad8(image.image.value.clone())
+            } else {
+                new_value.to_vec()
+            },
+            kind,
+            locked: false,
+        });
+    }
+
+    /// CAS-lock the primary of `slot`; steal stray locks under PILL.
+    /// `Ok(false)` = lock conflict with a live owner (caller aborts).
+    fn try_lock(&mut self, slot: SlotRef, key: u64) -> Result<bool, TxnError> {
+        let primary = self.co.primary_of(slot.table, slot.bucket)?;
+        let addr = self.co.lock_addr(primary, slot);
+        let my = self.co.my_lock();
+        let prev = self.co.qp(primary).cas(addr, 0, my.raw()).map_err(TxnError::from_rdma)?;
+        if prev == 0 {
+            self.co.trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: false });
+            return Ok(true);
+        }
+        let prev_lock = LockWord(prev);
+        if self.lock_is_stray(prev_lock) && prev_lock != my {
+            // Steal: one extra CAS, owner-checked so a concurrent thief
+            // cannot double-steal (paper §3.1.2 "How does stealing work?").
+            let got = self
+                .co
+                .qp(primary)
+                .cas(addr, prev, my.raw())
+                .map_err(TxnError::from_rdma)?;
+            if got == prev {
+                self.co.stats.locks_stolen += 1;
+                self.co.trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: true });
+                return Ok(true);
+            }
+        }
+        self.co.trace(crate::trace::TxnEvent::LockConflict {
+            table: slot.table,
+            key,
+            owner: prev_lock.owner(),
+        });
+        Ok(false)
+    }
+
+    // ---------------------------------------------------------------
+    // Validation phase
+    // ---------------------------------------------------------------
+
+    fn validate(&mut self) -> Result<(), AbortReason> {
+        let bugs = self.co.ctx.config.bugs;
+        for i in 0..self.read_set.len() {
+            let (table, key, slot, version) = {
+                let r = &self.read_set[i];
+                (r.table, r.key, r.slot, r.version)
+            };
+            if self.write_set.iter().any(|w| w.table == table && w.key == key) {
+                continue; // protected by our own lock
+            }
+            let primary = self.co.primary_of(table, slot.bucket).map_err(|_| {
+                AbortReason::MemoryFailure
+            })?;
+            let (lock, cur_version) = self
+                .co
+                .read_lock_version(primary, slot)
+                .map_err(|_| AbortReason::ValidationVersion)?;
+            if !bugs.covert_locks {
+                // Covert-locks fix: a locked read-set object means a
+                // concurrent writer holds it — abort (stray locks of
+                // failed coordinators are exempt under PILL).
+                if lock.is_locked() && !self.lock_is_stray(lock) {
+                    return Err(AbortReason::ValidationLocked);
+                }
+            }
+            if cur_version != version {
+                return Err(AbortReason::ValidationVersion);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deferred locking for the relaxed-locks bug: grab the locks *after*
+    /// validation (the buggy interleaving of paper §5.1, litmus 2).
+    fn lock_deferred(&mut self) -> Result<(), TxnError> {
+        for i in 0..self.write_set.len() {
+            if self.write_set[i].locked {
+                continue;
+            }
+            let slot = self.write_set[i].slot;
+            let key = self.write_set[i].key;
+            if !self.try_lock(slot, key)? {
+                return Err(self.abort_now(AbortReason::LockConflict));
+            }
+            self.write_set[i].locked = true;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Logging phase
+    // ---------------------------------------------------------------
+
+    fn undo_records(&self) -> Vec<(WriteKind, UndoRecord)> {
+        self.write_set
+            .iter()
+            .map(|w| {
+                (
+                    w.kind,
+                    UndoRecord {
+                        table: w.table,
+                        key: w.key,
+                        bucket: w.slot.bucket,
+                        slot: w.slot.slot,
+                        old_version: w.old_version,
+                        new_version: w.new_version,
+                        old_value: w.old_value.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Write undo logs. Pandora: one WRITE per designated log server
+    /// (f+1 total, amortizing the whole write-set — §3.1.4). FORD /
+    /// Baseline / Traditional: per-object entries on each object's own
+    /// replica nodes (grouped per node), i.e. ≥ f+1 WRITEs *per object*.
+    fn write_undo_logs(&mut self) -> Result<(), TxnError> {
+        if self.write_set.is_empty() {
+            return Ok(());
+        }
+        let bugs = self.co.ctx.config.bugs;
+        let records: Vec<(WriteKind, UndoRecord)> = self
+            .undo_records()
+            .into_iter()
+            // Missing-actions bug: inserts are not logged (paper §5.1).
+            .filter(|(kind, _)| !(bugs.missing_insert_log && *kind == WriteKind::Insert))
+            .collect();
+        let coord = self.co.coord_id;
+        let dead = self.co.ctx.dead_nodes();
+        self.logged_nodes.clear();
+        if self.co.ctx.config.protocol == crate::config::ProtocolKind::Pandora {
+            let entry = LogEntry {
+                txn_id: self.txn_id,
+                coord,
+                writes: records.into_iter().map(|(_, r)| r).collect(),
+            };
+            let buf = entry.encode();
+            for node in self.co.map().log_servers(coord) {
+                if dead.contains(&node) {
+                    continue;
+                }
+                let region = self.co.map().log_region(node, coord);
+                self.co.qp(node).write(region.base, &buf).map_err(TxnError::from_rdma)?;
+                if self.co.ctx.config.persistence.needs_flush() {
+                    // Selective flush (paper §7): persist the log before
+                    // the commit phase may act on it.
+                    self.co.qp(node).flush(region.base).map_err(TxnError::from_rdma)?;
+                }
+                self.logged_nodes.push(node);
+            }
+        } else {
+            // FORD scheme: each object logged on its own replica nodes.
+            let mut per_node: std::collections::BTreeMap<NodeId, Vec<UndoRecord>> =
+                std::collections::BTreeMap::new();
+            for (_, r) in &records {
+                for node in self.co.map().replicas(r.table, r.bucket) {
+                    if dead.contains(&node) {
+                        continue;
+                    }
+                    per_node.entry(node).or_default().push(r.clone());
+                }
+            }
+            for (node, writes) in per_node {
+                let entry = LogEntry { txn_id: self.txn_id, coord, writes };
+                let region = self.co.map().log_region(node, coord);
+                self.co
+                    .qp(node)
+                    .write(region.base, &entry.encode())
+                    .map_err(TxnError::from_rdma)?;
+                if self.co.ctx.config.persistence.needs_flush() {
+                    self.co.qp(node).flush(region.base).map_err(TxnError::from_rdma)?;
+                }
+                self.logged_nodes.push(node);
+            }
+        }
+        Ok(())
+    }
+
+    /// Traditional scheme: write the lock-intent list (all staged locks,
+    /// including the one about to be taken) to the f+1 log servers —
+    /// "an additional logging round trip for each lock" (paper §6.2.1).
+    fn write_lock_intents(&mut self) -> Result<(), TxnError> {
+        let coord = self.co.coord_id;
+        let dead = self.co.ctx.dead_nodes();
+        let mut buf = Vec::with_capacity(8 + self.write_set.len() * 24);
+        buf.extend_from_slice(&(self.write_set.len() as u64).to_le_bytes());
+        for w in &self.write_set {
+            buf.extend_from_slice(&(w.table.0 as u64).to_le_bytes());
+            buf.extend_from_slice(&w.slot.bucket.to_le_bytes());
+            buf.extend_from_slice(&(w.slot.slot as u64).to_le_bytes());
+        }
+        for node in self.co.map().log_servers(coord) {
+            if dead.contains(&node) {
+                continue;
+            }
+            let region = self.co.map().intent_region(node, coord);
+            self.co.qp(node).write(region.base, &buf).map_err(TxnError::from_rdma)?;
+        }
+        Ok(())
+    }
+
+
+    // ---------------------------------------------------------------
+    // Commit / abort
+    // ---------------------------------------------------------------
+
+    /// Validate, log, apply, ack, unlock. `Ok(())` means the client
+    /// received a commit-ack (updates are applied on all live replicas);
+    /// `Err(Aborted)` means an abort-ack.
+    pub fn commit(mut self) -> Result<(), TxnError> {
+        if self.done {
+            // The txn already aborted through an earlier op error.
+            return Err(TxnError::Aborted(AbortReason::UserAbort));
+        }
+        let result = self.commit_inner();
+        match &result {
+            Ok(()) => {
+                self.co.stats.committed += 1;
+                self.co.trace(crate::trace::TxnEvent::Committed { txn_id: self.txn_id });
+                if let Some(p) = &self.co.probe {
+                    p.commit();
+                }
+            }
+            Err(TxnError::Crashed) => {
+                self.co.trace(crate::trace::TxnEvent::Crashed { txn_id: self.txn_id });
+                self.co.note_crashed()
+            }
+            Err(TxnError::Rdma(_)) | Err(TxnError::Aborted(_)) if self.apply_started => {
+                // Mid-apply failure (e.g. >f replicas lost): some objects
+                // may be updated and some not. Leave locks AND logs in
+                // place — only recovery can restore atomicity from the
+                // undo images; unlocking here would expose a partial
+                // transaction.
+            }
+            Err(TxnError::Rdma(_)) => {
+                // Pre-apply fabric error from a live coordinator: release
+                // the locks and truncate any logs already written, so the
+                // stale entry cannot be mistaken for an in-flight txn by a
+                // later recovery.
+                self.truncate_own_logs();
+                self.unlock_all();
+            }
+            Err(TxnError::Aborted(_)) => {}
+        }
+        self.done = true;
+        self.co.ctx.pause.exit_txn(&self.co.gate);
+        result
+    }
+
+    fn commit_inner(&mut self) -> Result<(), TxnError> {
+        if self.co.injector().is_crashed() {
+            return Err(TxnError::Crashed);
+        }
+        let bugs = self.co.ctx.config.bugs;
+
+        // Validation (relaxed-locks bug: validate before locks are held).
+        if let Err(reason) = self.validate() {
+            return Err(self.abort_now(reason));
+        }
+        if bugs.relaxed_locks {
+            self.lock_deferred()?;
+        }
+
+        // Logging phase — after validation only (lost-decision fix). The
+        // lost-decision bug already logged during execution.
+        if !bugs.lost_decision {
+            self.write_undo_logs()?;
+        }
+
+        // Commit phase: apply to every live replica.
+        self.apply_updates()?;
+
+        // ---- client commit-ack point (paper §2.3: "The client is
+        // notified after the first step") ----
+
+        // Unlock is post-ack: failures here leave stray locks for
+        // recovery but the commit stands. Lock-intent regions are NOT
+        // cleared per-txn — the next transaction's first intent write
+        // overwrites them, and recovery's stop-the-world replay makes
+        // stale intents harmless (releasing an unlocked slot is a no-op,
+        // and every lock still held at replay time is stray). This keeps
+        // the traditional scheme at the paper's "one additional logging
+        // round trip for each lock" (§6.2.1).
+        self.unlock_all();
+        Ok(())
+    }
+
+    fn apply_updates(&mut self) -> Result<(), TxnError> {
+        self.apply_started = !self.write_set.is_empty();
+        let dead = self.co.ctx.dead_nodes();
+        // For NVM: the last-written address per node, flushed once after
+        // all of that node's updates (the *selective* flush scheme — one
+        // flush per touched node, not per write).
+        let mut flush_points: Vec<(NodeId, u64)> = Vec::new();
+        for w in &self.write_set {
+            let replicas = self.co.map().replicas(w.table, w.slot.bucket);
+            let mut any_live = false;
+            for node in replicas {
+                if dead.contains(&node) {
+                    continue;
+                }
+                let base = self.co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
+                let key_word = dkvs::layout::stored_key(w.key).to_le_bytes();
+                let version_word = w.new_version.raw().to_le_bytes();
+                let apply = || -> Result<(), RdmaError> {
+                    // Value first, version second (batched or not): a
+                    // concurrent reader must never validate a torn value.
+                    if self.co.ctx.config.doorbell_batching {
+                        let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(3);
+                        if w.kind == WriteKind::Insert {
+                            batch.push((base + SlotLayout::KEY_OFF, &key_word));
+                        }
+                        if w.kind != WriteKind::Delete {
+                            batch.push((base + SlotLayout::VALUE_OFF, &w.new_value));
+                        }
+                        batch.push((base + SlotLayout::VERSION_OFF, &version_word));
+                        self.co.qp(node).write_batch(&batch)?;
+                        return Ok(());
+                    }
+                    if w.kind == WriteKind::Insert {
+                        self.co.qp(node).write(base + SlotLayout::KEY_OFF, &key_word)?;
+                    }
+                    if w.kind != WriteKind::Delete {
+                        self.co.qp(node).write(base + SlotLayout::VALUE_OFF, &w.new_value)?;
+                    }
+                    self.co.qp(node).write(base + SlotLayout::VERSION_OFF, &version_word)?;
+                    Ok(())
+                };
+                match apply() {
+                    Ok(()) => {
+                        any_live = true;
+                        if self.co.ctx.config.persistence.needs_flush() {
+                            match flush_points.iter_mut().find(|(n, _)| *n == node) {
+                                Some(fp) => fp.1 = base,
+                                None => flush_points.push((node, base)),
+                            }
+                        }
+                    }
+                    Err(RdmaError::NodeDead) => {
+                        // Raced a memory-server death: the memory-failure
+                        // rule commits iff all *live* replicas are updated
+                        // (paper §3.2.5), so a confirmed-dead replica is
+                        // skipped.
+                        if self.co.ctx.fabric.node(node).map(|n| n.is_alive()).unwrap_or(false) {
+                            return Err(TxnError::Rdma(RdmaError::NodeDead));
+                        }
+                    }
+                    Err(e) => return Err(TxnError::from_rdma(e)),
+                }
+            }
+            if !any_live {
+                return Err(TxnError::Aborted(AbortReason::MemoryFailure));
+            }
+        }
+        for (node, addr) in flush_points {
+            self.co.qp(node).flush(addr).map_err(TxnError::from_rdma)?;
+        }
+        Ok(())
+    }
+
+    /// Release all locks this txn actually acquired (post-ack; errors are
+    /// recovery's business).
+    fn unlock_all(&mut self) {
+        let dead = self.co.ctx.dead_nodes();
+        for w in &self.write_set {
+            if !w.locked {
+                continue;
+            }
+            if let Ok(primary) = self.co.primary_of(w.table, w.slot.bucket) {
+                if dead.contains(&primary) {
+                    continue;
+                }
+                let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, w.slot), 0);
+            }
+        }
+    }
+
+    /// Truncate this txn's own undo-log entries (pre-apply cleanup).
+    fn truncate_own_logs(&mut self) {
+        for node in std::mem::take(&mut self.logged_nodes) {
+            let region = self.co.map().log_region(node, self.co.coord_id);
+            let _ = self.co.qp(node).write_u64(region.base, 0);
+        }
+    }
+
+    /// The abort path: truncate logs, release acquired locks, ack.
+    /// (Complicit-aborts bug: blindly release *every* write-set lock.)
+    fn abort_now(&mut self, reason: AbortReason) -> TxnError {
+        let bugs = self.co.ctx.config.bugs;
+        // Truncate any logs written for this txn (Pandora §3.1.5 "First,
+        // the coordinator logs the decision by truncating logs"). The
+        // lost-decision / logging-without-locking bugs skip this — that
+        // is precisely what makes them bugs.
+        if !bugs.lost_decision && !bugs.logging_without_locking {
+            self.truncate_own_logs();
+        }
+        let dead = self.co.ctx.dead_nodes();
+        for w in &self.write_set {
+            let release = w.locked || bugs.complicit_abort;
+            if !release {
+                continue;
+            }
+            if let Ok(primary) = self.co.primary_of(w.table, w.slot.bucket) {
+                if dead.contains(&primary) {
+                    continue;
+                }
+                let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, w.slot), 0);
+            }
+        }
+        if self.co.injector().is_crashed() {
+            self.co.trace(crate::trace::TxnEvent::Crashed { txn_id: self.txn_id });
+            self.co.note_crashed();
+            self.done = true;
+            self.co.ctx.pause.exit_txn(&self.co.gate);
+            return TxnError::Crashed;
+        }
+        self.co.stats.aborted += 1;
+        self.co.trace(crate::trace::TxnEvent::Aborted {
+            txn_id: self.txn_id,
+            reason: abort_reason_name(reason),
+        });
+        if let Some(p) = &self.co.probe {
+            p.abort();
+        }
+        self.done = true;
+        self.co.ctx.pause.exit_txn(&self.co.gate);
+        TxnError::Aborted(reason)
+    }
+
+    /// Explicitly abort (client-requested rollback).
+    pub fn abort(mut self) -> TxnError {
+        self.abort_now(AbortReason::UserAbort)
+    }
+}
+
+fn abort_reason_name(reason: AbortReason) -> &'static str {
+    match reason {
+        AbortReason::LockConflict => "LockConflict",
+        AbortReason::ValidationVersion => "ValidationVersion",
+        AbortReason::ValidationLocked => "ValidationLocked",
+        AbortReason::NotFound => "NotFound",
+        AbortReason::AlreadyExists => "AlreadyExists",
+        AbortReason::BucketFull => "BucketFull",
+        AbortReason::Paused => "Paused",
+        AbortReason::MemoryFailure => "MemoryFailure",
+        AbortReason::UserAbort => "UserAbort",
+        AbortReason::InvalidKey => "InvalidKey",
+    }
+}
+
+/// Pad a raw (unpadded) slot value to the 8-byte boundary the log codec
+/// and WRITE verbs require (same rule as `SlotLayout::value_padded`).
+fn pad8(mut v: Vec<u8>) -> Vec<u8> {
+    v.resize(dkvs::SlotLayout::new(v.len()).value_padded(), 0);
+    v
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            if self.co.injector().is_crashed() {
+                // Power-cut: leave everything in place for recovery.
+                self.co.note_crashed();
+            } else {
+                let _ = self.abort_now(AbortReason::UserAbort);
+            }
+            self.done = true;
+            self.co.ctx.pause.exit_txn(&self.co.gate);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the core crate's integration tests.
+#![allow(dead_code)] // not every test binary uses every helper
+
+use dkvs::{TableDef, TableId};
+use pandora::{ProtocolKind, SimCluster};
+
+pub const KV: TableId = TableId(0);
+pub const VALUE_LEN: usize = 16;
+
+/// A 3-node, f+1=2 cluster with one 16-byte-value table and `n_keys`
+/// preloaded sequential keys whose values encode the key.
+pub fn cluster_with_keys(protocol: ProtocolKind, n_keys: u64) -> SimCluster {
+    let cluster = SimCluster::builder(protocol)
+        .memory_nodes(3)
+        .replication(2)
+        .capacity_per_node(64 << 20)
+        .table(TableDef::sized_for(0, "kv", VALUE_LEN, n_keys.max(64) * 2))
+        .max_coord_slots(64)
+        .build()
+        .expect("build cluster");
+    cluster
+        .bulk_load(KV, (0..n_keys).map(|k| (k, value_for(k, 0))))
+        .expect("bulk load");
+    cluster
+}
+
+/// Deterministic value for (key, generation).
+pub fn value_for(key: u64, generation: u64) -> Vec<u8> {
+    let mut v = vec![0u8; VALUE_LEN];
+    v[0..8].copy_from_slice(&key.to_le_bytes());
+    v[8..16].copy_from_slice(&generation.to_le_bytes());
+    v
+}
+
+/// Decode the generation stamped by [`value_for`].
+pub fn generation_of(value: &[u8]) -> u64 {
+    u64::from_le_bytes(value[8..16].try_into().expect("8B"))
+}
+
+pub const ALL_PROTOCOLS: [ProtocolKind; 3] =
+    [ProtocolKind::Ford, ProtocolKind::Pandora, ProtocolKind::Traditional];

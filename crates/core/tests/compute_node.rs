@@ -1,0 +1,92 @@
+//! Compute-server-granularity failures: many coordinators behind one
+//! endpoint die together, are fenced by one active-link termination, and
+//! are recovered individually (paper Table 2's "coordinators per node").
+
+mod common;
+
+use common::{cluster_with_keys, value_for, KV};
+use pandora::{ComputeNode, ProtocolKind, TxnError};
+
+#[test]
+fn whole_server_crash_kills_every_coordinator() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 64);
+    let mut node =
+        ComputeNode::new(std::sync::Arc::clone(&cluster.ctx), std::sync::Arc::clone(&cluster.fd));
+    let mut coordinators = Vec::new();
+    for _ in 0..4 {
+        let (co, _lease) = node.spawn_coordinator().unwrap();
+        coordinators.push(co);
+    }
+    // Each coordinator transacts fine before the crash.
+    for (i, co) in coordinators.iter_mut().enumerate() {
+        co.run(|txn| txn.write(KV, i as u64, &value_for(i as u64, 1))).unwrap();
+    }
+    node.crash();
+    for co in coordinators.iter_mut() {
+        {
+            let mut txn = co.begin();
+            let err = txn.write(KV, 20, &value_for(20, 2)).unwrap_err();
+            assert_eq!(err, TxnError::Crashed, "shared injector must stop every coordinator");
+        }
+        co.gate().mark_dead();
+    }
+}
+
+#[test]
+fn server_failure_recovers_all_hosted_coordinators() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 64);
+    let mut node =
+        ComputeNode::new(std::sync::Arc::clone(&cluster.ctx), std::sync::Arc::clone(&cluster.fd));
+
+    // Four coordinators, each frozen mid-transaction holding a lock.
+    let mut held_keys = Vec::new();
+    for i in 0..4u64 {
+        let (mut co, _lease) = node.spawn_coordinator().unwrap();
+        let mut txn = co.begin();
+        txn.write(KV, 10 + i, &value_for(10 + i, 1)).unwrap(); // lock held
+        std::mem::forget(txn); // the server will crash with the txn open
+        std::mem::forget(co);
+        held_keys.push(10 + i);
+    }
+    node.crash();
+
+    let reports = node.recover_all();
+    assert_eq!(reports.len(), 4);
+    assert!(reports.iter().all(|r| r.completed));
+
+    // All four coordinator ids are published; their stray locks are
+    // stealable; every held key is writable again.
+    for id in node.coordinator_ids() {
+        assert!(cluster.ctx.failed.contains(id));
+    }
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    for key in held_keys {
+        co2.run(|txn| txn.write(KV, key, &value_for(key, 7))).unwrap();
+        assert_eq!(cluster.peek(KV, key), Some(value_for(key, 7)));
+    }
+    assert_eq!(co2.stats.locks_stolen, 4, "each stray lock is stolen once");
+}
+
+#[test]
+fn one_link_termination_fences_the_whole_server() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 64);
+    let mut node =
+        ComputeNode::new(std::sync::Arc::clone(&cluster.ctx), std::sync::Arc::clone(&cluster.fd));
+    let (mut co_a, lease_a) = node.spawn_coordinator().unwrap();
+    let (mut co_b, _lease_b) = node.spawn_coordinator().unwrap();
+
+    // Only coordinator A is declared failed, but revocation is
+    // endpoint-granular: the whole (suspected) server is fenced.
+    cluster.fd.declare_failed(lease_a.coord_id).unwrap();
+    let mut txn = co_b.begin();
+    let err = txn.write(KV, 5, &value_for(5, 1)).unwrap_err();
+    assert_eq!(
+        err,
+        TxnError::Rdma(rdma_sim::RdmaError::AccessRevoked),
+        "all coordinators of the fenced server lose access"
+    );
+    drop(txn);
+    let mut txn = co_a.begin();
+    let err = txn.write(KV, 6, &value_for(6, 1)).unwrap_err();
+    assert_eq!(err, TxnError::Rdma(rdma_sim::RdmaError::AccessRevoked));
+}

@@ -1,0 +1,160 @@
+//! Failure-detector behaviour: heartbeat detection, monitor thread,
+//! quorum FD, id allocation.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{cluster_with_keys, value_for, KV};
+use pandora::{ProtocolKind, QuorumFd};
+use rdma_sim::{CrashMode, CrashPlan};
+
+#[test]
+fn coordinator_ids_are_unique_and_sequential() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 8);
+    let mut ids = Vec::new();
+    for _ in 0..10 {
+        let (_co, lease) = cluster.coordinator().unwrap();
+        ids.push(lease.coord_id);
+    }
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 10, "ids must be unique: {ids:?}");
+}
+
+#[test]
+fn deregistered_coordinator_is_not_recovered() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 8);
+    let (_co, lease) = cluster.coordinator().unwrap();
+    cluster.fd.deregister(lease.coord_id);
+    assert!(cluster.fd.declare_failed(lease.coord_id).is_none());
+}
+
+#[test]
+fn sweep_detects_stale_heartbeat_and_recovers() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co, lease) = cluster.coordinator().unwrap();
+
+    // Crash while holding a lock.
+    co.run(|txn| txn.read(KV, 3).map(|_| ())).unwrap();
+    let base = co.injector().ops_issued();
+    co.injector().arm(CrashPlan { at_op: base + 2, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co.begin();
+        let _ = txn.write(KV, 3, &value_for(3, 1));
+    }
+
+    // Heartbeats stop; two sweeps separated by more than the timeout.
+    lease.beat();
+    cluster.fd.sweep(Duration::from_millis(5));
+    std::thread::sleep(Duration::from_millis(10));
+    let reports = cluster.fd.sweep(Duration::from_millis(5));
+    assert_eq!(reports.len(), 1, "the stale coordinator must be detected");
+    assert!(cluster.ctx.failed.contains(lease.coord_id));
+    assert_eq!(cluster.fd.alive_count(), 0);
+}
+
+#[test]
+fn monitor_thread_detects_crash_end_to_end() {
+    let cluster = Arc::new(cluster_with_keys(ProtocolKind::Pandora, 64));
+    let monitor = cluster.fd.start_monitor();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    let injector = co.injector();
+    let worker = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                lease.beat();
+                k = (k + 1) % 32;
+                match co.run(|txn| txn.write(KV, k, &value_for(k, 1))) {
+                    Ok(_) => {}
+                    Err(_) => break, // crashed
+                }
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    injector.crash_now();
+    worker.join().unwrap();
+
+    // The monitor (5 ms timeout, 1 ms poll) must pick it up quickly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    loop {
+        if !cluster.fd.reports().is_empty() {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "monitor never detected the crash");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    monitor.stop();
+    let reports = cluster.fd.reports();
+    assert_eq!(reports.len(), 1);
+}
+
+#[test]
+fn quorum_fd_confirms_real_failure() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    co.run(|txn| txn.read(KV, 3).map(|_| ())).unwrap();
+    co.injector().crash_now();
+
+    let qfd = QuorumFd::new(Arc::clone(&cluster.fd), 3);
+    let report = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    assert!(report.is_some(), "a silent coordinator must be declared failed by the quorum");
+}
+
+#[test]
+fn quorum_fd_spares_live_coordinator() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (_co, lease) = cluster.coordinator().unwrap();
+
+    // Keep beating from another thread while the quorum deliberates.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beater = {
+        let stop = Arc::clone(&stop);
+        let lease = lease.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                lease.beat();
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+    let qfd = QuorumFd::new(Arc::clone(&cluster.fd), 3);
+    let report = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    stop.store(true, Ordering::Release);
+    beater.join().unwrap();
+    assert!(report.is_none(), "a beating coordinator must never be declared failed");
+    assert!(!cluster.ctx.failed.contains(lease.coord_id));
+}
+
+#[test]
+fn false_positive_is_safe_under_active_link_termination() {
+    // A *live* coordinator is wrongly declared failed. Cor1: revocation
+    // must fence it before any of its in-flight effects can corrupt
+    // post-recovery state.
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    let mut txn = co.begin();
+    txn.write(KV, 3, &value_for(3, 1)).unwrap(); // holds lock, alive
+
+    // FD wrongly declares it failed (e.g. network hiccup).
+    let report = cluster.fd.declare_failed(lease.coord_id).expect("recovered");
+    let _ = report;
+
+    // The zombie's commit attempt is fenced.
+    let err = txn.commit().unwrap_err();
+    assert!(matches!(err, pandora::TxnError::Rdma(rdma_sim::RdmaError::AccessRevoked)));
+
+    // Another coordinator can take the (recovered or stray) lock and
+    // commit; state stays consistent.
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    co2.run(|txn| txn.write(KV, 3, &value_for(3, 2))).unwrap();
+    assert_eq!(cluster.peek(KV, 3), Some(value_for(3, 2)));
+}

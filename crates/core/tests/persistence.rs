@@ -1,0 +1,123 @@
+//! NVM persistence modes (paper §7): the selective one-sided flush
+//! scheme issues exactly one flush per memory node touched by the
+//! logging and commit phases; battery-backed / volatile-replicated modes
+//! issue none.
+
+mod common;
+
+use common::{value_for, KV};
+use dkvs::TableDef;
+use pandora::{config::PersistenceMode, ProtocolKind, SimCluster, SystemConfig};
+
+fn cluster_with_mode(mode: PersistenceMode) -> SimCluster {
+    let config = SystemConfig::new(ProtocolKind::Pandora).with_persistence(mode);
+    let cluster = SimCluster::builder(ProtocolKind::Pandora)
+        .memory_nodes(3)
+        .replication(2)
+        .capacity_per_node(16 << 20)
+        .table(TableDef::sized_for(0, "kv", 16, 256))
+        .max_coord_slots(64)
+        .config(config)
+        .build()
+        .unwrap();
+    cluster.bulk_load(KV, (0..64u64).map(|k| (k, value_for(k, 0)))).unwrap();
+    cluster
+}
+
+fn total_flushes(co: &pandora::Coordinator) -> u64 {
+    co.op_counters().iter().map(|(_, s)| s.flushes).sum()
+}
+
+#[test]
+fn volatile_and_battery_modes_never_flush() {
+    for mode in [PersistenceMode::VolatileReplicated, PersistenceMode::BatteryBackedDram] {
+        let cluster = cluster_with_mode(mode);
+        let (mut co, _lease) = cluster.coordinator().unwrap();
+        co.run(|txn| {
+            txn.write(KV, 1, &value_for(1, 1))?;
+            txn.write(KV, 2, &value_for(2, 1))
+        })
+        .unwrap();
+        assert_eq!(total_flushes(&co), 0, "{mode:?} must not flush");
+        assert!(!mode.needs_flush());
+    }
+}
+
+#[test]
+fn nvm_mode_flushes_selectively_once_per_touched_node() {
+    let cluster = cluster_with_mode(PersistenceMode::NvmFlush);
+    let (mut co, _lease) = cluster.coordinator().unwrap();
+    // Warm the cache so the measured txn is minimal.
+    co.run(|txn| {
+        txn.read(KV, 1).map(|_| ())?;
+        txn.read(KV, 2).map(|_| ())
+    })
+    .unwrap();
+    let before = total_flushes(&co);
+
+    co.run(|txn| {
+        txn.write(KV, 1, &value_for(1, 1))?;
+        txn.write(KV, 2, &value_for(2, 1))
+    })
+    .unwrap();
+    let flushes = total_flushes(&co) - before;
+
+    // Log phase: one flush per log server (f+1 = 2). Commit phase: one
+    // flush per node hosting a replica of key 1 or 2 — between 2 and 3
+    // nodes on a 3-node cluster. Crucially NOT one per write (the
+    // "selective" property): upper bound 5, lower bound 3.
+    assert!(
+        (3..=5).contains(&flushes),
+        "expected selective flushing (3..=5), got {flushes}"
+    );
+
+    // Correctness is unchanged.
+    assert_eq!(cluster.peek(KV, 1), Some(value_for(1, 1)));
+    assert_eq!(cluster.peek(KV, 2), Some(value_for(2, 1)));
+}
+
+#[test]
+fn nvm_flush_count_is_per_node_not_per_write() {
+    let cluster = cluster_with_mode(PersistenceMode::NvmFlush);
+    let (mut co, _lease) = cluster.coordinator().unwrap();
+    co.run(|txn| {
+        for k in 0..8 {
+            txn.read(KV, k).map(|_| ())?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let before = total_flushes(&co);
+    // 8 writes → 16 replica updates, but flushes stay bounded by the
+    // node count (3) + log servers (2).
+    co.run(|txn| {
+        for k in 0..8 {
+            txn.write(KV, k, &value_for(k, 2))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let flushes = total_flushes(&co) - before;
+    assert!(flushes <= 5, "selective flush must scale with nodes, not writes: {flushes}");
+}
+
+#[test]
+fn recovery_works_under_nvm_mode() {
+    use rdma_sim::{CrashMode, CrashPlan};
+    let cluster = cluster_with_mode(PersistenceMode::NvmFlush);
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    co.run(|txn| txn.read(KV, 5).map(|_| ())).unwrap();
+    let base = co.injector().ops_issued();
+    // NVM op layout shifts (flush verbs); crash somewhere mid-commit.
+    co.injector().arm(CrashPlan { at_op: base + 9, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co.begin();
+        let _ = txn.write(KV, 5, &value_for(5, 1)).and_then(|()| txn.commit());
+    }
+    co.gate().mark_dead();
+    let report = cluster.fd.declare_failed(lease.coord_id).expect("recovered");
+    assert!(report.completed);
+    // Atomic outcome either way.
+    let v = cluster.peek(KV, 5).expect("key");
+    assert!(v == value_for(5, 0) || v == value_for(5, 1));
+}

@@ -1,0 +1,458 @@
+//! Compute-failure recovery (C3) behaviour: stray locks, PILL stealing,
+//! roll-back/roll-forward decisions, idempotency, active-link
+//! termination, and the Baseline/Traditional recovery paths.
+//!
+//! Crash points are op-indexed. For a single-write transaction with a
+//! warm address cache the verb sequence is:
+//!
+//! ```text
+//! 1 resolve READ   2 lock CAS   3 re-read under lock
+//! commit: 4..5 log WRITEs (f+1=2)   6..9 value+version per replica
+//! 10 unlock WRITE
+//! ```
+
+mod common;
+
+use common::{cluster_with_keys, value_for, KV};
+use pandora::{AbortReason, ProtocolKind, SimCluster, TxnError};
+use rdma_sim::{CrashMode, CrashPlan, RdmaError};
+
+/// Run a warm-up read of `key` (fills the address cache) and return the
+/// coordinator's op count afterwards.
+fn warm_up(co: &mut pandora::Coordinator, key: u64) -> u64 {
+    co.run(|txn| txn.read(KV, key).map(|_| ())).unwrap();
+    co.injector().ops_issued()
+}
+
+/// Crash `co` at `base + offset` (1-based within the next txn) and run a
+/// single-write txn of (key → generation). Returns the txn result.
+fn crash_single_write(
+    cluster: &SimCluster,
+    co: &mut pandora::Coordinator,
+    key: u64,
+    offset: u64,
+    mode: CrashMode,
+) -> Result<(), TxnError> {
+    let base = warm_up(co, key);
+    co.injector().arm(CrashPlan { at_op: base + offset, mode });
+    let mut txn = co.begin();
+    let _ = cluster; // cluster is kept alive by the caller
+    txn.write(KV, key, &value_for(key, 1)).and_then(|()| txn.commit())
+}
+
+#[test]
+fn notlogged_stray_lock_is_stolen_after_notification() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+
+    // Crash right after the lock CAS lands: a NotLogged-Stray-Tx.
+    let err = crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
+    assert_eq!(err, TxnError::Crashed);
+    let primary = cluster.primary_node(KV, 5);
+    let (lock, _, _) = cluster.raw_slot(KV, 5, primary).unwrap();
+    assert!(lock.is_locked(), "stray lock must remain");
+    assert_eq!(lock.owner(), l1.coord_id);
+
+    // Before the stray-lock notification the lock is NOT stealable.
+    {
+        let mut t2 = co2.begin();
+        let err = t2.write(KV, 5, &value_for(5, 2)).unwrap_err();
+        assert_eq!(err, TxnError::Aborted(AbortReason::LockConflict));
+    }
+
+    // Recovery: no logs, so nothing rolls; notification enables stealing.
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 0);
+    assert!(cluster.ctx.failed.contains(l1.coord_id));
+
+    co2.run(|txn| txn.write(KV, 5, &value_for(5, 2))).unwrap();
+    assert_eq!(co2.stats.locks_stolen, 1, "the write must have stolen the stray lock");
+    assert_eq!(cluster.peek(KV, 5), Some(value_for(5, 2)));
+}
+
+#[test]
+fn stray_lock_does_not_block_reads_after_notification() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
+    cluster.fd.declare_failed(l1.coord_id).unwrap();
+
+    // Reads treat the stray lock as unlocked (paper §3.1.2) — even in
+    // the validation phase.
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    let (v, aborts) = co2.run(|txn| txn.read(KV, 5)).unwrap();
+    assert_eq!(v, Some(value_for(5, 0)));
+    assert_eq!(aborts, 0, "stray locks must not force read aborts");
+}
+
+#[test]
+fn midcommit_crash_rolls_back_partial_updates() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    // Crash after replica 1 is fully updated (value+version) but before
+    // replica 2: op 7.
+    let err = crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+    assert_eq!(err, TxnError::Crashed);
+
+    // One replica new, one old — inconsistent until recovery.
+    let replicas = cluster.replica_nodes(KV, 9);
+    let v0 = cluster.raw_slot(KV, 9, replicas[0]).unwrap().1;
+    let v1 = cluster.raw_slot(KV, 9, replicas[1]).unwrap().1;
+    assert_ne!(v0, v1, "crash point must leave replicas diverged");
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 1);
+    assert_eq!(report.rolled_back, 1);
+    assert_eq!(report.rolled_forward, 0);
+
+    // Pre-image restored everywhere, lock released.
+    for node in cluster.replica_nodes(KV, 9) {
+        let (lock, version, value) = cluster.raw_slot(KV, 9, node).unwrap();
+        assert!(!lock.is_locked());
+        assert_eq!(version.counter(), 1, "back to the loaded version");
+        assert_eq!(&value[..16], value_for(9, 0).as_slice());
+    }
+    assert_eq!(cluster.peek(KV, 9), Some(value_for(9, 0)));
+}
+
+#[test]
+fn fully_applied_crash_rolls_forward() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    // Crash at the unlock (BeforeOp op 10): every replica updated, the
+    // client ack was sent — commit() returns Ok despite the crash.
+    let res = crash_single_write(&cluster, &mut co1, 11, 10, CrashMode::BeforeOp);
+    assert!(res.is_ok(), "post-ack crash must still report commit: {res:?}");
+
+    let primary = cluster.primary_node(KV, 11);
+    let (lock, _, _) = cluster.raw_slot(KV, 11, primary).unwrap();
+    assert!(lock.is_locked(), "crash before unlock leaves the lock");
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 1);
+    assert_eq!(report.rolled_forward, 1, "acked txn must be rolled forward (Cor3)");
+    assert_eq!(report.rolled_back, 0);
+
+    // The committed value survives; lock released.
+    assert_eq!(cluster.peek(KV, 11), Some(value_for(11, 1)));
+    let (lock, _, _) = cluster.raw_slot(KV, 11, primary).unwrap();
+    assert!(!lock.is_locked());
+}
+
+#[test]
+fn crash_between_log_writes_rolls_back() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    // Crash after the first of two log writes (op 4): the txn is Logged
+    // (one valid copy exists) but never started its commit phase.
+    crash_single_write(&cluster, &mut co1, 13, 4, CrashMode::AfterOp).unwrap_err();
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 1);
+    assert_eq!(report.rolled_back, 1, "no update landed → roll back");
+    assert_eq!(cluster.peek(KV, 13), Some(value_for(13, 0)));
+    let primary = cluster.primary_node(KV, 13);
+    assert!(!cluster.raw_slot(KV, 13, primary).unwrap().0.is_locked());
+}
+
+#[test]
+fn torn_log_write_is_treated_as_not_logged() {
+    // MidWrite crash on the FIRST log write (op 4): the region holds a
+    // half-written entry whose checksum canary fails. Recovery must
+    // treat the txn as NotLogged — safe, because a torn log write means
+    // the commit phase never started (no updates anywhere).
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    let err = crash_single_write(&cluster, &mut co1, 17, 4, CrashMode::MidWrite).unwrap_err();
+    assert_eq!(err, TxnError::Crashed);
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 0, "a torn entry must fail the canary");
+
+    // Values untouched; the stray lock on key 17 is stealable.
+    assert_eq!(cluster.peek(KV, 17), Some(value_for(17, 0)));
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    co2.run(|txn| txn.write(KV, 17, &value_for(17, 2))).unwrap();
+    assert_eq!(co2.stats.locks_stolen, 1);
+}
+
+#[test]
+fn torn_value_write_is_rolled_back() {
+    // MidWrite crash on a commit-phase value write (op 6): half the new
+    // value landed on replica 1 with the version still old. The txn is
+    // logged, so recovery rolls it back, rewriting the full pre-image
+    // over the torn bytes.
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 18, 6, CrashMode::MidWrite).unwrap_err();
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 1);
+    assert_eq!(report.rolled_back, 1);
+    for node in cluster.replica_nodes(KV, 18) {
+        let (_, version, value) = cluster.raw_slot(KV, 18, node).unwrap();
+        assert_eq!(version.counter(), 1);
+        assert_eq!(&value[..16], value_for(18, 0).as_slice(), "torn bytes must be repaired");
+    }
+}
+
+#[test]
+fn stale_committed_log_entry_is_ignored_by_recovery() {
+    // Commits do not truncate their logs, so a crash between the log
+    // writes of the NEXT transaction leaves the old committed entry on
+    // one log server and the new entry on the other. Recovery must act
+    // only on the newest entry: treating the stale one as a
+    // Logged-Stray-Tx would CAS-unlock pill(coord) locks that the *new*
+    // unresolved transaction still holds.
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+
+    // Txn N commits on key 21 (its log entry stays behind).
+    co1.run(|txn| txn.write(KV, 21, &value_for(21, 1))).unwrap();
+
+    // Txn N+1 writes key 21 again and crashes after the FIRST of its
+    // two log writes: server 0 holds N+1's entry, server 1 still holds
+    // N's committed entry.
+    let base = co1.injector().ops_issued();
+    co1.injector().arm(CrashPlan { at_op: base + 4, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co1.begin();
+        let err = txn.write(KV, 21, &value_for(21, 2)).and_then(|()| txn.commit()).unwrap_err();
+        assert_eq!(err, TxnError::Crashed);
+    }
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 1, "only the newest entry may be resolved");
+    assert_eq!(report.rolled_back, 1, "N+1 never applied; it rolls back");
+    assert_eq!(report.rolled_forward, 0, "the stale committed entry must be ignored");
+
+    // Txn N's committed value survives and the key is free again.
+    assert_eq!(cluster.peek(KV, 21), Some(value_for(21, 1)));
+    let primary = cluster.primary_node(KV, 21);
+    assert!(!cluster.raw_slot(KV, 21, primary).unwrap().0.is_locked());
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+
+    let rc = cluster.fd.recovery();
+    let r1 = rc.recover_pandora(l1.coord_id, l1.endpoint);
+    assert_eq!(r1.rolled_back, 1);
+    // Re-execute the whole recovery (paper §3.2.3): logs were truncated,
+    // so the second run finds nothing and changes nothing.
+    let r2 = rc.recover_pandora(l1.coord_id, l1.endpoint);
+    assert_eq!(r2.logged_txns, 0);
+    assert_eq!(cluster.peek(KV, 9), Some(value_for(9, 0)));
+}
+
+#[test]
+fn active_link_termination_blocks_failed_server() {
+    // Cor1: after recovery starts, the (possibly falsely) suspected
+    // server cannot touch memory, even if it comes back to life.
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
+    cluster.fd.declare_failed(l1.coord_id).unwrap();
+
+    // "Zombie" resurrection: clear the injector and try to write.
+    co1.injector().reset();
+    let mut txn = co1.begin();
+    let err = txn.write(KV, 6, &value_for(6, 9)).unwrap_err();
+    assert_eq!(err, TxnError::Rdma(RdmaError::AccessRevoked));
+}
+
+#[test]
+fn logged_stray_locks_are_not_stolen_only_resolved() {
+    // Cor4: logged txns' locks must be cleaned by recovery, not stolen —
+    // recovery runs before the failed-id bit is set, so there is no
+    // window where a thief could observe the bit and steal a logged lock.
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+
+    // The bit is unset before recovery; a conflicting writer aborts.
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    {
+        let mut t2 = co2.begin();
+        assert_eq!(
+            t2.write(KV, 9, &value_for(9, 5)).unwrap_err(),
+            TxnError::Aborted(AbortReason::LockConflict)
+        );
+    }
+    cluster.fd.declare_failed(l1.coord_id).unwrap();
+    // After recovery the lock is *released* (not stray), so the write
+    // proceeds without stealing.
+    co2.run(|txn| txn.write(KV, 9, &value_for(9, 5))).unwrap();
+    assert_eq!(co2.stats.locks_stolen, 0);
+    assert_eq!(cluster.peek(KV, 9), Some(value_for(9, 5)));
+}
+
+#[test]
+fn baseline_recovery_scans_and_releases_stray_locks() {
+    let cluster = cluster_with_keys(ProtocolKind::Ford, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    // FORD has the same warm-cache op layout; crash holding the lock.
+    crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert!(report.locks_released >= 1, "the scan must find the stray lock");
+
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    co2.run(|txn| txn.write(KV, 5, &value_for(5, 2))).unwrap();
+    assert_eq!(cluster.peek(KV, 5), Some(value_for(5, 2)));
+}
+
+#[test]
+fn baseline_midcommit_crash_rolls_back_via_logs() {
+    let cluster = cluster_with_keys(ProtocolKind::Ford, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.rolled_back, 1);
+    assert_eq!(cluster.peek(KV, 9), Some(value_for(9, 0)));
+}
+
+#[test]
+fn traditional_recovery_replays_lock_intents_without_scan() {
+    let cluster = cluster_with_keys(ProtocolKind::Traditional, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    // Traditional op layout: resolve(1), intent×2(2,3), lock CAS(4).
+    let base = warm_up(&mut co1, 5);
+    co1.injector().arm(CrashPlan { at_op: base + 4, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co1.begin();
+        let err = txn.write(KV, 5, &value_for(5, 1)).unwrap_err();
+        assert_eq!(err, TxnError::Crashed);
+    }
+    let primary = cluster.primary_node(KV, 5);
+    assert!(cluster.raw_slot(KV, 5, primary).unwrap().0.is_locked());
+
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.locks_released, 1, "intent replay must release exactly the stray lock");
+
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    co2.run(|txn| txn.write(KV, 5, &value_for(5, 2))).unwrap();
+    assert_eq!(cluster.peek(KV, 5), Some(value_for(5, 2)));
+}
+
+#[test]
+fn recycling_releases_stray_locks_and_frees_ids() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
+    cluster.fd.declare_failed(l1.coord_id).unwrap();
+    assert!(cluster.ctx.failed.contains(l1.coord_id));
+
+    let (released, recycled) = cluster.fd.recovery().recycle_failed_ids();
+    assert_eq!(released, 1, "the NotLogged stray lock is released by the scan");
+    assert_eq!(recycled, 1);
+    assert!(!cluster.ctx.failed.contains(l1.coord_id));
+
+    // Now the lock is simply free — no stealing involved.
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    co2.run(|txn| txn.write(KV, 5, &value_for(5, 2))).unwrap();
+    assert_eq!(co2.stats.locks_stolen, 0);
+}
+
+#[test]
+fn live_coordinators_commit_during_pandora_recovery() {
+    // The headline property: recovery of a failed peer never pauses live,
+    // non-conflicting coordinators.
+    let cluster = std::sync::Arc::new(cluster_with_keys(ProtocolKind::Pandora, 64));
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let worker = {
+        let cluster = std::sync::Arc::clone(&cluster);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut co, _lease) = cluster.coordinator().unwrap();
+            let mut committed = 0u64;
+            let mut k = 10u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                k = 10 + (k + 1) % 50;
+                if co.run(|txn| txn.write(KV, k, &value_for(k, 1))).is_ok() {
+                    committed += 1;
+                }
+            }
+            committed
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let committed = worker.join().unwrap();
+    assert!(committed > 0, "live coordinator must keep committing");
+    assert!(report.total < std::time::Duration::from_secs(1));
+}
+
+#[test]
+fn multi_write_txn_rolls_back_atomically() {
+    // A txn writing 3 keys crashes mid-commit; recovery must restore all
+    // or none (Cor2).
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    // Warm the cache for 3 keys.
+    co1.run(|txn| {
+        for k in [20u64, 21, 22] {
+            txn.read(KV, k).map(|_| ())?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let base = co1.injector().ops_issued();
+    // Ops: 3 keys × (resolve, lock, re-read) = 9; logs 2; applies 3×4=12;
+    // unlocks 3. Crash inside the applies: op 9+2+5 = 16.
+    co1.injector().arm(CrashPlan { at_op: base + 16, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co1.begin();
+        let r = (|| {
+            for k in [20u64, 21, 22] {
+                txn.write(KV, k, &value_for(k, 1))?;
+            }
+            Ok(())
+        })();
+        let err = r.and_then(|()| txn.commit());
+        assert_eq!(err.unwrap_err(), TxnError::Crashed);
+    }
+    cluster.fd.declare_failed(l1.coord_id).unwrap();
+    for k in [20u64, 21, 22] {
+        assert_eq!(cluster.peek(KV, k), Some(value_for(k, 0)), "key {k} must be rolled back");
+    }
+}
+
+#[test]
+fn insert_crash_rolls_back_to_absent() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    let key = 9000u64;
+    // Insert ops (cold): resolve bucket read(1), re-scan bucket(2) —
+    // resolve miss then explicit bucket read — claim CAS(3), read-back(4),
+    // lock CAS(5), re-read(6); commit: logs(7,8), apply key+value+version
+    // ×2 replicas (9..14), unlock(15). Crash mid-apply at op 11.
+    let base = co1.injector().ops_issued();
+    co1.injector().arm(CrashPlan { at_op: base + 11, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co1.begin();
+        let err = txn
+            .insert(KV, key, &value_for(key, 1))
+            .and_then(|()| txn.commit())
+            .unwrap_err();
+        assert_eq!(err, TxnError::Crashed);
+    }
+    let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
+    assert_eq!(report.logged_txns, 1);
+    assert_eq!(report.rolled_back, 1);
+    assert_eq!(cluster.peek(KV, key), None, "rolled-back insert must stay absent");
+    // And the key is re-insertable afterwards.
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    co2.run(|txn| txn.insert(KV, key, &value_for(key, 2))).unwrap();
+    assert_eq!(cluster.peek(KV, key), Some(value_for(key, 2)));
+}

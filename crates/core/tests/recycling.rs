@@ -1,0 +1,89 @@
+//! Coordinator-id recycling at the 95% threshold (paper §3.1.2):
+//! "we implemented a background mechanism that scans the memory and
+//! unlocks all stray locks, allowing to recycle failed coordinator-ids.
+//! FD triggers this mechanism if more than 95% of available
+//! coordinator-ids are used."
+
+mod common;
+
+use common::{cluster_with_keys, value_for, KV};
+use dkvs::MAX_COORDINATORS;
+use pandora::ProtocolKind;
+use rdma_sim::{CrashMode, CrashPlan};
+
+#[test]
+fn exhaustion_threshold_triggers_recycling() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 64);
+
+    // A coordinator fails holding a NotLogged stray lock.
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    co1.run(|txn| txn.read(KV, 5).map(|_| ())).unwrap();
+    let base = co1.injector().ops_issued();
+    co1.injector().arm(CrashPlan { at_op: base + 2, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co1.begin();
+        let _ = txn.write(KV, 5, &value_for(5, 1));
+    }
+    cluster.fd.declare_failed(l1.coord_id).unwrap();
+    assert!(cluster.ctx.failed.contains(l1.coord_id));
+    let primary = cluster.primary_node(KV, 5);
+    assert!(cluster.raw_slot(KV, 5, primary).unwrap().0.is_locked(), "stray lock parked");
+
+    // Fast-forward the id space past 95%; the next registration must
+    // trigger the recycling scan: the failed bit is cleared, the stray
+    // lock released, and the dead id returns to the free pool.
+    cluster.fd.advance_id_space((MAX_COORDINATORS * 96 / 100) as u32);
+    let (_co2, lease2) = cluster.coordinator().unwrap();
+
+    assert!(
+        !cluster.ctx.failed.contains(l1.coord_id),
+        "recycling must clear the failed bit"
+    );
+    assert!(
+        !cluster.raw_slot(KV, 5, primary).unwrap().0.is_locked(),
+        "recycling must release the stray lock"
+    );
+    // The recycled id is reused for new registrations (free pool first).
+    assert_eq!(
+        lease2.coord_id, l1.coord_id,
+        "the freed id must be handed out again"
+    );
+
+    // And the object is simply writable — no stealing involved.
+    let (mut co3, _l3) = cluster.coordinator().unwrap();
+    co3.run(|txn| txn.write(KV, 5, &value_for(5, 2))).unwrap();
+    assert_eq!(co3.stats.locks_stolen, 0);
+    assert_eq!(cluster.peek(KV, 5), Some(value_for(5, 2)));
+}
+
+#[test]
+fn recycling_is_safe_against_inflight_lock_holders() {
+    // The recycling scan uses owner-checked CAS, so a *live* lock of a
+    // failed-then-raced owner is never clobbered — here we verify the
+    // simpler invariant: a live coordinator's lock survives the scan.
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 64);
+    let (mut co_live, _ll) = cluster.coordinator().unwrap();
+    let mut live_txn = co_live.begin();
+    live_txn.write(KV, 9, &value_for(9, 1)).unwrap(); // live lock on key 9
+
+    // An unrelated failed coordinator parks a stray lock on key 11.
+    let (mut co_dead, ld) = cluster.coordinator().unwrap();
+    co_dead.run(|txn| txn.read(KV, 11).map(|_| ())).unwrap();
+    let base = co_dead.injector().ops_issued();
+    co_dead.injector().arm(CrashPlan { at_op: base + 2, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co_dead.begin();
+        let _ = txn.write(KV, 11, &value_for(11, 1));
+    }
+    cluster.fd.declare_failed(ld.coord_id).unwrap();
+
+    let (released, recycled) = cluster.fd.recovery().recycle_failed_ids();
+    assert_eq!(released, 1, "only the stray lock is released");
+    assert_eq!(recycled, 1);
+
+    // The live transaction still holds its lock and commits fine.
+    let primary = cluster.primary_node(KV, 9);
+    assert!(cluster.raw_slot(KV, 9, primary).unwrap().0.is_locked());
+    live_txn.commit().unwrap();
+    assert_eq!(cluster.peek(KV, 9), Some(value_for(9, 1)));
+}

@@ -1,0 +1,155 @@
+//! Fast non-cryptographic hashing for 8-byte keys and compute-side caches.
+//!
+//! An in-tree FxHash-style mixer: the workloads hash hundreds of millions
+//! of integer keys, where SipHash's HashDoS protection is pure overhead
+//! (this follows the perf-guide recommendation; implemented here rather
+//! than pulling an extra dependency).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Single-shot mix of a u64 (used for bucket selection and placement).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer: excellent avalanche for sequential keys.
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a (table, key) pair to a bucket index in `[0, buckets)`.
+#[inline]
+pub fn bucket_of(table_salt: u64, key: u64, buckets: u64) -> u64 {
+    debug_assert!(buckets > 0);
+    mix64(key ^ table_salt.rotate_left(32)) % buckets
+}
+
+/// FxHash-style streaming hasher for compute-side `HashMap`s.
+#[derive(Default, Clone)]
+pub struct FxStyleHasher {
+    hash: u64,
+}
+
+impl Hasher for FxStyleHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+impl FxStyleHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+/// `BuildHasher` for [`FxStyleHasher`]; use as
+/// `HashMap<K, V, FxBuildHasher>`.
+pub type FxBuildHasher = BuildHasherDefault<FxStyleHasher>;
+
+/// A `HashMap` keyed with the fast in-tree hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// FNV-1a over a byte slice; used as the log-entry checksum canary
+/// (detects torn log writes, paper §3.2.3 / DESIGN §4).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_avalanches_sequential_keys() {
+        // Sequential keys must not land in sequential buckets.
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a.wrapping_sub(b), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bucket_of_is_in_range_and_spread() {
+        let buckets = 128;
+        let mut histogram = vec![0usize; buckets as usize];
+        for key in 0..10_000u64 {
+            let b = bucket_of(7, key, buckets);
+            assert!(b < buckets);
+            histogram[b as usize] += 1;
+        }
+        // Every bucket should get something close to 10_000/128 ≈ 78.
+        let min = *histogram.iter().min().unwrap();
+        let max = *histogram.iter().max().unwrap();
+        assert!(min > 30, "worst bucket underloaded: {min}");
+        assert!(max < 160, "worst bucket overloaded: {max}");
+    }
+
+    #[test]
+    fn table_salt_separates_tables() {
+        let same_key_t1 = bucket_of(1, 42, 1024);
+        let same_key_t2 = bucket_of(2, 42, 1024);
+        // Not a hard guarantee per-key, but with these constants it holds,
+        // and it documents the intent of salting.
+        assert_ne!(same_key_t1, same_key_t2);
+    }
+
+    #[test]
+    fn fx_map_works_for_u64_pairs() {
+        let mut m: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i * 2), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(7, 14)], 7);
+    }
+
+    #[test]
+    fn fnv1a_detects_single_byte_corruption() {
+        let data = b"pandora log entry payload";
+        let mut corrupted = data.to_vec();
+        corrupted[3] ^= 0x40;
+        assert_ne!(fnv1a(data), fnv1a(&corrupted));
+    }
+}

@@ -1,0 +1,284 @@
+//! On-wire/in-memory word formats: object slots, lock words, version words.
+//!
+//! All remote layout is 8-byte-word granular (the simulator — like RDMA
+//! atomics — only guarantees word atomicity).
+
+/// The key word of an empty (never-claimed) slot.
+pub const EMPTY_KEY: u64 = 0;
+
+/// Encode an application key for storage in a slot's key word. `0` is
+/// reserved as the empty-slot sentinel, so stored keys are `key + 1` —
+/// application key 0 is valid, application key `u64::MAX` is not.
+#[inline]
+pub fn stored_key(key: u64) -> u64 {
+    key.checked_add(1).expect("key u64::MAX is reserved")
+}
+
+/// Width of the coordinator-id carried in PILL lock words (paper §3.1.2:
+/// "we use 16 bits to represent coordinator-ids, allowing for 64K compute
+/// servers to join over the lifetime of the system").
+pub const COORD_ID_BITS: u32 = 16;
+
+/// Total coordinator-id space (64 K).
+pub const MAX_COORDINATORS: usize = 1 << COORD_ID_BITS;
+
+const LOCK_BIT: u64 = 1 << 63;
+const COORD_MASK: u64 = (1 << COORD_ID_BITS) - 1;
+
+/// The lock word of an object slot.
+///
+/// * Unlocked: `0`.
+/// * PILL (Pandora): `LOCK_BIT | coordinator_id` — the owner is readable
+///   by anyone whose lock CAS fails, which is what makes stray locks
+///   *stealable* (paper §3.1.2).
+/// * Plain FORD / Baseline: `LOCK_BIT` only — ownership is unrecorded,
+///   which is exactly why the Baseline must scan the whole KVS after a
+///   compute failure (paper §3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockWord(pub u64);
+
+impl LockWord {
+    pub const UNLOCKED: LockWord = LockWord(0);
+
+    /// A PILL lock owned by `coord` (tag 0).
+    #[inline]
+    pub fn pill(coord: u16) -> LockWord {
+        Self::pill_tagged(coord, 0)
+    }
+
+    /// A PILL lock owned by `coord` carrying a 32-bit incarnation tag
+    /// (bits 16..48). The tag defeats ABA on lock stealing: a thief's
+    /// owner-checked CAS compares the full word, so a recycled
+    /// coordinator-id re-locking the same slot produces a *different*
+    /// word (new tag) and a stale steal attempt fails. `owner()` ignores
+    /// the tag.
+    #[inline]
+    pub fn pill_tagged(coord: u16, tag: u32) -> LockWord {
+        LockWord(LOCK_BIT | ((tag as u64) << COORD_ID_BITS) | coord as u64)
+    }
+
+    /// The incarnation tag of a PILL lock.
+    #[inline]
+    pub fn tag(self) -> u32 {
+        ((self.0 >> COORD_ID_BITS) & 0xFFFF_FFFF) as u32
+    }
+
+    /// An anonymous FORD-style lock (no owner recorded).
+    #[inline]
+    pub fn anonymous() -> LockWord {
+        LockWord(LOCK_BIT)
+    }
+
+    #[inline]
+    pub fn is_locked(self) -> bool {
+        self.0 & LOCK_BIT != 0
+    }
+
+    /// Owner coordinator-id, if this is a PILL lock. Anonymous locks
+    /// report owner 0 — callers must only use this under PILL mode.
+    #[inline]
+    pub fn owner(self) -> u16 {
+        (self.0 & COORD_MASK) as u16
+    }
+
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+const TOMBSTONE_BIT: u64 = 1 << 63;
+const VERSION_MASK: u64 = TOMBSTONE_BIT - 1;
+
+/// The version word of an object slot.
+///
+/// `0` = never written (absent). The counter increases by one on every
+/// committed write/insert/delete; deletes additionally set the tombstone
+/// bit, so an object's full lifecycle stays totally ordered and recovery
+/// can compare "is this replica at the pre- or post-image version?"
+/// (paper §3.2.2, log recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionWord(pub u64);
+
+impl VersionWord {
+    pub const NEVER_WRITTEN: VersionWord = VersionWord(0);
+
+    #[inline]
+    pub fn new(counter: u64, tombstone: bool) -> VersionWord {
+        debug_assert!(counter <= VERSION_MASK);
+        VersionWord(if tombstone { counter | TOMBSTONE_BIT } else { counter })
+    }
+
+    #[inline]
+    pub fn counter(self) -> u64 {
+        self.0 & VERSION_MASK
+    }
+
+    #[inline]
+    pub fn is_tombstone(self) -> bool {
+        self.0 & TOMBSTONE_BIT != 0
+    }
+
+    /// Is there a live value? (written at least once and not deleted)
+    #[inline]
+    pub fn is_present(self) -> bool {
+        self.0 != 0 && !self.is_tombstone()
+    }
+
+    /// The version a committing write installs on top of `self`.
+    #[inline]
+    pub fn next_write(self) -> VersionWord {
+        VersionWord::new(self.counter() + 1, false)
+    }
+
+    /// The version a committing delete installs on top of `self`.
+    #[inline]
+    pub fn next_delete(self) -> VersionWord {
+        VersionWord::new(self.counter() + 1, true)
+    }
+
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Byte-offset layout of one object slot:
+/// `[key: u64][lock: u64][version: u64][value: value_len bytes, padded]`.
+///
+/// The commit path deliberately writes **value first, version second**
+/// (two ordered verbs on the same QP): a concurrent one-sided reader can
+/// otherwise observe the new version with a torn value and pass
+/// validation. See DESIGN.md §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Unpadded value length in bytes.
+    pub value_len: usize,
+}
+
+impl SlotLayout {
+    pub const KEY_OFF: u64 = 0;
+    pub const LOCK_OFF: u64 = 8;
+    pub const VERSION_OFF: u64 = 16;
+    pub const VALUE_OFF: u64 = 24;
+
+    #[inline]
+    pub fn new(value_len: usize) -> SlotLayout {
+        SlotLayout { value_len }
+    }
+
+    /// Padded value length (multiple of 8).
+    #[inline]
+    pub fn value_padded(&self) -> usize {
+        self.value_len.div_ceil(8) * 8
+    }
+
+    /// Total slot size in bytes.
+    #[inline]
+    pub fn slot_bytes(&self) -> u64 {
+        Self::VALUE_OFF + self.value_padded() as u64
+    }
+
+    /// Length of the `[lock][version][value]` span a single execution-phase
+    /// READ fetches.
+    #[inline]
+    pub fn lvv_bytes(&self) -> usize {
+        16 + self.value_padded()
+    }
+}
+
+/// Parsed `[lock][version][value]` span of a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotImage {
+    pub lock: LockWord,
+    pub version: VersionWord,
+    pub value: Vec<u8>,
+}
+
+impl SlotImage {
+    /// Parse the buffer returned by a READ of `lvv_bytes` at `LOCK_OFF`.
+    pub fn parse(layout: SlotLayout, buf: &[u8]) -> SlotImage {
+        assert_eq!(buf.len(), layout.lvv_bytes(), "buffer/layout mismatch");
+        let lock = LockWord(u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")));
+        let version = VersionWord(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
+        let value = buf[16..16 + layout.value_len].to_vec();
+        SlotImage { lock, version, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_word_roundtrip() {
+        let l = LockWord::pill(0xBEEF);
+        assert!(l.is_locked());
+        assert_eq!(l.owner(), 0xBEEF);
+        assert!(!LockWord::UNLOCKED.is_locked());
+        assert!(LockWord::anonymous().is_locked());
+        assert_eq!(LockWord::anonymous().owner(), 0);
+    }
+
+    #[test]
+    fn tagged_locks_differ_by_incarnation_but_share_owner() {
+        let a = LockWord::pill_tagged(7, 1);
+        let b = LockWord::pill_tagged(7, 2);
+        assert_ne!(a.raw(), b.raw(), "different incarnations must differ");
+        assert_eq!(a.owner(), 7);
+        assert_eq!(b.owner(), 7);
+        assert_eq!(a.tag(), 1);
+        assert_eq!(b.tag(), 2);
+        assert!(a.is_locked() && b.is_locked());
+        // Tag must never bleed into the owner bits or the lock bit.
+        assert_eq!(LockWord::pill_tagged(u16::MAX, u32::MAX).owner(), u16::MAX);
+        assert!(LockWord::pill_tagged(u16::MAX, u32::MAX).is_locked());
+    }
+
+    #[test]
+    fn lock_word_owner_zero_is_distinct_from_unlocked() {
+        let l = LockWord::pill(0);
+        assert!(l.is_locked());
+        assert_ne!(l, LockWord::UNLOCKED);
+    }
+
+    #[test]
+    fn version_lifecycle() {
+        let v0 = VersionWord::NEVER_WRITTEN;
+        assert!(!v0.is_present());
+        let v1 = v0.next_write();
+        assert_eq!(v1.counter(), 1);
+        assert!(v1.is_present());
+        let v2 = v1.next_delete();
+        assert_eq!(v2.counter(), 2);
+        assert!(v2.is_tombstone());
+        assert!(!v2.is_present());
+        let v3 = v2.next_write(); // re-insert over a tombstone
+        assert_eq!(v3.counter(), 3);
+        assert!(v3.is_present());
+    }
+
+    #[test]
+    fn slot_layout_offsets_and_padding() {
+        let l = SlotLayout::new(40);
+        assert_eq!(l.value_padded(), 40);
+        assert_eq!(l.slot_bytes(), 24 + 40);
+        let l = SlotLayout::new(42);
+        assert_eq!(l.value_padded(), 48);
+        assert_eq!(l.slot_bytes(), 24 + 48);
+        assert_eq!(l.lvv_bytes(), 16 + 48);
+    }
+
+    #[test]
+    fn slot_image_parse() {
+        let layout = SlotLayout::new(16);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&LockWord::pill(3).raw().to_le_bytes());
+        buf.extend_from_slice(&VersionWord::new(9, false).raw().to_le_bytes());
+        buf.extend_from_slice(&[7u8; 16]);
+        let img = SlotImage::parse(layout, &buf);
+        assert_eq!(img.lock.owner(), 3);
+        assert_eq!(img.version.counter(), 9);
+        assert_eq!(img.value, vec![7u8; 16]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-coordinator undo-log regions.
+//!
+//! Pandora gathers *all* logs of one coordinator on the same f+1
+//! designated log servers and writes the whole write-set with a single
+//! RDMA WRITE per log replica (paper §3.1.4). Each coordinator owns a
+//! fixed 32 KiB region per log server; since a coordinator runs one
+//! transaction at a time, the region holds at most one live entry, which
+//! the next transaction overwrites.
+//!
+//! Entry format (all words little-endian):
+//!
+//! ```text
+//! word0  state      1 = valid, 0 = empty/truncated
+//! word1  txn_id
+//! word2  coordinator id (redundant sanity field)
+//! word3  num_writes
+//! word4  payload_len (bytes of the records section)
+//! ...    records     num_writes × UndoRecord (length-prefixed)
+//! last   checksum    fnv1a over words1..records (torn-write canary)
+//! ```
+//!
+//! `UndoRecord`: `table | key | bucket | slot | old_version | new_version
+//! | value_len | old_value(padded)`. Replica locations are *not* stored:
+//! recovery recomputes them from the deterministic placement (DESIGN §4).
+//!
+//! Truncation writes `state = 0` — "RC truncates logs by simply setting an
+//! invalid bit in each coordinator's log header using an RDMA write"
+//! (paper §3.2.3).
+
+use crate::hash::fnv1a;
+use crate::layout::VersionWord;
+use crate::table::TableId;
+
+/// Fixed log-region size per coordinator per log server (paper §3.2.2:
+/// "Each coordinator is allocated 32KB for logs").
+pub const LOG_REGION_BYTES: u64 = 32 * 1024;
+
+const ENTRY_HEADER_WORDS: usize = 5;
+const RECORD_FIXED_WORDS: usize = 7;
+
+/// One undo record: everything needed to roll a single write back (old
+/// image) or to check whether it was applied (new version).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoRecord {
+    pub table: TableId,
+    pub key: u64,
+    pub bucket: u64,
+    pub slot: u32,
+    pub old_version: VersionWord,
+    pub new_version: VersionWord,
+    /// Pre-image of the value, padded to 8 bytes (zeros for inserts).
+    pub old_value: Vec<u8>,
+}
+
+impl UndoRecord {
+    fn encoded_len(&self) -> usize {
+        RECORD_FIXED_WORDS * 8 + self.old_value.len()
+    }
+}
+
+/// A decoded, checksum-verified log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    pub txn_id: u64,
+    pub coord: u16,
+    pub writes: Vec<UndoRecord>,
+}
+
+impl LogEntry {
+    /// Serialize to the on-region byte format (always a multiple of 8,
+    /// ready for a single WRITE verb).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len: usize = self.writes.iter().map(UndoRecord::encoded_len).sum();
+        let total = (ENTRY_HEADER_WORDS + 1) * 8 + payload_len;
+        let mut buf = Vec::with_capacity(total);
+        buf.extend_from_slice(&1u64.to_le_bytes()); // state = valid
+        buf.extend_from_slice(&self.txn_id.to_le_bytes());
+        buf.extend_from_slice(&(self.coord as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.writes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        for w in &self.writes {
+            assert_eq!(w.old_value.len() % 8, 0, "old_value must be padded");
+            buf.extend_from_slice(&(w.table.0 as u64).to_le_bytes());
+            buf.extend_from_slice(&w.key.to_le_bytes());
+            buf.extend_from_slice(&w.bucket.to_le_bytes());
+            buf.extend_from_slice(&(w.slot as u64).to_le_bytes());
+            buf.extend_from_slice(&w.old_version.raw().to_le_bytes());
+            buf.extend_from_slice(&w.new_version.raw().to_le_bytes());
+            buf.extend_from_slice(&(w.old_value.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&w.old_value);
+        }
+        let sum = fnv1a(&buf[8..]);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        debug_assert_eq!(buf.len(), total);
+        assert!(
+            buf.len() as u64 <= LOG_REGION_BYTES,
+            "log entry of {} bytes exceeds the {LOG_REGION_BYTES}-byte region",
+            buf.len()
+        );
+        buf
+    }
+
+    /// Decode a region image. Returns:
+    /// * `None` — empty, truncated, or torn (checksum canary failed).
+    ///   A torn entry is safely treated as *not logged*: a torn log write
+    ///   implies the coordinator died inside the logging phase, before any
+    ///   commit-phase update could have happened (DESIGN §4).
+    /// * `Some(entry)` — a valid Logged-Stray-Tx candidate.
+    pub fn decode(region: &[u8]) -> Option<LogEntry> {
+        let word = |i: usize| -> Option<u64> {
+            region.get(i * 8..i * 8 + 8).map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
+        };
+        if word(0)? != 1 {
+            return None; // empty or truncated
+        }
+        let txn_id = word(1)?;
+        let coord = word(2)?;
+        let num_writes = word(3)? as usize;
+        let payload_len = word(4)? as usize;
+        // Garbage-header guards: every arithmetic step below must be
+        // overflow-proof — this parser's whole job is surviving torn or
+        // hostile bytes without panicking.
+        if coord > u16::MAX as u64 || num_writes > 4096 || payload_len > region.len() {
+            return None;
+        }
+        let payload_start = ENTRY_HEADER_WORDS * 8;
+        let payload_end = payload_start.checked_add(payload_len)?;
+        if payload_end.checked_add(8)? > region.len() {
+            return None;
+        }
+        let stored_sum =
+            u64::from_le_bytes(region[payload_end..payload_end + 8].try_into().expect("8B"));
+        if fnv1a(&region[8..payload_end]) != stored_sum {
+            return None; // torn write
+        }
+        let mut writes = Vec::with_capacity(num_writes);
+        let mut off = payload_start;
+        for _ in 0..num_writes {
+            if off + RECORD_FIXED_WORDS * 8 > payload_end {
+                return None;
+            }
+            let rw = |i: usize| {
+                u64::from_le_bytes(region[off + i * 8..off + (i + 1) * 8].try_into().expect("8B"))
+            };
+            let value_len = rw(6) as usize;
+            let value_start = off + RECORD_FIXED_WORDS * 8;
+            let value_end = value_start.checked_add(value_len)?;
+            if !value_len.is_multiple_of(8) || value_end > payload_end {
+                return None;
+            }
+            writes.push(UndoRecord {
+                table: TableId(rw(0) as u16),
+                key: rw(1),
+                bucket: rw(2),
+                slot: rw(3) as u32,
+                old_version: VersionWord(rw(4)),
+                new_version: VersionWord(rw(5)),
+                old_value: region[value_start..value_end].to_vec(),
+            });
+            off = value_end;
+        }
+        if off != payload_end {
+            return None; // trailing garbage inside the checksummed span
+        }
+        Some(LogEntry { txn_id, coord: coord as u16, writes })
+    }
+}
+
+/// Compute-side handle to one coordinator's log region on one log server.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRegion {
+    pub node: rdma_sim::NodeId,
+    /// Byte address of the region base on `node`.
+    pub base: u64,
+}
+
+impl LogRegion {
+    /// Buffer sized for a full-region READ during recovery.
+    pub fn read_buf() -> Vec<u8> {
+        vec![0u8; LOG_REGION_BYTES as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> LogEntry {
+        LogEntry {
+            txn_id: 77,
+            coord: 3,
+            writes: vec![
+                UndoRecord {
+                    table: TableId(1),
+                    key: 42,
+                    bucket: 5,
+                    slot: 2,
+                    old_version: VersionWord::new(9, false),
+                    new_version: VersionWord::new(10, false),
+                    old_value: vec![1u8; 16],
+                },
+                UndoRecord {
+                    table: TableId(2),
+                    key: 43,
+                    bucket: 6,
+                    slot: 0,
+                    old_version: VersionWord::NEVER_WRITTEN,
+                    new_version: VersionWord::new(1, false),
+                    old_value: vec![0u8; 48],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = sample_entry();
+        let buf = e.encode();
+        assert_eq!(buf.len() % 8, 0);
+        let d = LogEntry::decode(&buf).expect("valid entry");
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn decode_of_empty_region_is_none() {
+        let region = vec![0u8; 256];
+        assert!(LogEntry::decode(&region).is_none());
+    }
+
+    #[test]
+    fn truncated_entry_is_none() {
+        let mut buf = sample_entry().encode();
+        buf[0..8].copy_from_slice(&0u64.to_le_bytes()); // state = 0
+        assert!(LogEntry::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn torn_write_fails_the_canary() {
+        let mut buf = sample_entry().encode();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(LogEntry::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn partial_header_overwrite_is_rejected() {
+        // Simulates a crash after only the first words of a new entry
+        // landed over an older valid entry.
+        let old = sample_entry().encode();
+        let mut region = vec![0u8; 1024];
+        region[..old.len()].copy_from_slice(&old);
+        // New entry claims 3 writes but payload bytes are the old entry's.
+        region[24..32].copy_from_slice(&3u64.to_le_bytes());
+        assert!(LogEntry::decode(&region).is_none());
+    }
+
+    #[test]
+    fn entry_with_empty_write_set_roundtrips() {
+        let e = LogEntry { txn_id: 1, coord: 0, writes: vec![] };
+        assert_eq!(LogEntry::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn decode_respects_region_larger_than_entry() {
+        let e = sample_entry();
+        let buf = e.encode();
+        let mut region = vec![0u8; LOG_REGION_BYTES as usize];
+        region[..buf.len()].copy_from_slice(&buf);
+        assert_eq!(LogEntry::decode(&region), Some(e));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_entry_panics_at_encode() {
+        let e = LogEntry {
+            txn_id: 1,
+            coord: 0,
+            writes: (0..50)
+                .map(|i| UndoRecord {
+                    table: TableId(0),
+                    key: i,
+                    bucket: 0,
+                    slot: 0,
+                    old_version: VersionWord::NEVER_WRITTEN,
+                    new_version: VersionWord::new(1, false),
+                    old_value: vec![0u8; 672],
+                })
+                .collect(),
+        };
+        let _ = e.encode();
+    }
+}

@@ -1,0 +1,144 @@
+//! Table segments: the remote slotted hash index.
+//!
+//! A table is a fixed array of buckets, each holding `slots_per_bucket`
+//! object slots. Every memory node in a table's replica universe hosts an
+//! identically-shaped segment, so a `(bucket, slot)` pair addresses the
+//! same object on the primary and on each backup (placement is
+//! bucket-granular, see [`crate::placement`]).
+
+use crate::hash::bucket_of;
+use crate::layout::SlotLayout;
+
+/// Bounded linear probing across buckets: a key whose home bucket is full
+/// spills into the next bucket (wrapping), up to this many buckets away.
+/// Lookups stop early at the first bucket containing an empty slot —
+/// inserts always claim the earliest empty slot in probe order, and
+/// deletes tombstone (key word retained), so an empty slot proves the key
+/// cannot live further along the probe sequence.
+pub const PROBE_LIMIT: u64 = 8;
+
+/// Identifier of a table within a cluster map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u16);
+
+/// Static definition of a table.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub id: TableId,
+    pub name: &'static str,
+    /// Unpadded value length in bytes (e.g. 672 for TPC-C, 48 for TATP,
+    /// 16 for SmallBank, 40 for the microbenchmark — paper §4.1).
+    pub value_len: usize,
+    pub buckets: u64,
+    pub slots_per_bucket: u32,
+}
+
+impl TableDef {
+    pub fn new(
+        id: u16,
+        name: &'static str,
+        value_len: usize,
+        buckets: u64,
+        slots_per_bucket: u32,
+    ) -> TableDef {
+        assert!(buckets > 0 && slots_per_bucket > 0);
+        TableDef { id: TableId(id), name, value_len, buckets, slots_per_bucket }
+    }
+
+    /// Size a table for roughly `expected_keys` at ~50% slot load factor
+    /// with 8-way buckets.
+    pub fn sized_for(id: u16, name: &'static str, value_len: usize, expected_keys: u64) -> TableDef {
+        let slots_per_bucket = 8u32;
+        let want_slots = (expected_keys * 2).max(slots_per_bucket as u64);
+        let buckets = want_slots.div_ceil(slots_per_bucket as u64).next_power_of_two();
+        TableDef::new(id, name, value_len, buckets, slots_per_bucket)
+    }
+
+    #[inline]
+    pub fn layout(&self) -> SlotLayout {
+        SlotLayout::new(self.value_len)
+    }
+
+    /// Bytes of one bucket.
+    #[inline]
+    pub fn bucket_bytes(&self) -> u64 {
+        self.layout().slot_bytes() * self.slots_per_bucket as u64
+    }
+
+    /// Total segment size in bytes (identical on every hosting node).
+    #[inline]
+    pub fn segment_bytes(&self) -> u64 {
+        self.bucket_bytes() * self.buckets
+    }
+
+    /// Bucket index for `key`.
+    #[inline]
+    pub fn bucket_for(&self, key: u64) -> u64 {
+        bucket_of(self.id.0 as u64 + 1, key, self.buckets)
+    }
+}
+
+/// A bucket within a table (node-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BucketRef {
+    pub table: TableId,
+    pub bucket: u64,
+}
+
+/// A slot within a table (node-independent coordinates; resolve to a byte
+/// address on a specific node via [`crate::cluster::ClusterMap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotRef {
+    pub table: TableId,
+    pub bucket: u64,
+    pub slot: u32,
+}
+
+impl TableDef {
+    /// Byte offset of `(bucket, slot)` within the table segment.
+    #[inline]
+    pub fn slot_offset(&self, bucket: u64, slot: u32) -> u64 {
+        debug_assert!(bucket < self.buckets);
+        debug_assert!(slot < self.slots_per_bucket);
+        bucket * self.bucket_bytes() + slot as u64 * self.layout().slot_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_hits_load_factor() {
+        let t = TableDef::sized_for(0, "t", 16, 1000);
+        assert!(t.buckets * t.slots_per_bucket as u64 >= 2000);
+        assert!(t.buckets.is_power_of_two());
+    }
+
+    #[test]
+    fn slot_offsets_tile_without_overlap() {
+        let t = TableDef::new(0, "t", 40, 4, 3);
+        let sb = t.layout().slot_bytes();
+        assert_eq!(t.slot_offset(0, 0), 0);
+        assert_eq!(t.slot_offset(0, 1), sb);
+        assert_eq!(t.slot_offset(1, 0), t.bucket_bytes());
+        assert_eq!(t.slot_offset(3, 2), 3 * t.bucket_bytes() + 2 * sb);
+        assert_eq!(t.segment_bytes(), 4 * t.bucket_bytes());
+    }
+
+    #[test]
+    fn bucket_for_stays_in_range() {
+        let t = TableDef::new(1, "t", 8, 64, 8);
+        for key in 0..10_000 {
+            assert!(t.bucket_for(key) < 64);
+        }
+    }
+
+    #[test]
+    fn different_tables_hash_same_key_differently() {
+        let a = TableDef::new(1, "a", 8, 1024, 8);
+        let b = TableDef::new(2, "b", 8, 1024, 8);
+        let diverged = (0..100).filter(|&k| a.bucket_for(k) != b.bucket_for(k)).count();
+        assert!(diverged > 80);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pandora-litmus — end-to-end litmus testing for DKVS transactional
+//! protocols (paper §5)
+//!
+//! Litmus tests are small, carefully constructed transactions whose
+//! *application-observable* final state reveals consistency violations —
+//! the client-centric validation approach of Crooks et al. adopted by the
+//! paper, as opposed to heavyweight history-based checkers.
+//!
+//! The framework has four layers:
+//!
+//! * [`model`] — a tiny register-machine language for litmus programs
+//!   (`RD x=X`, `WR Y=x+1`, inserts, deletes).
+//! * [`harness`] — runs a litmus test's transactions on concurrent
+//!   coordinators with randomized interleavings and random crash
+//!   injection after any operation (paper §5: "to test the steady-state
+//!   and the recovery protocol together, we randomly inject crashes
+//!   after any operation"), runs recovery, evaluates the assertion.
+//! * [`suite`] — the three basic litmus families of Figure 5 (direct-
+//!   write, read-write, and indirect-write dependency cycles) plus
+//!   insert/delete variants and compound tests.
+//! * [`scenarios`] — deterministic reproductions of the six FORD bugs of
+//!   Table 1: each scenario drives the exact interleaving that exposes
+//!   the bug, and demonstrates that the fixed protocols pass it.
+
+pub mod harness;
+pub mod model;
+pub mod scenarios;
+pub mod suite;
+
+pub use harness::{run_random, LitmusConfig, LitmusOutcome, TxnOutcome};
+pub use model::{Expr, LitmusTest, Op, State, TxnProgram, Var};
+pub use scenarios::{run_scenario, Scenario, ScenarioResult};

@@ -1,0 +1,131 @@
+//! The litmus program model: variables, expressions, operations,
+//! programs, and observable final states.
+
+use dkvs::hash::FxHashMap;
+
+/// A litmus variable. Variables map to keys of the litmus table; the
+/// conventional names follow Figure 5 (W is the extra "witness" variable
+/// used by extended tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u64);
+
+pub const W: Var = Var(0);
+pub const X: Var = Var(1);
+pub const Y: Var = Var(2);
+pub const Z: Var = Var(3);
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            0 => write!(f, "W"),
+            1 => write!(f, "X"),
+            2 => write!(f, "Y"),
+            3 => write!(f, "Z"),
+            n => write!(f, "V{n}"),
+        }
+    }
+}
+
+/// Right-hand side of a write: a constant or `reg + delta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expr {
+    Const(u64),
+    /// Value of register `reg` plus `delta` (e.g. `WR Y = x+1`).
+    RegPlus(usize, u64),
+}
+
+impl Expr {
+    pub fn eval(self, regs: &[Option<u64>]) -> Option<u64> {
+        match self {
+            Expr::Const(c) => Some(c),
+            Expr::RegPlus(r, d) => regs.get(r).copied().flatten().map(|v| v.wrapping_add(d)),
+        }
+    }
+}
+
+/// One operation of a litmus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `RD reg = var`
+    Read { var: Var, reg: usize },
+    /// `WR var = expr`
+    Write { var: Var, expr: Expr },
+    /// `INS var = expr`
+    Insert { var: Var, expr: Expr },
+    /// `DEL var`
+    Delete { var: Var },
+}
+
+/// A litmus transaction: a name and an op list (`TX Begin … TX End`).
+#[derive(Debug, Clone)]
+pub struct TxnProgram {
+    pub name: &'static str,
+    pub ops: Vec<Op>,
+}
+
+/// The application-observable final state: every variable's committed
+/// value (`None` = absent).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct State {
+    values: FxHashMap<Var, Option<u64>>,
+}
+
+impl State {
+    pub fn set(&mut self, var: Var, value: Option<u64>) {
+        self.values.insert(var, value);
+    }
+
+    /// Value of `var`; absent variables read as `None`.
+    pub fn get(&self, var: Var) -> Option<u64> {
+        self.values.get(&var).copied().flatten()
+    }
+
+    /// Value of `var` defaulting to 0 (for arithmetic assertions).
+    pub fn get_or_zero(&self, var: Var) -> u64 {
+        self.get(var).unwrap_or(0)
+    }
+}
+
+/// A complete litmus test: initial values, concurrent transactions, and
+/// the assertion over the final application-observable state.
+pub struct LitmusTest {
+    pub name: &'static str,
+    /// Initial contents of the litmus table (absent vars start absent).
+    pub init: Vec<(Var, u64)>,
+    /// All variables the assertion observes.
+    pub observed: Vec<Var>,
+    pub txns: Vec<TxnProgram>,
+    /// Returns `Err(description)` on a consistency violation.
+    pub check: fn(&State) -> Result<(), String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval() {
+        let regs = vec![Some(5), None];
+        assert_eq!(Expr::Const(3).eval(&regs), Some(3));
+        assert_eq!(Expr::RegPlus(0, 1).eval(&regs), Some(6));
+        assert_eq!(Expr::RegPlus(1, 1).eval(&regs), None);
+        assert_eq!(Expr::RegPlus(9, 1).eval(&regs), None);
+    }
+
+    #[test]
+    fn state_defaults() {
+        let mut s = State::default();
+        assert_eq!(s.get(X), None);
+        assert_eq!(s.get_or_zero(X), 0);
+        s.set(X, Some(7));
+        s.set(Y, None);
+        assert_eq!(s.get(X), Some(7));
+        assert_eq!(s.get(Y), None);
+    }
+
+    #[test]
+    fn var_names_display() {
+        assert_eq!(format!("{W}{X}{Y}{Z}"), "WXYZ");
+        assert_eq!(format!("{}", Var(9)), "V9");
+    }
+}

@@ -1,0 +1,328 @@
+//! Deterministic reproductions of the six FORD bugs of paper Table 1.
+//!
+//! Each scenario drives the exact interleaving (and, where needed, the
+//! exact crash point) that exposes one bug, using the litmus programs of
+//! Figure 5. Run with the bug flag ON, the scenario yields a
+//! strict-serializability violation; with the fixed protocol it must
+//! not. The `table1_litmus` bench prints the resulting matrix.
+
+use std::sync::{Arc, Barrier};
+
+use pandora::{AbortReason, BugFlags, ProtocolKind, TxnError};
+use rdma_sim::{CrashMode, CrashPlan};
+
+use crate::harness::{litmus_cluster, load_initial, observe, LITMUS_TABLE};
+use crate::model::{W, X, Y, Z};
+
+/// The six Table-1 bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Litmus 1 / C1: abort releases locks it never acquired.
+    ComplicitAbort,
+    /// Litmus 1 / C2 (Baseline): inserts are not undo-logged.
+    MissingActions,
+    /// Litmus 2 / C1: validation skips the lock check on read-set objects.
+    CovertLocks,
+    /// Litmus 2 / C1: validation can start before all locks are held.
+    RelaxedLocks,
+    /// Litmus 3 / C2: logs written before the decision; aborted txns
+    /// leave logs that recovery cannot distinguish from committed ones.
+    LostDecision,
+    /// Litmus 3 / C2: a log can reference a lock that was never grabbed.
+    LoggingWithoutLocking,
+}
+
+impl Scenario {
+    pub const ALL: [Scenario; 6] = [
+        Scenario::ComplicitAbort,
+        Scenario::MissingActions,
+        Scenario::CovertLocks,
+        Scenario::RelaxedLocks,
+        Scenario::LostDecision,
+        Scenario::LoggingWithoutLocking,
+    ];
+
+    /// The bug-flag set that re-introduces this bug.
+    pub fn bug_flags(self) -> BugFlags {
+        let mut b = BugFlags::none();
+        match self {
+            Scenario::ComplicitAbort => b.complicit_abort = true,
+            Scenario::MissingActions => b.missing_insert_log = true,
+            Scenario::CovertLocks => b.covert_locks = true,
+            Scenario::RelaxedLocks => b.relaxed_locks = true,
+            Scenario::LostDecision => b.lost_decision = true,
+            Scenario::LoggingWithoutLocking => b.logging_without_locking = true,
+        }
+        b
+    }
+
+    pub fn litmus_family(self) -> &'static str {
+        match self {
+            Scenario::ComplicitAbort | Scenario::MissingActions => "Litmus-1 (Direct-Write)",
+            Scenario::CovertLocks | Scenario::RelaxedLocks => "Litmus-2 (Read-Write)",
+            Scenario::LostDecision | Scenario::LoggingWithoutLocking => {
+                "Litmus-3 (Indirect-Write)"
+            }
+        }
+    }
+
+    pub fn category(self) -> &'static str {
+        match self {
+            Scenario::ComplicitAbort | Scenario::CovertLocks | Scenario::RelaxedLocks => {
+                "C1 online-failure-free"
+            }
+            _ => "C2 online-recovery",
+        }
+    }
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    pub scenario: Scenario,
+    pub violation: Option<String>,
+}
+
+impl ScenarioResult {
+    pub fn violated(&self) -> bool {
+        self.violation.is_some()
+    }
+}
+
+fn enc(v: u64) -> [u8; 8] {
+    v.to_le_bytes()
+}
+
+/// Run `scenario` on `protocol` with `bugs`. Pass
+/// `scenario.bug_flags()` to demonstrate the bug, `BugFlags::none()` to
+/// demonstrate the fix.
+pub fn run_scenario(scenario: Scenario, protocol: ProtocolKind, bugs: BugFlags) -> ScenarioResult {
+    let violation = match scenario {
+        Scenario::ComplicitAbort => complicit_abort(protocol, bugs),
+        Scenario::MissingActions => missing_actions(protocol, bugs),
+        Scenario::CovertLocks => racing_commit_cycle(protocol, bugs),
+        Scenario::RelaxedLocks => racing_commit_cycle(protocol, bugs),
+        Scenario::LostDecision => lost_decision(protocol, bugs),
+        Scenario::LoggingWithoutLocking => logging_without_locking(protocol, bugs),
+    };
+    ScenarioResult { scenario, violation }
+}
+
+/// T1 locks X and Y; T2's abort (lock conflict on Y) must not release
+/// T1's lock on Y. If it does, T3 sneaks in a committed {Y, Z} pair that
+/// T1's commit then half-overwrites.
+fn complicit_abort(protocol: ProtocolKind, bugs: BugFlags) -> Option<String> {
+    let cluster = litmus_cluster(protocol, bugs);
+    load_initial(&cluster, &[(X, 0), (Y, 0), (Z, 0)]);
+    let (mut co1, _l1) = cluster.coordinator().unwrap();
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    let (mut co3, _l3) = cluster.coordinator().unwrap();
+
+    let mut t1 = co1.begin();
+    t1.write(LITMUS_TABLE, X.0, &enc(1)).unwrap();
+    t1.write(LITMUS_TABLE, Y.0, &enc(1)).unwrap();
+
+    // T2 conflicts on Y and aborts; with the bug its abort path blindly
+    // releases Y — T1's lock.
+    {
+        let mut t2 = co2.begin();
+        let err = t2.write(LITMUS_TABLE, Y.0, &enc(2)).unwrap_err();
+        assert_eq!(err, TxnError::Aborted(AbortReason::LockConflict));
+    }
+
+    // T3 writes {Y, Z}; legal only if Y is actually free.
+    let t3_committed = {
+        let mut t3 = co3.begin();
+        let r = t3
+            .write(LITMUS_TABLE, Y.0, &enc(3))
+            .and_then(|()| t3.write(LITMUS_TABLE, Z.0, &enc(3)))
+            .and_then(|()| t3.commit());
+        r.is_ok()
+    };
+
+    t1.commit().unwrap();
+
+    let state = observe(&cluster, &[X, Y, Z]);
+    if t3_committed && state.get_or_zero(Y) != state.get_or_zero(Z) {
+        Some(format!(
+            "T3's committed pair diverged: Y={} Z={} (T1 overwrote Y after T2 released T1's lock)",
+            state.get_or_zero(Y),
+            state.get_or_zero(Z)
+        ))
+    } else {
+        None
+    }
+}
+
+/// Insert {X, Y} and crash mid-commit at every plausible op index; with
+/// inserts missing from the undo log, recovery cannot roll the partial
+/// insert back and X/Y diverge.
+fn missing_actions(protocol: ProtocolKind, bugs: BugFlags) -> Option<String> {
+    for at_op in 8..40u64 {
+        let cluster = litmus_cluster(protocol, bugs);
+        load_initial(&cluster, &[]);
+        let (mut co1, l1) = cluster.coordinator().unwrap();
+        co1.injector().arm(CrashPlan { at_op, mode: CrashMode::AfterOp });
+        {
+            let mut t1 = co1.begin();
+            let _ = t1
+                .insert(LITMUS_TABLE, X.0, &enc(1))
+                .and_then(|()| t1.insert(LITMUS_TABLE, Y.0, &enc(1)))
+                .and_then(|()| t1.commit());
+        }
+        cluster.fd.declare_failed(l1.coord_id);
+        let state = observe(&cluster, &[X, Y]);
+        if state.get(X) != state.get(Y) {
+            return Some(format!(
+                "crash at op {at_op}: X={:?} Y={:?} (partial insert survived recovery)",
+                state.get(X),
+                state.get(Y)
+            ));
+        }
+    }
+    None
+}
+
+/// Litmus 2 with racing commits: T1 reads X / writes Y, T2 reads Y /
+/// writes X; with the covert-locks or relaxed-locks bug both validations
+/// can pass concurrently and both commit, yielding X == Y == 1.
+/// Repeats the race to give the buggy interleaving a chance to occur.
+fn racing_commit_cycle(protocol: ProtocolKind, bugs: BugFlags) -> Option<String> {
+    // Sleep-scale verb latency forces the two commits to interleave even
+    // on a single-core host (validation of both passes before either
+    // apply lands — the precise window the lock checks exist to close).
+    let latency = rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(300), ns_per_kib: 0 };
+    for attempt in 0..40 {
+        let cluster = Arc::new(crate::harness::litmus_cluster_with_latency(
+            protocol, bugs, latency,
+        ));
+        load_initial(&cluster, &[(X, 0), (Y, 0)]);
+        let barrier = Arc::new(Barrier::new(2));
+
+        let spawn = |read_var: crate::model::Var, write_var: crate::model::Var| {
+            let cluster = Arc::clone(&cluster);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let (mut co, _lease) = cluster.coordinator().unwrap();
+                let mut txn = co.begin();
+                let body = (|| {
+                    let v = txn.read(LITMUS_TABLE, read_var.0)?;
+                    let x = v.map(dec).unwrap_or(0);
+                    txn.write(LITMUS_TABLE, write_var.0, &enc(x + 1))
+                })();
+                barrier.wait(); // race the commits
+                let _ = body.and_then(|()| txn.commit());
+            })
+        };
+        let h1 = spawn(X, Y);
+        let h2 = spawn(Y, X);
+        h1.join().unwrap();
+        h2.join().unwrap();
+
+        let state = observe(&cluster, &[X, Y]);
+        let (x, y) = (state.get_or_zero(X), state.get_or_zero(Y));
+        if x == y && x != 0 {
+            return Some(format!("attempt {attempt}: read-write cycle committed, X == Y == {x}"));
+        }
+    }
+    None
+}
+
+/// Litmus 3 + witness: T1 logs {X, Y} during execution, then aborts on a
+/// witness-variable validation failure; T2 commits {X, Z}; T1 crashes.
+/// Recovery misreads T1's stale log, sees X "applied" and Y not, rolls X
+/// back — destroying T2's acked write while Z keeps it (X < Z).
+fn lost_decision(protocol: ProtocolKind, bugs: BugFlags) -> Option<String> {
+    let cluster = litmus_cluster(protocol, bugs);
+    load_initial(&cluster, &[(W, 0), (X, 0), (Y, 0), (Z, 0)]);
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+    let (mut co3, _l3) = cluster.coordinator().unwrap();
+
+    // T1: RD W, RD X, WR X=x+1, WR Y=x+1 — with the bug the undo log is
+    // written as each lock is taken.
+    let mut t1 = co1.begin();
+    let _w = t1.read(LITMUS_TABLE, W.0).unwrap();
+    let x0 = t1.read(LITMUS_TABLE, X.0).unwrap().map(dec).unwrap_or(0);
+    t1.write(LITMUS_TABLE, X.0, &enc(x0 + 1)).unwrap();
+    t1.write(LITMUS_TABLE, Y.0, &enc(x0 + 1)).unwrap();
+
+    // Witness writer invalidates T1's read-set.
+    co3.run(|txn| txn.write(LITMUS_TABLE, W.0, &enc(9))).unwrap();
+
+    // T1 aborts at validation; with the bug its logs survive the abort.
+    let err = t1.commit().unwrap_err();
+    assert!(matches!(err, TxnError::Aborted(_)), "T1 must abort: {err:?}");
+
+    // T2 commits {X, Z}.
+    co2.run(|txn| {
+        let x = txn.read(LITMUS_TABLE, X.0)?.map(dec).unwrap_or(0);
+        txn.write(LITMUS_TABLE, X.0, &enc(x + 1))?;
+        txn.write(LITMUS_TABLE, Z.0, &enc(x + 1))
+    })
+    .unwrap();
+
+    // T1's server crashes; recovery interprets whatever logs remain.
+    co1.injector().crash_now();
+    co1.gate().mark_dead();
+    cluster.fd.declare_failed(l1.coord_id);
+
+    let state = observe(&cluster, &[X, Y, Z]);
+    let (x, y, z) = (state.get_or_zero(X), state.get_or_zero(Y), state.get_or_zero(Z));
+    if x >= y && x >= z {
+        None
+    } else {
+        Some(format!("X={x} Y={y} Z={z}: recovery rolled back T2's committed write to X"))
+    }
+}
+
+/// T1's log claims a lock on Y that was never grabbed (pre-lock
+/// logging): T1 aborts on the Y lock conflict, T2 commits {X, Z}, T1
+/// crashes — recovery sees X advanced but Y at its pre-image, rolls the
+/// pair back, and destroys T2's acked X.
+fn logging_without_locking(protocol: ProtocolKind, bugs: BugFlags) -> Option<String> {
+    let cluster = litmus_cluster(protocol, bugs);
+    load_initial(&cluster, &[(X, 0), (Y, 0), (Z, 0)]);
+    let (mut co0, _l0) = cluster.coordinator().unwrap();
+    let (mut co1, l1) = cluster.coordinator().unwrap();
+    let (mut co2, _l2) = cluster.coordinator().unwrap();
+
+    // T0 holds Y.
+    let mut t0 = co0.begin();
+    t0.write(LITMUS_TABLE, Y.0, &enc(5)).unwrap();
+
+    // T1 writes X (ok) then Y (conflict): with the bug, {X, Y} was
+    // logged before the failed lock attempt and the abort keeps the log.
+    {
+        let mut t1 = co1.begin();
+        t1.write(LITMUS_TABLE, X.0, &enc(1)).unwrap();
+        let err = t1.write(LITMUS_TABLE, Y.0, &enc(1)).unwrap_err();
+        assert_eq!(err, TxnError::Aborted(AbortReason::LockConflict));
+    }
+
+    // T0 aborts without modifying Y (its version never moves).
+    let _ = t0.abort();
+
+    // T2 commits {X, Z}.
+    co2.run(|txn| {
+        txn.write(LITMUS_TABLE, X.0, &enc(2))?;
+        txn.write(LITMUS_TABLE, Z.0, &enc(2))
+    })
+    .unwrap();
+
+    co1.injector().crash_now();
+    co1.gate().mark_dead();
+    cluster.fd.declare_failed(l1.coord_id);
+
+    let state = observe(&cluster, &[X, Z]);
+    let (x, z) = (state.get_or_zero(X), state.get_or_zero(Z));
+    if x == z {
+        None
+    } else {
+        Some(format!("X={x} Z={z}: T2's committed pair diverged after recovery"))
+    }
+}
+
+fn dec(bytes: Vec<u8>) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().expect("8B"))
+}

@@ -1,0 +1,241 @@
+//! The litmus-test suite (paper Figure 5): three basic families covering
+//! every dependency-cycle class of serializable transactions, plus
+//! insert/delete variants and compound (stretched/combined) tests.
+
+use crate::model::{Expr, LitmusTest, Op, State, TxnProgram, Var, W, X, Y, Z};
+
+/// Litmus 1 — *Direct-Write cycles* (Figure 5a): T1 writes V1 to both X
+/// and Y; T2 writes V2 to both. Strict serializability mandates X == Y
+/// at every observable point (Figure 5d).
+pub fn litmus1() -> LitmusTest {
+    LitmusTest {
+        name: "litmus1-direct-write",
+        init: vec![(X, 0), (Y, 0)],
+        observed: vec![X, Y],
+        txns: vec![
+            TxnProgram {
+                name: "T1",
+                ops: vec![
+                    Op::Write { var: X, expr: Expr::Const(1) },
+                    Op::Write { var: Y, expr: Expr::Const(1) },
+                ],
+            },
+            TxnProgram {
+                name: "T2",
+                ops: vec![
+                    Op::Write { var: X, expr: Expr::Const(2) },
+                    Op::Write { var: Y, expr: Expr::Const(2) },
+                ],
+            },
+        ],
+        check: |s: &State| {
+            if s.get(X) == s.get(Y) {
+                Ok(())
+            } else {
+                Err(format!("X={:?} != Y={:?}", s.get(X), s.get(Y)))
+            }
+        },
+    }
+}
+
+/// Litmus 1 variant with inserts: both variables start absent; each
+/// transaction inserts its value into both. X and Y must observe the
+/// same fate (same value, or both absent).
+pub fn litmus1_insert() -> LitmusTest {
+    LitmusTest {
+        name: "litmus1-insert",
+        init: vec![],
+        observed: vec![X, Y],
+        txns: vec![
+            TxnProgram {
+                name: "T1",
+                ops: vec![
+                    Op::Insert { var: X, expr: Expr::Const(1) },
+                    Op::Insert { var: Y, expr: Expr::Const(1) },
+                ],
+            },
+            TxnProgram {
+                name: "T2",
+                ops: vec![
+                    Op::Insert { var: X, expr: Expr::Const(2) },
+                    Op::Insert { var: Y, expr: Expr::Const(2) },
+                ],
+            },
+        ],
+        check: |s: &State| {
+            if s.get(X) == s.get(Y) {
+                Ok(())
+            } else {
+                Err(format!("insert atomicity: X={:?} != Y={:?}", s.get(X), s.get(Y)))
+            }
+        },
+    }
+}
+
+/// Litmus 1 variant with deletes: writes race a transactional delete of
+/// both variables; the pair must stay atomic.
+pub fn litmus1_delete() -> LitmusTest {
+    LitmusTest {
+        name: "litmus1-delete",
+        init: vec![(X, 7), (Y, 7)],
+        observed: vec![X, Y],
+        txns: vec![
+            TxnProgram {
+                name: "T1",
+                ops: vec![
+                    Op::Write { var: X, expr: Expr::Const(1) },
+                    Op::Write { var: Y, expr: Expr::Const(1) },
+                ],
+            },
+            TxnProgram {
+                name: "T2",
+                ops: vec![Op::Delete { var: X }, Op::Delete { var: Y }],
+            },
+        ],
+        check: |s: &State| {
+            if s.get(X) == s.get(Y) {
+                Ok(())
+            } else {
+                Err(format!("delete atomicity: X={:?} != Y={:?}", s.get(X), s.get(Y)))
+            }
+        },
+    }
+}
+
+/// Litmus 2 — *Read-Write cycles* (Figure 5b): T1 reads X and writes
+/// Y = x+1; T2 reads Y and writes X = y+1. If both read the initial 0,
+/// the final X == Y == 1 is a strict-serializability violation (each
+/// transaction must see the other's write if it doesn't precede it).
+pub fn litmus2() -> LitmusTest {
+    LitmusTest {
+        name: "litmus2-read-write",
+        init: vec![(X, 0), (Y, 0)],
+        observed: vec![X, Y],
+        txns: vec![
+            TxnProgram {
+                name: "T1",
+                ops: vec![
+                    Op::Read { var: X, reg: 0 },
+                    Op::Write { var: Y, expr: Expr::RegPlus(0, 1) },
+                ],
+            },
+            TxnProgram {
+                name: "T2",
+                ops: vec![
+                    Op::Read { var: Y, reg: 0 },
+                    Op::Write { var: X, expr: Expr::RegPlus(0, 1) },
+                ],
+            },
+        ],
+        check: |s: &State| {
+            let (x, y) = (s.get_or_zero(X), s.get_or_zero(Y));
+            // Serial orders give X != Y (each is the other's successor);
+            // X == Y is only legal when neither committed (0, 0).
+            if x == y && x != 0 {
+                Err(format!("read-write cycle: X == Y == {x}"))
+            } else {
+                Ok(())
+            }
+        },
+    }
+}
+
+/// Litmus 3 — *Indirect-Write cycles* (Figure 5c): T1 increments X and
+/// copies it into Y; T2 increments X and copies it into Z. At every
+/// observable point X >= Y and X >= Z (Figure 5f uses assert(x = y)
+/// inside the txns; the paper's invariant formulation is "the values of
+/// Y and Z cannot be larger than the value of X").
+pub fn litmus3() -> LitmusTest {
+    LitmusTest {
+        name: "litmus3-indirect-write",
+        init: vec![(X, 0), (Y, 0), (Z, 0)],
+        observed: vec![X, Y, Z],
+        txns: vec![
+            TxnProgram {
+                name: "T1",
+                ops: vec![
+                    Op::Read { var: X, reg: 0 },
+                    Op::Write { var: X, expr: Expr::RegPlus(0, 1) },
+                    Op::Write { var: Y, expr: Expr::RegPlus(0, 1) },
+                ],
+            },
+            TxnProgram {
+                name: "T2",
+                ops: vec![
+                    Op::Read { var: X, reg: 0 },
+                    Op::Write { var: X, expr: Expr::RegPlus(0, 1) },
+                    Op::Write { var: Z, expr: Expr::RegPlus(0, 1) },
+                ],
+            },
+        ],
+        check: |s: &State| {
+            let (x, y, z) = (s.get_or_zero(X), s.get_or_zero(Y), s.get_or_zero(Z));
+            if x >= y && x >= z {
+                Ok(())
+            } else {
+                Err(format!("indirect-write cycle: X={x} Y={y} Z={z}"))
+            }
+        },
+    }
+}
+
+/// Compound test (paper §5 "Compound Tests"): litmus 1 stretched over
+/// four variables and combined with a read-write cycle. No new bug class
+/// — included for coverage, as in the paper.
+pub fn compound() -> LitmusTest {
+    const V4: Var = Var(4);
+    LitmusTest {
+        name: "compound-stretched",
+        init: vec![(W, 0), (X, 0), (Y, 0), (Z, 0), (V4, 0)],
+        observed: vec![W, X, Y, Z, V4],
+        txns: vec![
+            TxnProgram {
+                name: "T1",
+                ops: vec![
+                    Op::Write { var: W, expr: Expr::Const(1) },
+                    Op::Write { var: X, expr: Expr::Const(1) },
+                    Op::Write { var: Y, expr: Expr::Const(1) },
+                    Op::Write { var: Z, expr: Expr::Const(1) },
+                ],
+            },
+            TxnProgram {
+                name: "T2",
+                ops: vec![
+                    Op::Write { var: W, expr: Expr::Const(2) },
+                    Op::Write { var: X, expr: Expr::Const(2) },
+                    Op::Write { var: Y, expr: Expr::Const(2) },
+                    Op::Write { var: Z, expr: Expr::Const(2) },
+                ],
+            },
+            TxnProgram {
+                name: "T3",
+                ops: vec![
+                    Op::Read { var: W, reg: 0 },
+                    Op::Write { var: V4, expr: Expr::RegPlus(0, 0) },
+                ],
+            },
+        ],
+        check: |s: &State| {
+            let (w, x, y, z) = (
+                s.get_or_zero(W),
+                s.get_or_zero(X),
+                s.get_or_zero(Y),
+                s.get_or_zero(Z),
+            );
+            if w != x || x != y || y != z {
+                return Err(format!("stretched direct-write: W={w} X={x} Y={y} Z={z}"));
+            }
+            // V4 is a copy of some committed W value: 0, 1, or 2.
+            let v4 = s.get_or_zero(V4);
+            if ![0, 1, 2].contains(&v4) {
+                return Err(format!("V4={v4} never a committed W"));
+            }
+            Ok(())
+        },
+    }
+}
+
+/// All basic + compound tests.
+pub fn all_tests() -> Vec<LitmusTest> {
+    vec![litmus1(), litmus1_insert(), litmus1_delete(), litmus2(), litmus3(), compound()]
+}

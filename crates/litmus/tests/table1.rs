@@ -1,0 +1,78 @@
+//! Table 1 of the paper: each re-introduced FORD bug is caught by its
+//! litmus scenario, and the fixed protocols pass the same scenario.
+
+use pandora::{BugFlags, ProtocolKind};
+use pandora_litmus::{run_scenario, Scenario};
+
+fn assert_bug_caught(scenario: Scenario, protocol: ProtocolKind) {
+    let buggy = run_scenario(scenario, protocol, scenario.bug_flags());
+    assert!(
+        buggy.violated(),
+        "{scenario:?} with its bug enabled must violate strict serializability"
+    );
+    let fixed = run_scenario(scenario, protocol, BugFlags::none());
+    assert!(
+        !fixed.violated(),
+        "{scenario:?} with the fix must pass, got: {:?}",
+        fixed.violation
+    );
+}
+
+#[test]
+fn complicit_abort_caught_and_fixed() {
+    assert_bug_caught(Scenario::ComplicitAbort, ProtocolKind::Ford);
+}
+
+#[test]
+fn complicit_abort_fixed_in_pandora() {
+    let fixed = run_scenario(Scenario::ComplicitAbort, ProtocolKind::Pandora, BugFlags::none());
+    assert!(!fixed.violated());
+}
+
+#[test]
+fn missing_actions_caught_and_fixed() {
+    // C2 bug of the Baseline: inserts missing from the undo logs.
+    assert_bug_caught(Scenario::MissingActions, ProtocolKind::Ford);
+}
+
+#[test]
+fn covert_locks_caught_and_fixed() {
+    assert_bug_caught(Scenario::CovertLocks, ProtocolKind::Ford);
+}
+
+#[test]
+fn covert_locks_fixed_in_pandora() {
+    let fixed = run_scenario(Scenario::CovertLocks, ProtocolKind::Pandora, BugFlags::none());
+    assert!(!fixed.violated());
+}
+
+#[test]
+fn relaxed_locks_caught_and_fixed() {
+    assert_bug_caught(Scenario::RelaxedLocks, ProtocolKind::Ford);
+}
+
+#[test]
+fn lost_decision_caught_and_fixed() {
+    assert_bug_caught(Scenario::LostDecision, ProtocolKind::Ford);
+}
+
+#[test]
+fn lost_decision_fixed_in_pandora() {
+    let fixed = run_scenario(Scenario::LostDecision, ProtocolKind::Pandora, BugFlags::none());
+    assert!(!fixed.violated());
+}
+
+#[test]
+fn logging_without_locking_caught_and_fixed() {
+    assert_bug_caught(Scenario::LoggingWithoutLocking, ProtocolKind::Ford);
+}
+
+#[test]
+fn scenario_metadata_matches_table1() {
+    assert_eq!(Scenario::ComplicitAbort.litmus_family(), "Litmus-1 (Direct-Write)");
+    assert_eq!(Scenario::CovertLocks.litmus_family(), "Litmus-2 (Read-Write)");
+    assert_eq!(Scenario::LostDecision.litmus_family(), "Litmus-3 (Indirect-Write)");
+    assert_eq!(Scenario::ComplicitAbort.category(), "C1 online-failure-free");
+    assert_eq!(Scenario::MissingActions.category(), "C2 online-recovery");
+    assert_eq!(Scenario::ALL.len(), 6);
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Errors surfaced by verbs and control-path calls.
+///
+/// In a real deployment these map to completion-queue error states
+/// (`IBV_WC_*`) or transport teardown; the protocol layer treats most of
+/// them as "the remote side is unreachable" and aborts or retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The target memory node has crashed (crash-stop).
+    NodeDead,
+    /// This endpoint's access rights were revoked by active-link
+    /// termination; the verb was dropped at the (simulated) NIC.
+    AccessRevoked,
+    /// The issuing compute context was crashed by the fault injector.
+    /// Power-cut semantics: everything already written remotely persists.
+    Crashed,
+    /// Verb addressed memory outside the registered region.
+    OutOfBounds { addr: u64, len: usize, capacity: u64 },
+    /// CAS/FAA (and, in this simulator, all verbs) require 8-byte-aligned
+    /// addresses and lengths; see crate docs.
+    Misaligned { addr: u64 },
+    /// Unknown node id in a control-path call.
+    NodeUnknown(u16),
+    /// Control-path failure (allocation exhausted, service down, ...).
+    Control(String),
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::NodeDead => write!(f, "memory node is dead"),
+            RdmaError::AccessRevoked => write!(f, "endpoint access rights revoked"),
+            RdmaError::Crashed => write!(f, "compute context crashed by fault injector"),
+            RdmaError::OutOfBounds { addr, len, capacity } => {
+                write!(f, "access [{addr:#x}, +{len}) outside region of {capacity} bytes")
+            }
+            RdmaError::Misaligned { addr } => write!(f, "address {addr:#x} not 8-byte aligned"),
+            RdmaError::NodeUnknown(id) => write!(f, "unknown memory node {id}"),
+            RdmaError::Control(msg) => write!(f, "control-path error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+/// Convenience alias used across the fabric API.
+pub type RdmaResult<T> = Result<T, RdmaError>;

@@ -1,0 +1,215 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::error::{RdmaError, RdmaResult};
+use crate::fault::FaultInjector;
+use crate::latency::LatencyModel;
+use crate::mem::{MemoryNode, MAX_ENDPOINTS};
+use crate::qp::QueuePair;
+use crate::rpc::{CtrlClient, CtrlService};
+
+/// Identifier of a memory server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+/// Identifier of a compute endpoint (one per compute-server process).
+/// Revocation operates at this granularity: terminating the links of a
+/// failed compute server cuts off *all* its coordinators at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EndpointId(pub u32);
+
+/// Fabric construction parameters.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of memory servers.
+    pub memory_nodes: u16,
+    /// Registered memory per server, in bytes.
+    pub capacity_per_node: u64,
+    /// Latency model applied to every queue pair created on this fabric.
+    pub latency: LatencyModel,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            memory_nodes: 2,
+            capacity_per_node: 64 << 20,
+            latency: LatencyModel::zero(),
+        }
+    }
+}
+
+/// The simulated RDMA fabric: the set of memory nodes plus endpoint
+/// registration. Cloneable via `Arc`; all state is internally synchronized.
+pub struct Fabric {
+    nodes: Vec<Arc<MemoryNode>>,
+    ctrl: Vec<CtrlClient>,
+    next_endpoint: AtomicU32,
+    latency: LatencyModel,
+}
+
+impl Fabric {
+    pub fn new(config: FabricConfig) -> Arc<Self> {
+        let mut nodes = Vec::with_capacity(config.memory_nodes as usize);
+        let mut ctrl = Vec::with_capacity(config.memory_nodes as usize);
+        for i in 0..config.memory_nodes {
+            let node = Arc::new(MemoryNode::new(NodeId(i), config.capacity_per_node));
+            let svc = CtrlService::spawn(Arc::clone(&node));
+            ctrl.push(CtrlClient { tx: svc.tx });
+            nodes.push(node);
+        }
+        Arc::new(Fabric { nodes, ctrl, next_endpoint: AtomicU32::new(0), latency: config.latency })
+    }
+
+    pub fn num_nodes(&self) -> u16 {
+        self.nodes.len() as u16
+    }
+
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().map(|n| n.id())
+    }
+
+    pub fn node(&self, id: NodeId) -> RdmaResult<&Arc<MemoryNode>> {
+        self.nodes.get(id.0 as usize).ok_or(RdmaError::NodeUnknown(id.0))
+    }
+
+    /// Register a compute endpoint (connection setup, control path).
+    pub fn register_endpoint(&self) -> EndpointId {
+        let id = self.next_endpoint.fetch_add(1, Ordering::AcqRel);
+        assert!((id as usize) < MAX_ENDPOINTS, "too many endpoints");
+        EndpointId(id)
+    }
+
+    /// Create a reliable-connection queue pair from `endpoint` to `node`.
+    /// `injector` carries compute-side crash faults; pass the same
+    /// injector to every QP of one logical coordinator.
+    pub fn qp(
+        &self,
+        endpoint: EndpointId,
+        node: NodeId,
+        injector: Arc<FaultInjector>,
+    ) -> RdmaResult<QueuePair> {
+        self.qp_with_latency(endpoint, node, injector, self.latency)
+    }
+
+    /// Queue pair with an explicit latency model, overriding the
+    /// fabric-wide one. Setup paths (bulk loads, admin scans) use
+    /// [`LatencyModel::zero`] so experiment preparation does not pay the
+    /// injected network delay being modelled for the data path.
+    pub fn qp_with_latency(
+        &self,
+        endpoint: EndpointId,
+        node: NodeId,
+        injector: Arc<FaultInjector>,
+        latency: LatencyModel,
+    ) -> RdmaResult<QueuePair> {
+        let node = Arc::clone(self.node(node)?);
+        Ok(QueuePair::new(node, endpoint, injector, latency))
+    }
+
+    /// Control-path client for `node` (wimpy-core RPC).
+    pub fn control(&self, node: NodeId) -> RdmaResult<CtrlClient> {
+        self.node(node)?; // validate id
+        Ok(self.ctrl[node.0 as usize].clone())
+    }
+
+    /// Crash-stop a memory server.
+    pub fn kill_node(&self, node: NodeId) -> RdmaResult<()> {
+        self.node(node)?.kill();
+        Ok(())
+    }
+
+    /// Revive a previously killed memory server (contents retained).
+    pub fn revive_node(&self, node: NodeId) -> RdmaResult<()> {
+        self.node(node)?.revive();
+        Ok(())
+    }
+
+    /// Active-link termination of `endpoint` on **every** memory node,
+    /// via control-path RPCs (paper §3.2.2, step 2). Returns the number
+    /// of nodes that acknowledged; dead nodes are skipped (their memory
+    /// is unreachable anyway).
+    pub fn revoke_everywhere(&self, endpoint: EndpointId) -> usize {
+        let mut acked = 0;
+        for (i, c) in self.ctrl.iter().enumerate() {
+            if !self.nodes[i].is_alive() {
+                continue;
+            }
+            if c.revoke(endpoint.0).is_ok() {
+                acked += 1;
+            }
+        }
+        acked
+    }
+
+    /// Restore `endpoint` on every live memory node.
+    pub fn restore_everywhere(&self, endpoint: EndpointId) -> usize {
+        let mut acked = 0;
+        for (i, c) in self.ctrl.iter().enumerate() {
+            if !self.nodes[i].is_alive() {
+                continue;
+            }
+            if c.restore(endpoint.0).is_ok() {
+                acked += 1;
+            }
+        }
+        acked
+    }
+
+    /// The latency model active on this fabric.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Arc<Fabric> {
+        Fabric::new(FabricConfig { memory_nodes: 3, capacity_per_node: 1 << 16, latency: LatencyModel::zero() })
+    }
+
+    #[test]
+    fn endpoints_are_unique() {
+        let f = fabric();
+        let a = f.register_endpoint();
+        let b = f.register_endpoint();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn control_alloc_works() {
+        let f = fabric();
+        let c = f.control(NodeId(1)).unwrap();
+        let off1 = c.alloc(128).unwrap();
+        let off2 = c.alloc(128).unwrap();
+        assert_ne!(off1, off2);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let f = fabric();
+        assert!(f.control(NodeId(9)).is_err());
+        assert!(f.kill_node(NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn dead_node_rejects_control_calls() {
+        let f = fabric();
+        f.kill_node(NodeId(0)).unwrap();
+        let c = f.control(NodeId(0)).unwrap();
+        assert_eq!(c.ping(), Err(RdmaError::NodeDead));
+        f.revive_node(NodeId(0)).unwrap();
+        assert!(c.ping().is_ok());
+    }
+
+    #[test]
+    fn revoke_everywhere_skips_dead_nodes() {
+        let f = fabric();
+        let ep = f.register_endpoint();
+        f.kill_node(NodeId(2)).unwrap();
+        assert_eq!(f.revoke_everywhere(ep), 2);
+        assert_eq!(f.restore_everywhere(ep), 2);
+    }
+}

@@ -1,0 +1,202 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{RdmaError, RdmaResult};
+
+/// Whether the crash fires before, during, or after the target verb
+/// takes effect remotely.
+///
+/// * `BeforeOp` — the coordinator dies as it is about to issue verb N:
+///   nothing from verb N onwards reaches memory.
+/// * `AfterOp` — verb N lands in remote memory, but the coordinator dies
+///   before it can observe the completion (e.g. a lock CAS succeeded but
+///   the owner never learns it: the canonical *stray lock*, paper §3.1.1).
+/// * `MidWrite` — verb N is a WRITE and only its first half lands: the
+///   torn-write case real RDMA exhibits when a sender dies mid-transfer.
+///   This is what the undo-log checksum canary exists for (DESIGN §4);
+///   for non-WRITE verbs it behaves like `BeforeOp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    BeforeOp,
+    AfterOp,
+    MidWrite,
+}
+
+/// A deterministic crash trigger: die at the `at_op`-th verb (1-based)
+/// issued through any queue pair carrying this injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    pub at_op: u64,
+    pub mode: CrashMode,
+}
+
+/// Compute-side crash injector with power-cut semantics.
+///
+/// A `FaultInjector` is shared (via `Arc`) between all queue pairs of one
+/// logical coordinator. Each verb calls [`FaultInjector::on_op`]; when the
+/// plan triggers (or [`FaultInjector::crash_now`] was called from another
+/// thread), the verb returns [`RdmaError::Crashed`] and every later verb
+/// fails the same way. The protocol layer propagates the error without
+/// running any cleanup, leaving locks, logs and partial updates in remote
+/// memory exactly as a dead process would.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    ops_issued: AtomicU64,
+    crashed: AtomicBool,
+    /// 0 = no plan; otherwise the op number to crash at.
+    plan_at: AtomicU64,
+    /// 0 = BeforeOp, 1 = AfterOp, 2 = MidWrite.
+    plan_mode: std::sync::atomic::AtomicU8,
+}
+
+impl FaultInjector {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arm a crash plan. Replaces any previous plan.
+    pub fn arm(&self, plan: CrashPlan) {
+        assert!(plan.at_op > 0, "op numbering is 1-based");
+        let mode = match plan.mode {
+            CrashMode::BeforeOp => 0,
+            CrashMode::AfterOp => 1,
+            CrashMode::MidWrite => 2,
+        };
+        self.plan_mode.store(mode, Ordering::Release);
+        self.plan_at.store(plan.at_op, Ordering::Release);
+    }
+
+    /// Immediately mark the context crashed (asynchronous kill).
+    pub fn crash_now(&self) {
+        self.crashed.store(true, Ordering::Release);
+    }
+
+    /// Clear crash state and plan, and reset the op counter (a *new*
+    /// incarnation of the compute server; it must obtain a fresh
+    /// coordinator-id from the failure detector before transacting again).
+    pub fn reset(&self) {
+        self.crashed.store(false, Ordering::Release);
+        self.plan_at.store(0, Ordering::Release);
+        self.ops_issued.store(0, Ordering::Release);
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Number of verbs issued so far (diagnostics; also used by litmus
+    /// schedules to size crash-point sweeps).
+    pub fn ops_issued(&self) -> u64 {
+        self.ops_issued.load(Ordering::Acquire)
+    }
+
+    /// Called by the QP around each verb. Returns:
+    /// * `Ok(CrashAction::Proceed)` — verb takes effect normally.
+    /// * `Ok(CrashAction::CrashAfter)` — verb takes effect, then the
+    ///   context crashes (`AfterOp`).
+    /// * `Ok(CrashAction::TearWrite)` — a WRITE lands only its first
+    ///   half, then the context crashes (`MidWrite`); non-WRITE verbs
+    ///   treat this as crash-before.
+    /// * `Err(Crashed)` — context is (now) dead; verb must not execute.
+    #[inline]
+    pub(crate) fn on_op(&self) -> RdmaResult<CrashAction> {
+        if self.crashed.load(Ordering::Acquire) {
+            return Err(RdmaError::Crashed);
+        }
+        let n = self.ops_issued.fetch_add(1, Ordering::AcqRel) + 1;
+        let at = self.plan_at.load(Ordering::Acquire);
+        if at != 0 && n == at {
+            self.crashed.store(true, Ordering::Release);
+            return match self.plan_mode_at_trigger() {
+                CrashMode::AfterOp => Ok(CrashAction::CrashAfter),
+                CrashMode::MidWrite => Ok(CrashAction::TearWrite),
+                CrashMode::BeforeOp => Err(RdmaError::Crashed),
+            };
+        }
+        // A plan may also have been passed while ops raced ahead (n > at):
+        // treat overshoot as crashed too, so plans armed concurrently with
+        // a running coordinator still stop it promptly.
+        if at != 0 && n > at {
+            self.crashed.store(true, Ordering::Release);
+            return Err(RdmaError::Crashed);
+        }
+        Ok(CrashAction::Proceed)
+    }
+
+    fn plan_mode_at_trigger(&self) -> CrashMode {
+        match self.plan_mode.load(Ordering::Acquire) {
+            1 => CrashMode::AfterOp,
+            2 => CrashMode::MidWrite,
+            _ => CrashMode::BeforeOp,
+        }
+    }
+}
+
+/// What the QP should do with the verb that triggered the crash plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CrashAction {
+    Proceed,
+    CrashAfter,
+    TearWrite,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_never_crashes() {
+        let f = FaultInjector::new();
+        for _ in 0..100 {
+            assert_eq!(f.on_op().unwrap(), CrashAction::Proceed);
+        }
+        assert!(!f.is_crashed());
+    }
+
+    #[test]
+    fn before_op_crashes_at_exact_op() {
+        let f = FaultInjector::new();
+        f.arm(CrashPlan { at_op: 3, mode: CrashMode::BeforeOp });
+        assert!(f.on_op().is_ok());
+        assert!(f.on_op().is_ok());
+        assert_eq!(f.on_op(), Err(RdmaError::Crashed));
+        assert_eq!(f.on_op(), Err(RdmaError::Crashed));
+        assert!(f.is_crashed());
+    }
+
+    #[test]
+    fn after_op_lets_the_op_land() {
+        let f = FaultInjector::new();
+        f.arm(CrashPlan { at_op: 2, mode: CrashMode::AfterOp });
+        assert_eq!(f.on_op().unwrap(), CrashAction::Proceed);
+        assert_eq!(f.on_op().unwrap(), CrashAction::CrashAfter);
+        assert_eq!(f.on_op(), Err(RdmaError::Crashed));
+    }
+
+    #[test]
+    fn mid_write_tears_the_triggering_op() {
+        let f = FaultInjector::new();
+        f.arm(CrashPlan { at_op: 2, mode: CrashMode::MidWrite });
+        assert_eq!(f.on_op().unwrap(), CrashAction::Proceed);
+        assert_eq!(f.on_op().unwrap(), CrashAction::TearWrite);
+        assert_eq!(f.on_op(), Err(RdmaError::Crashed));
+    }
+
+    #[test]
+    fn crash_now_is_immediate() {
+        let f = FaultInjector::new();
+        assert!(f.on_op().is_ok());
+        f.crash_now();
+        assert_eq!(f.on_op(), Err(RdmaError::Crashed));
+    }
+
+    #[test]
+    fn reset_revives() {
+        let f = FaultInjector::new();
+        f.arm(CrashPlan { at_op: 1, mode: CrashMode::BeforeOp });
+        assert!(f.on_op().is_err());
+        f.reset();
+        assert!(f.on_op().is_ok());
+        assert_eq!(f.ops_issued(), 1);
+    }
+}

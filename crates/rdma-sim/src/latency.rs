@@ -1,0 +1,112 @@
+use std::time::{Duration, Instant};
+
+/// Network latency/bandwidth model applied per verb.
+///
+/// The default is [`LatencyModel::zero`] — verbs cost only their in-process
+/// execution time (~100 ns), which already preserves the *relative* shape
+/// of round-trip counts. Experiments that need absolute-time fidelity
+/// (e.g. the baseline full-KVS scan of paper §6.1, whose cost is dominated
+/// by `size / bandwidth`) inject a model approximating the paper's
+/// 100 Gbps / ~2 µs-RTT fabric.
+///
+/// Delays below `SPIN_THRESHOLD` are busy-waited (sleeping cannot resolve
+/// single-digit microseconds); longer ones sleep to avoid starving other
+/// threads on small machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Round-trip time charged to every verb.
+    pub rtt: Duration,
+    /// Payload cost in nanoseconds per KiB (models link bandwidth);
+    /// 0 disables the bandwidth term.
+    pub ns_per_kib: u64,
+}
+
+const SPIN_THRESHOLD: Duration = Duration::from_micros(100);
+
+impl LatencyModel {
+    /// No injected delay (the default for functional tests and
+    /// throughput-shape experiments).
+    pub const fn zero() -> Self {
+        LatencyModel { rtt: Duration::ZERO, ns_per_kib: 0 }
+    }
+
+    /// Approximation of the paper's testbed: ConnectX-6 100 Gbps,
+    /// ~2 µs round trips. 100 Gbps = 12.5 GB/s ≈ 82 ns per KiB.
+    pub const fn cloudlab_100g() -> Self {
+        LatencyModel { rtt: Duration::from_micros(2), ns_per_kib: 82 }
+    }
+
+    pub const fn is_zero(&self) -> bool {
+        self.rtt.is_zero() && self.ns_per_kib == 0
+    }
+
+    /// Total injected delay for a verb carrying `bytes` of payload.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        if self.is_zero() {
+            return Duration::ZERO;
+        }
+        let bw = Duration::from_nanos(self.ns_per_kib.saturating_mul(bytes as u64) / 1024);
+        self.rtt + bw
+    }
+
+    /// Charge the delay for a verb of `bytes` payload to the calling thread.
+    #[inline]
+    pub(crate) fn charge(&self, bytes: usize) {
+        if self.is_zero() {
+            return;
+        }
+        let d = self.delay_for(bytes);
+        if d.is_zero() {
+            return;
+        }
+        if d >= SPIN_THRESHOLD {
+            std::thread::sleep(d);
+        } else {
+            let end = Instant::now() + d;
+            while Instant::now() < end {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.delay_for(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_payload() {
+        let m = LatencyModel { rtt: Duration::from_micros(2), ns_per_kib: 82 };
+        let small = m.delay_for(64);
+        let big = m.delay_for(1 << 20); // 1 MiB
+        assert!(big > small);
+        // 1 MiB at 82 ns/KiB = 1024 * 82 ns ≈ 84 µs, plus 2 µs RTT.
+        assert!(big >= Duration::from_micros(84) && big <= Duration::from_micros(90));
+    }
+
+    #[test]
+    fn cloudlab_profile_is_plausible() {
+        let m = LatencyModel::cloudlab_100g();
+        assert_eq!(m.delay_for(0), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn charge_spins_for_small_delays() {
+        let m = LatencyModel { rtt: Duration::from_micros(5), ns_per_kib: 0 };
+        let t0 = Instant::now();
+        m.charge(8);
+        assert!(t0.elapsed() >= Duration::from_micros(5));
+    }
+}

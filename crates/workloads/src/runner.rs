@@ -1,0 +1,277 @@
+//! The workload runner: spawns coordinator worker threads over a
+//! cluster, collects throughput, and supports fault injection — the
+//! shared engine behind every fail-over figure of the evaluation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pandora::{CoordStats, LatencyHistogram, SimCluster, ThroughputProbe, TxnError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdma_sim::FaultInjector;
+
+use crate::Workload;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Number of coordinator worker threads.
+    pub coordinators: usize,
+    pub seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig { coordinators: 4, seed: 42 }
+    }
+}
+
+struct WorkerSlot {
+    injector: Arc<FaultInjector>,
+    coord_id: u16,
+    handle: Option<JoinHandle<WorkerExit>>,
+}
+
+/// What a worker thread leaves behind: stats plus its address cache
+/// (used to warm a replacement coordinator on respawn — the paper's
+/// "stopped then recovered" coordinators resume warm).
+struct WorkerExit {
+    stats: CoordStats,
+    addr_cache: Vec<((dkvs::TableId, u64), dkvs::SlotRef)>,
+}
+
+/// A fleet of coordinator workers executing a workload until stopped.
+pub struct WorkloadRunner<W: Workload> {
+    cluster: Arc<SimCluster>,
+    workload: Arc<W>,
+    probe: Arc<ThroughputProbe>,
+    latency: Arc<LatencyHistogram>,
+    stop: Arc<AtomicBool>,
+    slots: Vec<WorkerSlot>,
+    next_seed: u64,
+}
+
+impl<W: Workload> WorkloadRunner<W> {
+    /// Spawn `config.coordinators` workers running `workload`.
+    pub fn spawn(
+        cluster: Arc<SimCluster>,
+        workload: Arc<W>,
+        config: RunnerConfig,
+    ) -> WorkloadRunner<W> {
+        let probe = ThroughputProbe::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut runner = WorkloadRunner {
+            cluster,
+            workload,
+            probe,
+            latency: Arc::new(LatencyHistogram::new()),
+            stop,
+            slots: Vec::with_capacity(config.coordinators),
+            next_seed: config.seed,
+        };
+        for _ in 0..config.coordinators {
+            runner.spawn_worker(Vec::new());
+        }
+        runner
+    }
+
+    fn spawn_worker(&mut self, warm_cache: Vec<((dkvs::TableId, u64), dkvs::SlotRef)>) {
+        let seed = self.next_seed;
+        self.next_seed += 1;
+        let (co, lease) = self.cluster.coordinator().expect("spawn coordinator");
+        let mut co = co.with_probe(Arc::clone(&self.probe));
+        co.warm_addr_cache(warm_cache);
+        let injector = co.injector();
+        let coord_id = lease.coord_id;
+        let workload = Arc::clone(&self.workload);
+        let stop = Arc::clone(&self.stop);
+        let latency = Arc::clone(&self.latency);
+        let handle = std::thread::Builder::new()
+            .name(format!("worker-{coord_id}"))
+            .spawn(move || {
+                use rand::RngExt;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut consecutive_aborts = 0u32;
+                while !stop.load(Ordering::Acquire) {
+                    lease.beat();
+                    let t0 = std::time::Instant::now();
+                    match workload.execute(&mut co, &mut rng) {
+                        Ok(()) => {
+                            latency.record(t0.elapsed());
+                            consecutive_aborts = 0;
+                        }
+                        Err(TxnError::Aborted(_)) => {
+                            // Randomized exponential backoff tames abort
+                            // storms on contended rows (standard OCC
+                            // practice, as in FORD's client library).
+                            consecutive_aborts = (consecutive_aborts + 1).min(6);
+                            let ceil = 1u64 << consecutive_aborts;
+                            let us = rng.random_range(0..ceil * 8);
+                            if us > 0 {
+                                std::thread::sleep(Duration::from_micros(us));
+                            }
+                        }
+                        Err(TxnError::Crashed) => break,
+                        Err(TxnError::Rdma(rdma_sim::RdmaError::AccessRevoked)) => {
+                            // Fenced by active-link termination (possibly a
+                            // false positive on a shared endpoint). Retrying
+                            // forever would keep the heartbeat alive and the
+                            // coordinator's stray state unrecoverable; die so
+                            // the FD declares and recovers us.
+                            break;
+                        }
+                        Err(TxnError::Rdma(_)) => {
+                            // Transient (racing a memory-node death before
+                            // the reconfiguration pause): back off briefly.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                }
+                WorkerExit { stats: co.stats, addr_cache: co.export_addr_cache() }
+            })
+            .expect("spawn worker thread");
+        self.slots.push(WorkerSlot { injector, coord_id, handle: Some(handle) });
+    }
+
+    pub fn probe(&self) -> Arc<ThroughputProbe> {
+        Arc::clone(&self.probe)
+    }
+
+    /// Committed-transaction latency histogram across all workers.
+    pub fn latency(&self) -> Arc<LatencyHistogram> {
+        Arc::clone(&self.latency)
+    }
+
+    pub fn cluster(&self) -> &Arc<SimCluster> {
+        &self.cluster
+    }
+
+    /// Number of worker slots (alive or crashed).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Coordinator-ids currently held by worker slots.
+    pub fn coord_ids(&self) -> Vec<u16> {
+        self.slots.iter().map(|s| s.coord_id).collect()
+    }
+
+    /// Crash worker `idx` (power-cut). Returns its coordinator-id.
+    pub fn crash_worker(&self, idx: usize) -> u16 {
+        let slot = &self.slots[idx];
+        slot.injector.crash_now();
+        slot.coord_id
+    }
+
+    /// Crash the first `n` workers; returns their coordinator-ids.
+    pub fn crash_first(&self, n: usize) -> Vec<u16> {
+        (0..n.min(self.slots.len())).map(|i| self.crash_worker(i)).collect()
+    }
+
+    /// Replace crashed workers with fresh coordinators (the paper's
+    /// §6.4 "reusing resources from failed coordinators", restoring
+    /// post-failure throughput). Returns how many were respawned.
+    pub fn respawn_crashed(&mut self) -> usize {
+        let mut respawned = 0;
+        let mut crashed: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.injector.is_crashed())
+            .map(|(i, _)| i)
+            .collect();
+        // Remove from the back so earlier indices stay valid.
+        crashed.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in crashed {
+            let mut slot = self.slots.swap_remove(idx);
+            // The old worker thread has exited (or will at its next op);
+            // reap it and inherit its address cache (warm restart).
+            let warm = slot
+                .handle
+                .take()
+                .and_then(|h| h.join().ok())
+                .map(|exit| exit.addr_cache)
+                .unwrap_or_default();
+            self.spawn_worker(warm);
+            respawned += 1;
+        }
+        respawned
+    }
+
+    /// Stop all workers and collect their stats.
+    pub fn stop_and_join(mut self) -> Vec<CoordStats> {
+        self.stop.store(true, Ordering::Release);
+        let mut stats = Vec::with_capacity(self.slots.len());
+        for slot in &mut self.slots {
+            if let Some(h) = slot.handle.take() {
+                stats.push(h.join().expect("worker panicked").stats);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::MicroBench;
+    use pandora::ProtocolKind;
+
+    fn micro_cluster(bench: &MicroBench) -> Arc<SimCluster> {
+        let b = crate::with_tables(
+            SimCluster::builder(ProtocolKind::Pandora).memory_nodes(2).replication(2),
+            bench,
+        );
+        let cluster = b.build().unwrap();
+        bench.load(&cluster);
+        Arc::new(cluster)
+    }
+
+    #[test]
+    fn runner_commits_and_stops() {
+        let bench = Arc::new(MicroBench::new(512, 0.5));
+        let cluster = micro_cluster(&bench);
+        let runner = WorkloadRunner::spawn(
+            Arc::clone(&cluster),
+            bench,
+            RunnerConfig { coordinators: 3, seed: 1 },
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let probe = runner.probe();
+        let stats = runner.stop_and_join();
+        assert_eq!(stats.len(), 3);
+        assert!(probe.committed_total() > 0);
+        let total: u64 = stats.iter().map(|s| s.committed).sum();
+        assert_eq!(total, probe.committed_total());
+    }
+
+    #[test]
+    fn crash_and_recover_and_respawn() {
+        let bench = Arc::new(MicroBench::new(512, 0.5));
+        let cluster = micro_cluster(&bench);
+        let mut runner = WorkloadRunner::spawn(
+            Arc::clone(&cluster),
+            bench,
+            RunnerConfig { coordinators: 3, seed: 2 },
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let victim = runner.crash_worker(0);
+        std::thread::sleep(Duration::from_millis(20));
+        cluster.fd.declare_failed(victim);
+        let respawned = runner.respawn_crashed();
+        assert_eq!(respawned, 1);
+        assert_eq!(runner.len(), 3);
+        std::thread::sleep(Duration::from_millis(50));
+        let before = runner.probe().committed_total();
+        std::thread::sleep(Duration::from_millis(50));
+        let after = runner.probe().committed_total();
+        assert!(after > before, "respawned fleet keeps committing");
+        runner.stop_and_join();
+    }
+}

@@ -1,0 +1,408 @@
+//! TPC-C: 9 tables, 672-byte values, ~95 % write transactions (paper
+//! §4.1). The standard five-transaction mix — NewOrder 45 %, Payment
+//! 43 %, OrderStatus 4 %, Delivery 4 %, StockLevel 4 % — over the
+//! key-value schema FORD uses: composite keys packed into 8 bytes, one
+//! uniform 672-byte value per row with numeric fields embedded at fixed
+//! offsets.
+//!
+//! Order-identifier space per district is a rolling window (old orders
+//! are overwritten) so the insert-heavy tables stay bounded in a
+//! long-running simulation; the transaction footprint (tables touched,
+//! read/write mix, district hot-spot) is unchanged.
+
+use dkvs::{TableDef, TableId};
+use pandora::{Coordinator, SimCluster, Txn, TxnError};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::Workload;
+
+pub const WAREHOUSE: TableId = TableId(0);
+pub const DISTRICT: TableId = TableId(1);
+pub const CUSTOMER: TableId = TableId(2);
+pub const HISTORY: TableId = TableId(3);
+pub const NEWORDER: TableId = TableId(4);
+pub const ORDERS: TableId = TableId(5);
+pub const ORDERLINE: TableId = TableId(6);
+pub const ITEM: TableId = TableId(7);
+pub const STOCK: TableId = TableId(8);
+
+pub const TPCC_VALUE_LEN: usize = 672;
+
+const DISTRICTS_PER_WH: u64 = 10;
+/// Rolling order window per district.
+const ORDER_WINDOW: u64 = 256;
+const MAX_OL_PER_ORDER: u64 = 15;
+
+/// TPC-C configuration (scaled-down sizes; see module docs).
+#[derive(Debug, Clone)]
+pub struct Tpcc {
+    pub warehouses: u64,
+    pub customers_per_district: u64,
+    pub items: u64,
+}
+
+impl Tpcc {
+    pub fn new(warehouses: u64) -> Tpcc {
+        Tpcc { warehouses, customers_per_district: 128, items: 1024 }
+    }
+
+    fn d_key(w: u64, d: u64) -> u64 {
+        w * 16 + d
+    }
+
+    fn c_key(w: u64, d: u64, c: u64) -> u64 {
+        Self::d_key(w, d) * 4096 + c
+    }
+
+    fn o_key(w: u64, d: u64, o: u64) -> u64 {
+        Self::d_key(w, d) * 8192 + (o % ORDER_WINDOW)
+    }
+
+    fn ol_key(w: u64, d: u64, o: u64, line: u64) -> u64 {
+        Self::o_key(w, d, o) * 16 + line
+    }
+
+    fn h_key(w: u64, d: u64, h: u64) -> u64 {
+        Self::d_key(w, d) * 8192 + (h % ORDER_WINDOW)
+    }
+
+    fn s_key(&self, w: u64, i: u64) -> u64 {
+        w * self.items + i
+    }
+}
+
+// ---- value-field helpers (u64 fields at fixed 8-byte offsets) ----
+
+fn field(v: &[u8], idx: usize) -> u64 {
+    u64::from_le_bytes(v[idx * 8..(idx + 1) * 8].try_into().expect("8B"))
+}
+
+fn set_field(v: &mut [u8], idx: usize, value: u64) {
+    v[idx * 8..(idx + 1) * 8].copy_from_slice(&value.to_le_bytes());
+}
+
+fn fresh_row(f0: u64) -> Vec<u8> {
+    let mut v = vec![0u8; TPCC_VALUE_LEN];
+    set_field(&mut v, 0, f0);
+    v
+}
+
+/// District fields: 0 = next_o_id, 1 = next_delivery_o_id, 2 = h_count,
+/// 3 = ytd.
+const D_NEXT_O: usize = 0;
+const D_NEXT_DEL: usize = 1;
+const D_HCOUNT: usize = 2;
+const D_YTD: usize = 3;
+
+/// Write-or-insert ("upsert") used for window-recycled rows.
+fn upsert(txn: &mut Txn<'_>, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
+    if txn.read(table, key)?.is_some() {
+        txn.write(table, key, value)
+    } else {
+        txn.insert(table, key, value)
+    }
+}
+
+impl Workload for Tpcc {
+    fn name(&self) -> &'static str {
+        "TPC-C"
+    }
+
+    fn tables(&self) -> Vec<TableDef> {
+        let w = self.warehouses;
+        let districts = w * DISTRICTS_PER_WH;
+        vec![
+            TableDef::sized_for(0, "warehouse", TPCC_VALUE_LEN, w),
+            TableDef::sized_for(1, "district", TPCC_VALUE_LEN, districts),
+            TableDef::sized_for(2, "customer", TPCC_VALUE_LEN, districts * self.customers_per_district),
+            TableDef::sized_for(3, "history", TPCC_VALUE_LEN, districts * ORDER_WINDOW),
+            TableDef::sized_for(4, "neworder", TPCC_VALUE_LEN, districts * ORDER_WINDOW),
+            TableDef::sized_for(5, "orders", TPCC_VALUE_LEN, districts * ORDER_WINDOW),
+            TableDef::sized_for(6, "orderline", TPCC_VALUE_LEN, districts * ORDER_WINDOW * MAX_OL_PER_ORDER),
+            TableDef::sized_for(7, "item", TPCC_VALUE_LEN, self.items),
+            TableDef::sized_for(8, "stock", TPCC_VALUE_LEN, w * self.items),
+        ]
+    }
+
+    fn load(&self, cluster: &SimCluster) {
+        cluster
+            .bulk_load(WAREHOUSE, (0..self.warehouses).map(|w| (w, fresh_row(0))))
+            .expect("load warehouse");
+        let districts: Vec<(u64, Vec<u8>)> = (0..self.warehouses)
+            .flat_map(|w| (0..DISTRICTS_PER_WH).map(move |d| (Tpcc::d_key(w, d), fresh_row(0))))
+            .collect();
+        cluster.bulk_load(DISTRICT, districts).expect("load district");
+        let customers: Vec<(u64, Vec<u8>)> = (0..self.warehouses)
+            .flat_map(|w| {
+                (0..DISTRICTS_PER_WH).flat_map(move |d| {
+                    (0..self.customers_per_district)
+                        .map(move |c| (Tpcc::c_key(w, d, c), fresh_row(1000)))
+                })
+            })
+            .collect();
+        cluster.bulk_load(CUSTOMER, customers).expect("load customer");
+        cluster
+            .bulk_load(ITEM, (0..self.items).map(|i| (i, fresh_row(100 + i))))
+            .expect("load item");
+        let stock: Vec<(u64, Vec<u8>)> = (0..self.warehouses)
+            .flat_map(|w| (0..self.items).map(move |i| (w * self.items + i, fresh_row(100))))
+            .collect();
+        cluster.bulk_load(STOCK, stock).expect("load stock");
+    }
+
+    fn execute(&self, co: &mut Coordinator, rng: &mut StdRng) -> Result<(), TxnError> {
+        let w = rng.random_range(0..self.warehouses);
+        let d = rng.random_range(0..DISTRICTS_PER_WH);
+        let c = rng.random_range(0..self.customers_per_district);
+        let op = rng.random_range(0..100u32);
+        match op {
+            0..=44 => self.new_order(co, rng, w, d, c),
+            45..=87 => self.payment(co, rng, w, d, c),
+            88..=91 => self.order_status(co, w, d, c),
+            92..=95 => self.delivery(co, w, d),
+            _ => self.stock_level(co, rng, w, d),
+        }
+    }
+}
+
+impl Tpcc {
+    /// NewOrder (45 %): the heaviest transaction — reads warehouse,
+    /// customer, and 5–15 items; RMWs the district (o_id allocation) and
+    /// each item's stock; inserts the order, neworder, and orderlines.
+    fn new_order(
+        &self,
+        co: &mut Coordinator,
+        rng: &mut StdRng,
+        w: u64,
+        d: u64,
+        c: u64,
+    ) -> Result<(), TxnError> {
+        let ol_cnt = rng.random_range(5..=MAX_OL_PER_ORDER);
+        let mut item_ids: Vec<u64> = Vec::with_capacity(ol_cnt as usize);
+        while (item_ids.len() as u64) < ol_cnt {
+            let i = rng.random_range(0..self.items);
+            if !item_ids.contains(&i) {
+                item_ids.push(i);
+            }
+        }
+        let mut txn = co.begin();
+        txn.read(WAREHOUSE, w)?.expect("warehouse");
+        txn.read(CUSTOMER, Self::c_key(w, d, c))?.expect("customer");
+        let mut dist = txn.read(DISTRICT, Self::d_key(w, d))?.expect("district");
+        let o_id = field(&dist, D_NEXT_O);
+        set_field(&mut dist, D_NEXT_O, o_id + 1);
+        txn.write(DISTRICT, Self::d_key(w, d), &dist)?;
+
+        for &i in &item_ids {
+            txn.read(ITEM, i)?.expect("item");
+            let mut stock = txn.read(STOCK, self.s_key(w, i))?.expect("stock");
+            let qty = field(&stock, 0);
+            set_field(&mut stock, 0, if qty > 10 { qty - 1 } else { qty + 91 });
+            txn.write(STOCK, self.s_key(w, i), &stock)?;
+        }
+
+        upsert(&mut txn, ORDERS, Self::o_key(w, d, o_id), &fresh_row(o_id))?;
+        upsert(&mut txn, NEWORDER, Self::o_key(w, d, o_id), &fresh_row(o_id))?;
+        for line in 0..ol_cnt {
+            upsert(&mut txn, ORDERLINE, Self::ol_key(w, d, o_id, line), &fresh_row(line))?;
+        }
+        txn.commit()
+    }
+
+    /// Payment (43 %): warehouse + district + customer RMW, history row.
+    fn payment(
+        &self,
+        co: &mut Coordinator,
+        rng: &mut StdRng,
+        w: u64,
+        d: u64,
+        c: u64,
+    ) -> Result<(), TxnError> {
+        let amount = rng.random_range(1..5000u64);
+        let mut txn = co.begin();
+        let mut wh = txn.read(WAREHOUSE, w)?.expect("warehouse");
+        let wh_ytd = field(&wh, 0) + amount;
+        set_field(&mut wh, 0, wh_ytd);
+        txn.write(WAREHOUSE, w, &wh)?;
+
+        let mut dist = txn.read(DISTRICT, Self::d_key(w, d))?.expect("district");
+        let d_ytd = field(&dist, D_YTD) + amount;
+        set_field(&mut dist, D_YTD, d_ytd);
+        let h_id = field(&dist, D_HCOUNT);
+        set_field(&mut dist, D_HCOUNT, h_id + 1);
+        txn.write(DISTRICT, Self::d_key(w, d), &dist)?;
+
+        let ck = Self::c_key(w, d, c);
+        let mut cust = txn.read(CUSTOMER, ck)?.expect("customer");
+        let c_bal = field(&cust, 0).wrapping_sub(amount);
+        set_field(&mut cust, 0, c_bal);
+        txn.write(CUSTOMER, ck, &cust)?;
+
+        upsert(&mut txn, HISTORY, Self::h_key(w, d, h_id), &fresh_row(amount))?;
+        txn.commit()
+    }
+
+    /// OrderStatus (4 %, read-only): customer's latest order + lines.
+    fn order_status(&self, co: &mut Coordinator, w: u64, d: u64, c: u64) -> Result<(), TxnError> {
+        let mut txn = co.begin();
+        txn.read(CUSTOMER, Self::c_key(w, d, c))?.expect("customer");
+        let dist = txn.read(DISTRICT, Self::d_key(w, d))?.expect("district");
+        let next_o = field(&dist, D_NEXT_O);
+        if next_o > 0 {
+            let o_id = next_o - 1;
+            txn.read(ORDERS, Self::o_key(w, d, o_id))?;
+            for line in 0..5 {
+                txn.read(ORDERLINE, Self::ol_key(w, d, o_id, line))?;
+            }
+        }
+        txn.commit()
+    }
+
+    /// Delivery (4 %): consume the oldest undelivered order.
+    fn delivery(&self, co: &mut Coordinator, w: u64, d: u64) -> Result<(), TxnError> {
+        let mut txn = co.begin();
+        let mut dist = txn.read(DISTRICT, Self::d_key(w, d))?.expect("district");
+        let next_del = field(&dist, D_NEXT_DEL);
+        let next_o = field(&dist, D_NEXT_O);
+        if next_del < next_o {
+            let ok = Self::o_key(w, d, next_del);
+            if txn.read(NEWORDER, ok)?.is_some() {
+                txn.delete(NEWORDER, ok)?;
+            }
+            if let Some(mut order) = txn.read(ORDERS, ok)? {
+                set_field(&mut order, 1, 1); // carrier assigned
+                txn.write(ORDERS, ok, &order)?;
+            }
+            set_field(&mut dist, D_NEXT_DEL, next_del + 1);
+            txn.write(DISTRICT, Self::d_key(w, d), &dist)?;
+        }
+        txn.commit()
+    }
+
+    /// StockLevel (4 %, read-only): district + a sample of stock rows.
+    fn stock_level(
+        &self,
+        co: &mut Coordinator,
+        rng: &mut StdRng,
+        w: u64,
+        d: u64,
+    ) -> Result<(), TxnError> {
+        let mut txn = co.begin();
+        txn.read(DISTRICT, Self::d_key(w, d))?.expect("district");
+        for _ in 0..10 {
+            let i = rng.random_range(0..self.items);
+            txn.read(STOCK, self.s_key(w, i))?.expect("stock");
+        }
+        txn.commit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora::ProtocolKind;
+    use rand::SeedableRng;
+
+    fn tpcc_cluster(t: &Tpcc) -> SimCluster {
+        let b = crate::with_tables(
+            SimCluster::builder(ProtocolKind::Pandora)
+                .memory_nodes(2)
+                .replication(2)
+                .capacity_per_node(512 << 20),
+            t,
+        );
+        let cluster = b.build().unwrap();
+        t.load(&cluster);
+        cluster
+    }
+
+    #[test]
+    fn tpcc_mix_runs() {
+        let t = Tpcc { warehouses: 1, customers_per_district: 16, items: 64 };
+        let cluster = tpcc_cluster(&t);
+        let (mut co, _lease) = cluster.coordinator().unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut committed = 0;
+        for _ in 0..100 {
+            if t.execute(&mut co, &mut rng).is_ok() {
+                committed += 1;
+            }
+        }
+        assert!(committed > 60, "single client commits most txns: {committed}");
+    }
+
+    #[test]
+    fn new_order_allocates_monotonic_o_ids() {
+        let t = Tpcc { warehouses: 1, customers_per_district: 8, items: 32 };
+        let cluster = tpcc_cluster(&t);
+        let (mut co, _lease) = cluster.coordinator().unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut orders = 0;
+        for _ in 0..50 {
+            if t.new_order(&mut co, &mut rng, 0, 3, 1).is_ok() {
+                orders += 1;
+            }
+        }
+        let dist = cluster.peek(DISTRICT, Tpcc::d_key(0, 3)).expect("district");
+        assert_eq!(field(&dist, D_NEXT_O), orders, "o_id counter equals committed NewOrders");
+    }
+
+    #[test]
+    fn delivery_consumes_neworders_in_order() {
+        let t = Tpcc { warehouses: 1, customers_per_district: 8, items: 32 };
+        let cluster = tpcc_cluster(&t);
+        let (mut co, _lease) = cluster.coordinator().unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..5 {
+            t.new_order(&mut co, &mut rng, 0, 0, 1).unwrap();
+        }
+        for _ in 0..3 {
+            t.delivery(&mut co, 0, 0).unwrap();
+        }
+        let dist = cluster.peek(DISTRICT, Tpcc::d_key(0, 0)).expect("district");
+        assert_eq!(field(&dist, D_NEXT_DEL), 3);
+        assert_eq!(field(&dist, D_NEXT_O), 5);
+        // Delivered neworder rows are gone, undelivered remain.
+        assert!(cluster.peek(NEWORDER, Tpcc::o_key(0, 0, 0)).is_none());
+        assert!(cluster.peek(NEWORDER, Tpcc::o_key(0, 0, 4)).is_some());
+    }
+
+    #[test]
+    fn payment_conserves_warehouse_ytd() {
+        let t = Tpcc { warehouses: 1, customers_per_district: 8, items: 32 };
+        let cluster = tpcc_cluster(&t);
+        let (mut co, _lease) = cluster.coordinator().unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut paid = 0u64;
+        for _ in 0..20 {
+            let before = field(&cluster.peek(WAREHOUSE, 0).unwrap(), 0);
+            if t.payment(&mut co, &mut rng, 0, 1, 2).is_ok() {
+                let after = field(&cluster.peek(WAREHOUSE, 0).unwrap(), 0);
+                paid += after - before;
+            }
+        }
+        assert_eq!(field(&cluster.peek(WAREHOUSE, 0).unwrap(), 0), paid);
+    }
+
+    #[test]
+    fn key_encodings_are_disjoint_per_table() {
+        // Different (w, d) pairs must never collide within a table.
+        let mut d_keys = std::collections::HashSet::new();
+        for w in 0..4 {
+            for d in 0..DISTRICTS_PER_WH {
+                assert!(d_keys.insert(Tpcc::d_key(w, d)));
+            }
+        }
+        let mut o_keys = std::collections::HashSet::new();
+        for w in 0..2 {
+            for d in 0..DISTRICTS_PER_WH {
+                for o in 0..ORDER_WINDOW {
+                    assert!(o_keys.insert(Tpcc::o_key(w, d, o)));
+                }
+            }
+        }
+        // The window wraps: o and o+WINDOW share a key (by design).
+        assert_eq!(Tpcc::o_key(0, 0, 1), Tpcc::o_key(0, 0, 1 + ORDER_WINDOW));
+    }
+}

@@ -1,0 +1,130 @@
+//! Zipfian key sampling (the YCSB request distribution).
+//!
+//! Implements the classic Gray et al. "Quickly generating billion-record
+//! synthetic databases" method: closed-form sampling against a
+//! precomputed zeta(n, θ), no rejection loop. θ = 0.99 is the YCSB
+//! default skew.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A Zipf(θ) sampler over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// `theta` in (0, 1); YCSB uses 0.99. Larger = more skew.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipf { n, theta, alpha, zeta_n, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is O(n); memoizing per (n, theta) would be an
+        // optimization, but the constructor runs once per workload.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the hottest key.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank =
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Scramble a Zipf rank across the key space so hot keys are spread over
+/// buckets instead of clustering at low ids (YCSB's "scrambled zipfian").
+#[inline]
+pub fn scramble(rank: u64, n: u64) -> u64 {
+    dkvs::hash::mix64(rank) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut top10 = 0;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With θ=0.99 over 10k keys, the top-10 ranks draw roughly half
+        // the traffic; assert a conservative lower bound.
+        assert!(
+            top10 > draws / 5,
+            "zipf skew too weak: top-10 got {top10}/{draws}"
+        );
+    }
+
+    #[test]
+    fn theta_controls_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weak = Zipf::new(10_000, 0.5);
+        let strong = Zipf::new(10_000, 0.99);
+        let count_top = |z: &Zipf, rng: &mut StdRng| {
+            (0..10_000).filter(|_| z.sample(rng) < 100).count()
+        };
+        let w = count_top(&weak, &mut rng);
+        let s = count_top(&strong, &mut rng);
+        assert!(s > w, "higher theta must concentrate more: strong={s} weak={w}");
+    }
+
+    #[test]
+    fn scramble_spreads_hot_ranks() {
+        let a = scramble(0, 1 << 20);
+        let b = scramble(1, 1 << 20);
+        assert_ne!(a, b);
+        assert!(a < 1 << 20 && b < 1 << 20);
+        // Hot ranks must not cluster in a narrow id range.
+        let spread: Vec<u64> = (0..10).map(|r| scramble(r, 1 << 20)).collect();
+        let min = spread.iter().min().unwrap();
+        let max = spread.iter().max().unwrap();
+        assert!(max - min > 1 << 16, "scramble must spread hot keys: {spread:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_bad_theta() {
+        let _ = Zipf::new(10, 1.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests on the workload generators: distribution bounds, skew
+//! monotonicity, schema well-formedness, and transaction-mix ratios.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pandora_workloads::zipf::scramble;
+use pandora_workloads::{MicroBench, SmallBank, Tatp, Tpcc, Workload, Ycsb, YcsbMix, Zipf};
+
+proptest! {
+    /// Every Zipf sample lands in `[0, n)` for any key-space size and skew.
+    #[test]
+    fn zipf_samples_in_range(n in 1u64..100_000, theta in 0.01f64..0.999, seed: u64) {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// scramble() stays in range for any rank and n.
+    #[test]
+    fn scramble_in_range(rank: u64, n in 1u64..u64::MAX) {
+        prop_assert!(scramble(rank, n) < n);
+    }
+
+    /// Higher skew concentrates more probability mass on the hottest
+    /// rank (rank 0).
+    #[test]
+    fn zipf_skew_is_monotone(seed: u64) {
+        let n = 10_000;
+        let hits_at = |theta: f64| {
+            let z = Zipf::new(n, theta);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..4_000).filter(|_| z.sample(&mut rng) == 0).count()
+        };
+        let low = hits_at(0.5);
+        let high = hits_at(0.99);
+        prop_assert!(
+            high > low,
+            "theta=0.99 hit rank 0 {high} times, theta=0.5 {low} times"
+        );
+    }
+}
+
+#[test]
+fn scramble_is_near_bijective_on_small_spaces() {
+    // mix64 is a bijection on u64; modulo n it cannot be a bijection,
+    // but over the ranks 0..n it must not collapse: every bucket load
+    // should stay small for a random-like map.
+    let n = 4096u64;
+    let mut counts = vec![0u32; n as usize];
+    for rank in 0..n {
+        counts[scramble(rank, n) as usize] += 1;
+    }
+    let max = *counts.iter().max().unwrap();
+    assert!(max <= 8, "scramble collapsed {max} ranks onto one key");
+    let occupied = counts.iter().filter(|&&c| c > 0).count();
+    // A uniform random map fills ~63% of n; anything above half means
+    // no systematic clustering.
+    assert!(occupied as u64 > n / 2, "only {occupied} of {n} keys hit");
+}
+
+fn check_schema(w: &dyn Workload, expected_tables: usize, value_len: usize) {
+    let tables = w.tables();
+    assert_eq!(tables.len(), expected_tables, "{}: table count", w.name());
+    for (i, t) in tables.iter().enumerate() {
+        assert_eq!(t.id.0 as usize, i, "{}: table ids must be dense", w.name());
+        assert!(t.buckets > 0 && t.slots_per_bucket > 0);
+        assert!(!t.name.is_empty());
+    }
+    // The paper fixes one value size per benchmark (§4.1); every table
+    // of a workload uses it.
+    for t in &tables {
+        assert_eq!(t.value_len, value_len, "{}: value_len of {}", w.name(), t.name);
+    }
+}
+
+#[test]
+fn smallbank_schema_matches_paper() {
+    check_schema(&SmallBank::new(1000), 2, 16);
+}
+
+#[test]
+fn tatp_schema_matches_paper() {
+    check_schema(&Tatp::new(1000), 4, 48);
+}
+
+#[test]
+fn tpcc_schema_matches_paper() {
+    check_schema(&Tpcc::new(2), 9, 672);
+}
+
+#[test]
+fn micro_schema_matches_paper() {
+    check_schema(&MicroBench::new(1000, 0.5), 1, 40);
+}
+
+#[test]
+fn ycsb_schema() {
+    check_schema(&Ycsb::new(YcsbMix::A, 1000), 1, 100);
+}
+
+/// Run a workload's mix against a tiny cluster and measure the fraction
+/// of transactions that wrote anything, via the cluster's commit
+/// counters. The paper's mixes: SmallBank 85% writes, TATP 80%
+/// read-only, TPC-C ~95% writes (we assert generous bands — the mix is
+/// random).
+fn write_fraction(w: &dyn Workload, txns: u32) -> f64 {
+    use pandora::{ProtocolKind, SimCluster, SystemConfig};
+    use pandora_workloads::with_tables;
+    let capacity: u64 = w
+        .tables()
+        .iter()
+        .map(|t| t.segment_bytes())
+        .sum::<u64>()
+        .next_power_of_two()
+        .max(64 << 20)
+        * 2;
+    let cluster = with_tables(
+        SimCluster::builder(ProtocolKind::Pandora)
+            .memory_nodes(3)
+            .replication(2)
+            .capacity_per_node(capacity)
+            .config(SystemConfig::new(ProtocolKind::Pandora)),
+        w,
+    )
+    .build()
+    .unwrap();
+    w.load(&cluster);
+    let (mut co, _lease) = cluster.coordinator().unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut wrote = 0u32;
+    let mut committed = 0u32;
+    // A committed read-only transaction issues zero WRITE verbs; any
+    // write transaction must issue at least one (log or apply).
+    let writes_issued = |co: &pandora::Coordinator| -> u64 {
+        co.op_counters().iter().map(|(_, s)| s.writes).sum()
+    };
+    while committed < txns {
+        let before = writes_issued(&co);
+        if w.execute(&mut co, &mut rng).is_ok() {
+            committed += 1;
+            if writes_issued(&co) > before {
+                wrote += 1;
+            }
+        }
+    }
+    wrote as f64 / committed as f64
+}
+
+#[test]
+fn smallbank_mix_is_write_heavy() {
+    let f = write_fraction(&SmallBank::new(256), 400);
+    assert!((0.75..=0.95).contains(&f), "SmallBank write fraction {f}");
+}
+
+#[test]
+fn tatp_mix_is_read_mostly() {
+    let f = write_fraction(&Tatp::new(256), 400);
+    assert!((0.10..=0.30).contains(&f), "TATP write fraction {f}");
+}
+
+#[test]
+fn micro_write_ratio_is_respected() {
+    // write_ratio is per-op; with k ops per transaction the fraction of
+    // transactions that write anything is 1 - (1 - r)^k.
+    for ratio in [0.0f64, 0.5, 1.0] {
+        let w = MicroBench::new(256, ratio).with_ops_per_txn(4);
+        let expected = 1.0 - (1.0 - ratio).powi(4);
+        let f = write_fraction(&w, 300);
+        assert!(
+            (f - expected).abs() < 0.08,
+            "micro per-op ratio {ratio}: expected txn write fraction {expected}, measured {f}"
+        );
+    }
+}
+
+#[test]
+fn ycsb_mix_write_fractions() {
+    // YCSB-A: 50% updates; YCSB-B: 5%; YCSB-C: read-only.
+    let a = write_fraction(&Ycsb::new(YcsbMix::A, 256), 300);
+    assert!((0.40..=0.60).contains(&a), "YCSB-A write fraction {a}");
+    let c = write_fraction(&Ycsb::new(YcsbMix::C, 256), 300);
+    assert_eq!(c, 0.0, "YCSB-C must be read-only, measured {c}");
+}

@@ -1,0 +1,79 @@
+//! YCSB tour: run all six YCSB core workloads over the DKVS, report
+//! throughput and latency percentiles, then inspect segment occupancy
+//! with the admin scan.
+//!
+//! ```text
+//! cargo run -p pandora-examples --example ycsb_tour
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pandora::{ProtocolKind, SimCluster};
+use pandora_workloads::{with_tables, RunnerConfig, Workload, WorkloadRunner, Ycsb, YcsbMix};
+use rdma_sim::NodeId;
+
+fn main() {
+    println!("mix        committed   aborted   tps      p50        p99");
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E, YcsbMix::F] {
+        let workload = Arc::new(Ycsb::new(mix, 8_192));
+        let cluster = Arc::new(
+            with_tables(
+                SimCluster::builder(ProtocolKind::Pandora)
+                    .memory_nodes(3)
+                    .replication(2)
+                    .capacity_per_node(128 << 20),
+                workload.as_ref(),
+            )
+            .build()
+            .expect("build cluster"),
+        );
+        workload.load(&cluster);
+
+        let runner = WorkloadRunner::spawn(
+            Arc::clone(&cluster),
+            Arc::clone(&workload),
+            RunnerConfig { coordinators: 4, seed: 11 },
+        );
+        let window = Duration::from_millis(600);
+        std::thread::sleep(window);
+        let probe = runner.probe();
+        let latency = runner.latency();
+        let committed = probe.committed_total();
+        let aborted = probe.aborted_total();
+        let (p50, _p95, p99) = latency.percentiles();
+        runner.stop_and_join();
+        println!(
+            "{:8} {:>10} {:>9} {:>8.0} {:>10.1?} {:>10.1?}",
+            workload.name(),
+            committed,
+            aborted,
+            committed as f64 / window.as_secs_f64(),
+            p50,
+            p99,
+        );
+
+        if mix == YcsbMix::D {
+            // Workload D inserts: show the segment filling up.
+            let occ = cluster
+                .ctx
+                .map
+                .occupancy(&cluster.ctx.fabric, NodeId(0))
+                .expect("occupancy scan");
+            for t in occ {
+                println!(
+                    "           └ {}: {}/{} slots used ({:.1}% load), {} live, {} tombstones, {} locked",
+                    t.name,
+                    t.used_slots,
+                    t.total_slots,
+                    t.load_factor() * 100.0,
+                    t.live,
+                    t.tombstones,
+                    t.locked
+                );
+            }
+        }
+    }
+    println!("\nYCSB-C (pure reads) should lead; A/F (write/rmw heavy) trail — the");
+    println!("read path is one READ per key, the write path pays lock+log+replicate.");
+}

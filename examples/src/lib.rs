@@ -1,0 +1,2 @@
+//! Example-crate stub: the runnable examples live in `examples/*.rs`.
+//! Run them with `cargo run -p pandora-examples --example <name>`.

@@ -1,0 +1,167 @@
+//! Model-based property test: a random sequence of transactional
+//! operations against the DKVS must behave exactly like the same
+//! sequence against an in-memory `HashMap` model — for every protocol.
+//! (Single coordinator: captures the sequential semantics of the full
+//! stack — hashing, probing, slots, replication, logging, commit.)
+
+use std::collections::HashMap;
+
+use dkvs::{TableDef, TableId};
+use pandora::{AbortReason, ProtocolKind, SimCluster, TxnError};
+use proptest::prelude::*;
+
+const KV: TableId = TableId(0);
+
+#[derive(Debug, Clone, Copy)]
+enum ModelOp {
+    Read(u64),
+    Write(u64, u64),
+    Insert(u64, u64),
+    Delete(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TxnEnd {
+    Commit,
+    Abort,
+}
+
+fn arb_op() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (0u64..24).prop_map(ModelOp::Read),
+        (0u64..24, any::<u64>()).prop_map(|(k, v)| ModelOp::Write(k, v)),
+        (0u64..24, any::<u64>()).prop_map(|(k, v)| ModelOp::Insert(k, v)),
+        (0u64..24).prop_map(ModelOp::Delete),
+    ]
+}
+
+fn arb_txn() -> impl Strategy<Value = (Vec<ModelOp>, TxnEnd)> {
+    (
+        proptest::collection::vec(arb_op(), 1..8),
+        prop_oneof![4 => Just(TxnEnd::Commit), 1 => Just(TxnEnd::Abort)],
+    )
+}
+
+fn value(v: u64) -> Vec<u8> {
+    let mut b = vec![0u8; 16];
+    b[0..8].copy_from_slice(&v.to_le_bytes());
+    b
+}
+
+fn decode(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[0..8].try_into().unwrap())
+}
+
+fn run_model(protocol: ProtocolKind, txns: &[(Vec<ModelOp>, TxnEnd)]) {
+    let cluster = SimCluster::builder(protocol)
+        .memory_nodes(2)
+        .replication(2)
+        .capacity_per_node(4 << 20)
+        .table(TableDef::new(0, "kv", 16, 16, 8))
+        .max_coord_slots(8)
+        .build()
+        .unwrap();
+    // Half the key space pre-exists.
+    cluster.bulk_load(KV, (0..12u64).map(|k| (k, value(k)))).unwrap();
+    let mut committed: HashMap<u64, u64> = (0..12u64).map(|k| (k, k)).collect();
+
+    let (mut co, _lease) = cluster.coordinator().unwrap();
+    for (ops, end) in txns {
+        let mut view = committed.clone();
+        let mut txn = co.begin();
+        let mut aborted = false;
+        for &op in ops {
+            let r: Result<(), TxnError> = match op {
+                ModelOp::Read(k) => match txn.read(KV, k) {
+                    Ok(v) => {
+                        assert_eq!(
+                            v.map(|b| decode(&b)),
+                            view.get(&k).copied(),
+                            "read mismatch on key {k}"
+                        );
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+                ModelOp::Write(k, v) => match txn.write(KV, k, &value(v)) {
+                    Ok(()) => {
+                        assert!(view.contains_key(&k), "write succeeded on absent key {k}");
+                        view.insert(k, v);
+                        Ok(())
+                    }
+                    Err(e @ TxnError::Aborted(AbortReason::NotFound)) => {
+                        assert!(!view.contains_key(&k), "write NotFound on present key {k}");
+                        Err(e)
+                    }
+                    Err(e) => panic!("unexpected write error: {e:?}"),
+                },
+                ModelOp::Insert(k, v) => match txn.insert(KV, k, &value(v)) {
+                    Ok(()) => {
+                        assert!(!view.contains_key(&k), "insert succeeded on present key {k}");
+                        view.insert(k, v);
+                        Ok(())
+                    }
+                    Err(e @ TxnError::Aborted(AbortReason::AlreadyExists)) => {
+                        assert!(view.contains_key(&k), "insert AlreadyExists on absent key {k}");
+                        Err(e)
+                    }
+                    Err(e) => panic!("unexpected insert error: {e:?}"),
+                },
+                ModelOp::Delete(k) => match txn.delete(KV, k) {
+                    Ok(()) => {
+                        assert!(view.contains_key(&k), "delete succeeded on absent key {k}");
+                        view.remove(&k);
+                        Ok(())
+                    }
+                    Err(e @ TxnError::Aborted(AbortReason::NotFound)) => {
+                        assert!(!view.contains_key(&k), "delete NotFound on present key {k}");
+                        Err(e)
+                    }
+                    Err(e) => panic!("unexpected delete error: {e:?}"),
+                },
+            };
+            if r.is_err() {
+                aborted = true; // the op aborted and closed the txn
+                break;
+            }
+        }
+        if aborted {
+            // Aborted transactions leave the committed state untouched.
+            continue;
+        }
+        match end {
+            TxnEnd::Commit => {
+                txn.commit().expect("single-coordinator commit must succeed");
+                committed = view;
+            }
+            TxnEnd::Abort => {
+                let _ = txn.abort();
+            }
+        }
+    }
+
+    // Final-state equivalence through fresh read-only transactions.
+    for k in 0..24u64 {
+        let got = cluster.peek(KV, k).map(|b| decode(&b));
+        assert_eq!(got, committed.get(&k).copied(), "final state mismatch on key {k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pandora_matches_hashmap_model(txns in proptest::collection::vec(arb_txn(), 1..12)) {
+        run_model(ProtocolKind::Pandora, &txns);
+    }
+
+    #[test]
+    fn ford_matches_hashmap_model(txns in proptest::collection::vec(arb_txn(), 1..12)) {
+        run_model(ProtocolKind::Ford, &txns);
+    }
+
+    #[test]
+    fn traditional_matches_hashmap_model(txns in proptest::collection::vec(arb_txn(), 1..12)) {
+        run_model(ProtocolKind::Traditional, &txns);
+    }
+}

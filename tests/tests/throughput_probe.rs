@@ -1,0 +1,72 @@
+//! Cross-crate smoke probe: throughput and abort-rate sanity for each
+//! workload × protocol combination (low bars — this is a correctness
+//! gate, not a benchmark; the bench crate measures properly).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pandora::{ProtocolKind, SimCluster, SystemConfig};
+use pandora_workloads::{with_tables, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner};
+
+fn probe<W: Workload>(workload: W, protocol: ProtocolKind) -> (u64, u64) {
+    let workload = Arc::new(workload);
+    let capacity: u64 = workload
+        .tables()
+        .iter()
+        .map(|t| t.segment_bytes())
+        .sum::<u64>()
+        .next_power_of_two()
+        .max(64 << 20)
+        * 2;
+    let cluster = with_tables(
+        SimCluster::builder(protocol)
+            .memory_nodes(3)
+            .replication(2)
+            .capacity_per_node(capacity)
+            .config(SystemConfig::new(protocol)),
+        workload.as_ref(),
+    )
+    .build()
+    .unwrap();
+    workload.load(&cluster);
+    let runner = WorkloadRunner::spawn(
+        Arc::new(cluster),
+        workload,
+        RunnerConfig { coordinators: 4, seed: 5 },
+    );
+    std::thread::sleep(Duration::from_millis(800));
+    let probe = runner.probe();
+    runner.stop_and_join();
+    (probe.committed_total(), probe.aborted_total())
+}
+
+#[test]
+fn tpcc_commits_with_reasonable_abort_rate() {
+    for protocol in [ProtocolKind::Ford, ProtocolKind::Pandora] {
+        let (committed, aborted) = probe(Tpcc::new(2), protocol);
+        println!("TPC-C {protocol:?}: committed={committed} aborted={aborted}");
+        assert!(committed > 200, "{protocol:?} TPC-C too slow: {committed}");
+        assert!(
+            aborted < committed * 4,
+            "{protocol:?} TPC-C abort storm: {aborted} aborts vs {committed} commits"
+        );
+    }
+}
+
+#[test]
+fn smallbank_commits_under_all_protocols() {
+    for protocol in [ProtocolKind::Ford, ProtocolKind::Pandora, ProtocolKind::Traditional] {
+        let (committed, aborted) = probe(SmallBank::new(8192), protocol);
+        println!("SmallBank {protocol:?}: committed={committed} aborted={aborted}");
+        assert!(committed > 1000, "{protocol:?} SmallBank too slow: {committed}");
+        assert!(aborted < committed, "{protocol:?} SmallBank abort storm");
+    }
+}
+
+#[test]
+fn tatp_is_read_mostly_and_fast() {
+    let (committed, aborted) = probe(Tatp::new(4096), ProtocolKind::Pandora);
+    println!("TATP: committed={committed} aborted={aborted}");
+    assert!(committed > 2000);
+    assert!(aborted < committed / 2);
+}
