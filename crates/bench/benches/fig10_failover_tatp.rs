@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pandora::ProtocolKind;
-use pandora_bench::{cfg, print_series, run_failover, tatp_default, window_mean, FailoverSpec, FaultKind};
+use pandora_bench::{
+    cfg, print_series, run_failover, tatp_default, window_mean, FailoverSpec, FaultKind,
+};
 
 fn main() {
     println!("# Figure 10 — TATP fail-over (Pandora), fault at t=3s");
@@ -19,7 +21,11 @@ fn main() {
     let compute = run_failover(
         Arc::new(tatp_default()),
         cfg(ProtocolKind::Pandora),
-        &FailoverSpec { fault: FaultKind::ComputeCrash { fraction: 0.5 }, respawn: true, ..base.clone() },
+        &FailoverSpec {
+            fault: FaultKind::ComputeCrash { fraction: 0.5 },
+            respawn: true,
+            ..base.clone()
+        },
     );
     let memory = run_failover(
         Arc::new(tatp_default()),

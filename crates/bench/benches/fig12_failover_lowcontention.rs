@@ -25,7 +25,11 @@ fn main() {
     let compute = run_failover(
         Arc::new(smallbank_default()),
         cfg(ProtocolKind::Pandora),
-        &FailoverSpec { fault: FaultKind::ComputeCrash { fraction: 0.5 }, respawn: true, ..base.clone() },
+        &FailoverSpec {
+            fault: FaultKind::ComputeCrash { fraction: 0.5 },
+            respawn: true,
+            ..base.clone()
+        },
     );
     let memory = run_failover(
         Arc::new(smallbank_default()),

@@ -45,11 +45,7 @@ fn main() {
     let late = |s: &[pandora::Sample]| {
         window_mean(s, Duration::from_millis(5500), Duration::from_millis(7000))
     };
-    println!(
-        "\nfast recovery: early {:.0} → late {:.0} tps (steady)",
-        early(&fast),
-        late(&fast)
-    );
+    println!("\nfast recovery: early {:.0} → late {:.0} tps (steady)", early(&fast), late(&fast));
     println!(
         "slow recovery: early {:.0} → late {:.0} tps (declining while strays accumulate)",
         early(&slow),

@@ -39,11 +39,8 @@ fn main() {
     };
     let ford = run_failover(Arc::new(micro_default()), cfg(ProtocolKind::Ford), &spec);
     let pandora = run_failover(Arc::new(micro_default()), cfg(ProtocolKind::Pandora), &spec);
-    let no_pill = run_failover(
-        Arc::new(micro_default()),
-        cfg(ProtocolKind::Pandora).without_pill(),
-        &spec,
-    );
+    let no_pill =
+        run_failover(Arc::new(micro_default()), cfg(ProtocolKind::Pandora).without_pill(), &spec);
     let f_mean = pandora_bench::window_mean(&ford, warmup, duration);
     let p_mean = pandora_bench::window_mean(&pandora, warmup, duration);
     let np_mean = pandora_bench::window_mean(&no_pill, warmup, duration);

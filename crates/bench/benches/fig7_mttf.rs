@@ -25,7 +25,7 @@ fn run_with_mttf(mttf: Option<Duration>, duration: Duration) -> (f64, usize, u64
     let mut runner = WorkloadRunner::spawn(
         Arc::clone(&cluster),
         Arc::clone(&bench),
-        RunnerConfig { coordinators: DEFAULT_COORDINATORS, seed: 17 },
+        RunnerConfig { coordinators: DEFAULT_COORDINATORS, seed: 17, ..RunnerConfig::default() },
     );
     let sampler = pandora::Sampler::start(runner.probe(), Duration::from_millis(100));
     let t0 = Instant::now();

@@ -51,8 +51,10 @@ fn main() {
         &FailoverSpec { fault: FaultKind::MemoryKill { node: 2 }, ..base.clone() },
     );
 
-    let pre = |s: &[pandora::Sample]| window_mean(s, Duration::from_secs(1), Duration::from_secs(3));
-    let post = |s: &[pandora::Sample]| window_mean(s, Duration::from_secs(5), Duration::from_secs(8));
+    let pre =
+        |s: &[pandora::Sample]| window_mean(s, Duration::from_secs(1), Duration::from_secs(3));
+    let post =
+        |s: &[pandora::Sample]| window_mean(s, Duration::from_secs(5), Duration::from_secs(8));
     println!(
         "\npre-fault tps  reuse {:.0} | no-reuse {:.0} | memfault {:.0}",
         pre(&reuse),
@@ -70,11 +72,7 @@ fn main() {
     );
     print_series(
         "Fig 8: tps over time (fault at t=3s)",
-        &[
-            ("compute+reuse", reuse),
-            ("compute no-reuse", no_reuse),
-            ("memory fault", memfault),
-        ],
+        &[("compute+reuse", reuse), ("compute no-reuse", no_reuse), ("memory fault", memfault)],
         250,
     );
 }

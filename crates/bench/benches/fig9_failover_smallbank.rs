@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pandora::ProtocolKind;
-use pandora_bench::{cfg, print_series, run_failover, smallbank_default, window_mean, FailoverSpec, FaultKind};
+use pandora_bench::{
+    cfg, print_series, run_failover, smallbank_default, window_mean, FailoverSpec, FaultKind,
+};
 
 fn main() {
     println!("# Figure 9 — SmallBank fail-over (Pandora), fault at t=3s");
@@ -20,7 +22,11 @@ fn main() {
     let compute = run_failover(
         Arc::new(smallbank_default()),
         cfg(ProtocolKind::Pandora),
-        &FailoverSpec { fault: FaultKind::ComputeCrash { fraction: 0.5 }, respawn: true, ..base.clone() },
+        &FailoverSpec {
+            fault: FaultKind::ComputeCrash { fraction: 0.5 },
+            respawn: true,
+            ..base.clone()
+        },
     );
     let memory = run_failover(
         Arc::new(smallbank_default()),
@@ -30,7 +36,9 @@ fn main() {
     let pre = window_mean(&compute, Duration::from_secs(1), Duration::from_secs(3));
     let during = window_mean(&compute, Duration::from_millis(3000), Duration::from_millis(3500));
     let post = window_mean(&compute, Duration::from_secs(5), Duration::from_secs(8));
-    println!("\ncompute fault: pre {pre:.0} tps, fail-over window {during:.0} tps, post {post:.0} tps");
+    println!(
+        "\ncompute fault: pre {pre:.0} tps, fail-over window {during:.0} tps, post {post:.0} tps"
+    );
     let mem_during = window_mean(&memory, Duration::from_millis(3000), Duration::from_millis(3500));
     let mem_post = window_mean(&memory, Duration::from_secs(5), Duration::from_secs(8));
     println!("memory fault:  fail-over window {mem_during:.0} tps (stop-the-world), post {mem_post:.0} tps");

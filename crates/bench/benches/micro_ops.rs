@@ -22,12 +22,8 @@ fn bench_verbs(c: &mut Criterion) {
     let qp = fabric.qp(ep, NodeId(0), FaultInjector::new()).unwrap();
     let mut buf = vec![0u8; 64];
 
-    c.bench_function("verb/read_64B", |b| {
-        b.iter(|| qp.read(black_box(0), &mut buf).unwrap())
-    });
-    c.bench_function("verb/write_64B", |b| {
-        b.iter(|| qp.write(black_box(64), &buf).unwrap())
-    });
+    c.bench_function("verb/read_64B", |b| b.iter(|| qp.read(black_box(0), &mut buf).unwrap()));
+    c.bench_function("verb/write_64B", |b| b.iter(|| qp.write(black_box(64), &buf).unwrap()));
     c.bench_function("verb/cas", |b| b.iter(|| qp.cas(black_box(128), 0, 0).unwrap()));
     c.bench_function("verb/faa", |b| b.iter(|| qp.faa(black_box(136), 1).unwrap()));
 }
@@ -75,9 +71,7 @@ fn commit_cluster(protocol: ProtocolKind) -> (Arc<SimCluster>, pandora::Coordina
         .config(SystemConfig::new(protocol))
         .build()
         .unwrap();
-    cluster
-        .bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40])))
-        .unwrap();
+    cluster.bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40]))).unwrap();
     let (co, _lease) = cluster.coordinator().unwrap();
     (Arc::new(cluster), co)
 }
@@ -121,7 +115,11 @@ fn bench_lock_steal(c: &mut Criterion) {
     cluster.ctx.failed.set(stray_owner);
     let table = TableId(0);
     let ep = cluster.ctx.fabric.register_endpoint();
-    let planter = cluster.ctx.fabric.qp(ep, cluster.primary_node(table, 1), FaultInjector::new()).unwrap();
+    let planter = cluster
+        .ctx
+        .fabric
+        .qp(ep, cluster.primary_node(table, 1), FaultInjector::new())
+        .unwrap();
     // Find the lock address of key 1 on its primary.
     let def = cluster.ctx.map.table(table).clone();
     let bucket = def.bucket_for(1);
@@ -157,10 +155,8 @@ fn bench_lock_steal(c: &mut Criterion) {
 fn bench_doorbell_batching(c: &mut Criterion) {
     // Ablation: commit round trips with vs without doorbell batching,
     // under a spin-scale per-verb latency so round trips dominate.
-    let latency = rdma_sim::LatencyModel {
-        rtt: std::time::Duration::from_micros(3),
-        ns_per_kib: 0,
-    };
+    let latency =
+        rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(3), ns_per_kib: 0 };
     for batched in [false, true] {
         let mut config = SystemConfig::new(ProtocolKind::Pandora);
         if batched {
@@ -176,9 +172,7 @@ fn bench_doorbell_batching(c: &mut Criterion) {
             .latency(latency)
             .build()
             .unwrap();
-        cluster
-            .bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40])))
-            .unwrap();
+        cluster.bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40]))).unwrap();
         let (mut co, _lease) = cluster.coordinator().unwrap();
         let mut key = 0u64;
         let label = if batched { "batched" } else { "unbatched" };
@@ -202,10 +196,8 @@ fn bench_persistence_modes(c: &mut Criterion) {
     // adds one flush verb per memory node touched by logging + commit.
     // A spin-scale per-verb latency makes the extra round trips visible.
     use pandora::config::PersistenceMode;
-    let latency = rdma_sim::LatencyModel {
-        rtt: std::time::Duration::from_micros(3),
-        ns_per_kib: 0,
-    };
+    let latency =
+        rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(3), ns_per_kib: 0 };
     for mode in [
         PersistenceMode::VolatileReplicated,
         PersistenceMode::BatteryBackedDram,
@@ -221,9 +213,7 @@ fn bench_persistence_modes(c: &mut Criterion) {
             .latency(latency)
             .build()
             .unwrap();
-        cluster
-            .bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40])))
-            .unwrap();
+        cluster.bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40]))).unwrap();
         let (mut co, _lease) = cluster.coordinator().unwrap();
         let mut key = 0u64;
         c.bench_function(&format!("persistence/commit_4_writes/{mode:?}"), |b| {

@@ -46,7 +46,11 @@ fn main() {
                 outcome.iterations.to_string(),
                 outcome.crashes_injected.to_string(),
                 outcome.recoveries_run.to_string(),
-                if outcome.ok() { "PASS".into() } else { format!("{} VIOLATIONS", outcome.violations.len()) },
+                if outcome.ok() {
+                    "PASS".into()
+                } else {
+                    format!("{} VIOLATIONS", outcome.violations.len())
+                },
             ]);
         }
     }

@@ -15,8 +15,7 @@ use std::time::{Duration, Instant};
 
 use pandora::{ProtocolKind, QuorumFd, SimCluster};
 use pandora_bench::{
-    cfg, cluster_for, micro_all_writes, print_table, smallbank_default, tatp_default,
-    tpcc_default,
+    cfg, cluster_for, micro_all_writes, print_table, smallbank_default, tatp_default, tpcc_default,
 };
 use pandora_workloads::Workload;
 use rand::rngs::StdRng;
@@ -38,8 +37,7 @@ fn freeze_coordinators(
         for _attempt in 0..4 {
             let base = co.injector().ops_issued();
             let at = base + rng.random_range(1..=25u64);
-            let mode =
-                if rng.random_bool(0.5) { CrashMode::AfterOp } else { CrashMode::BeforeOp };
+            let mode = if rng.random_bool(0.5) { CrashMode::AfterOp } else { CrashMode::BeforeOp };
             co.injector().arm(CrashPlan { at_op: at, mode });
             let _ = workload.execute(&mut co, rng);
             if co.injector().is_crashed() {
@@ -98,10 +96,9 @@ fn recovery_latency_rows(protocol: ProtocolKind, counts: &[usize]) -> Vec<Vec<St
 
 fn main() {
     let counts = [1usize, 8, 64, 128, 256, 512];
-    let headers: Vec<String> =
-        std::iter::once("Bench \\ Coord. per node".to_string())
-            .chain(counts.iter().map(|c| c.to_string()))
-            .collect();
+    let headers: Vec<String> = std::iter::once("Bench \\ Coord. per node".to_string())
+        .chain(counts.iter().map(|c| c.to_string()))
+        .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
 
     println!("# Table 2 — Pandora recovery latency (microseconds)");
@@ -176,7 +173,15 @@ fn main() {
         };
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let detail = report
-            .map(|r| format!("log-recovery {} us", r.log_recovery.as_micros()))
+            .map(|r| {
+                format!(
+                    "detect {} us | fence {} us | log {} us | notify {} us",
+                    r.detection.as_micros(),
+                    r.link_termination.as_micros(),
+                    r.log_recovery.as_micros(),
+                    r.stray_notification.as_micros()
+                )
+            })
             .unwrap_or_else(|| "NOT DETECTED".into());
         rows.push(vec![label.to_string(), format!("{ms:.1}"), detail]);
     }

@@ -16,7 +16,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pandora::{MemoryFailureHandler, ProtocolKind, Sample, Sampler, SimCluster, SystemConfig};
+use pandora::{
+    MemoryFailureHandler, MetricsSnapshot, ProtocolKind, Sample, Sampler, SimCluster, SystemConfig,
+};
 use pandora_workloads::{
     with_tables, MicroBench, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner,
 };
@@ -156,10 +158,26 @@ pub fn run_failover_on<W: Workload>(
     workload: Arc<W>,
     spec: &FailoverSpec,
 ) -> Vec<Sample> {
+    run_failover_with_metrics(cluster, workload, spec).0
+}
+
+/// Like [`run_failover_on`], also returning the run's full telemetry
+/// snapshot (per-phase latencies, abort taxonomy, fabric verb counters,
+/// recovery-step timings). Set `PANDORA_METRICS_JSON=<path>` to have the
+/// snapshot written out as JSON as well.
+pub fn run_failover_with_metrics<W: Workload>(
+    cluster: Arc<SimCluster>,
+    workload: Arc<W>,
+    spec: &FailoverSpec,
+) -> (Vec<Sample>, MetricsSnapshot) {
     let mut runner = WorkloadRunner::spawn(
         Arc::clone(&cluster),
         workload,
-        RunnerConfig { coordinators: spec.coordinators, seed: spec.seed },
+        RunnerConfig {
+            coordinators: spec.coordinators,
+            seed: spec.seed,
+            ..RunnerConfig::default()
+        },
     );
     let sampler = Sampler::start(runner.probe(), spec.sample_interval);
     let t0 = Instant::now();
@@ -213,8 +231,25 @@ pub fn run_failover_on<W: Workload>(
     let remaining = spec.duration.saturating_sub(t0.elapsed());
     std::thread::sleep(remaining);
     let samples = sampler.finish();
+    let registry = runner.metrics();
     runner.stop_and_join();
-    samples
+    registry.add_reports(&cluster.fd.reports());
+    let snapshot = registry.snapshot();
+    if let Ok(path) = std::env::var("PANDORA_METRICS_JSON") {
+        if !path.is_empty() {
+            write_metrics_json(&path, &snapshot);
+        }
+    }
+    (samples, snapshot)
+}
+
+/// Write a metrics snapshot as JSON, logging (not panicking) on I/O
+/// failure — telemetry must never kill an experiment.
+pub fn write_metrics_json(path: &str, snapshot: &MetricsSnapshot) {
+    match std::fs::write(path, snapshot.to_json()) {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => eprintln!("warning: cannot write metrics to {path}: {e}"),
+    }
 }
 
 /// Build the cluster and run one fail-over experiment.
@@ -263,8 +298,7 @@ pub fn print_series(title: &str, series: &[(&str, Vec<Sample>)], bucket_ms: u64)
     for (name, _) in series {
         headers.push(name);
     }
-    let max_ms =
-        series.iter().flat_map(|(_, s)| s.iter().map(|x| x.at_ms)).max().unwrap_or(0);
+    let max_ms = series.iter().flat_map(|(_, s)| s.iter().map(|x| x.at_ms)).max().unwrap_or(0);
     let mut rows = Vec::new();
     let mut t = bucket_ms;
     while t <= max_ms {

@@ -141,8 +141,7 @@ mod tests {
 
     #[test]
     fn parses_command_flags_and_switches() {
-        let a = parse(&["run", "--workload", "micro", "--coordinators", "8", "--respawn"])
-            .unwrap();
+        let a = parse(&["run", "--workload", "micro", "--coordinators", "8", "--respawn"]).unwrap();
         assert_eq!(a.command, "run");
         assert_eq!(a.get("workload"), Some("micro"));
         assert_eq!(a.get_u64("coordinators", 4).unwrap(), 8);

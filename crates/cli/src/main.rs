@@ -16,12 +16,10 @@ use std::time::{Duration, Instant};
 
 use args::{Args, FaultSpec, ParseError};
 use pandora::config::PersistenceMode;
-use pandora::{
-    BugFlags, MemoryFailureHandler, ProtocolKind, Sampler, SimCluster, SystemConfig,
-};
+use pandora::{BugFlags, MemoryFailureHandler, ProtocolKind, Sampler, SimCluster, SystemConfig};
 use pandora_workloads::{
-    with_tables, MicroBench, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner,
-    Ycsb, YcsbMix,
+    with_tables, MicroBench, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner, Ycsb,
+    YcsbMix,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,10 +49,13 @@ RUN FLAGS
   --doorbell            coalesce commit writes per node (doorbell batching)
   --write-ratio R       micro only                     (default 0.5)
   --hot-keys N          micro only: contention hot set
+  --metrics-json PATH   write a machine-readable metrics snapshot (JSON)
+  --no-phase-metrics    skip per-phase commit-path timers
 
 RECOVERY FLAGS
   --workload ... --protocol ...   as above
   --frozen N            outstanding coordinators to crash (default 8)
+  --metrics-json PATH   write recovery-step timings as JSON
 
 LITMUS FLAGS
   --protocol ...        (default pandora)
@@ -112,9 +113,8 @@ fn parse_workload(args: &Args) -> Result<Box<dyn Workload>, ParseError> {
         "micro" => {
             let mut m = MicroBench::new(micro_keys, args.get_f64("write-ratio", 0.5)?);
             if let Some(hot) = args.get("hot-keys") {
-                let hot: u64 = hot
-                    .parse()
-                    .map_err(|_| ParseError("--hot-keys expects an integer".into()))?;
+                let hot: u64 =
+                    hot.parse().map_err(|_| ParseError("--hot-keys expects an integer".into()))?;
                 m = m.with_hot_keys(hot);
             }
             Box::new(m)
@@ -227,7 +227,11 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
     let mut runner = WorkloadRunner::spawn(
         Arc::clone(&cluster),
         Arc::clone(&workload),
-        RunnerConfig { coordinators, seed: args.get_u64("seed", 7)? },
+        RunnerConfig {
+            coordinators,
+            seed: args.get_u64("seed", 7)?,
+            phase_metrics: !args.has("no-phase-metrics"),
+        },
     );
     let sampler = Sampler::start(runner.probe(), Duration::from_millis(100));
     let t0 = Instant::now();
@@ -264,8 +268,8 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
             FaultSpec::Memory { node, .. } => {
                 cluster.ctx.fabric.kill_node(NodeId(node)).expect("kill node");
                 std::thread::sleep(Duration::from_millis(5));
-                let handler = MemoryFailureHandler::new(Arc::clone(&cluster.ctx))
-                    .expect("memfail handler");
+                let handler =
+                    MemoryFailureHandler::new(Arc::clone(&cluster.ctx)).expect("memfail handler");
                 let report = handler.handle_failure(NodeId(node));
                 println!(
                     "t={:?}: memory node {node} failed; {} buckets promoted, {} lost, reconfig {:?}",
@@ -282,15 +286,27 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
     let samples = sampler.finish();
     let latency_hist = runner.latency();
     let probe = runner.probe();
+    let registry = runner.metrics();
     let stats = runner.stop_and_join();
 
     let mean = pandora::mean_tps(&samples, warmup.as_millis() as u64, duration.as_millis() as u64);
     let (p50, p95, p99) = latency_hist.percentiles();
     let stolen: u64 = stats.iter().map(|s| s.locks_stolen).sum();
-    println!("\ncommitted={} aborted={} abort_rate={:.2}%", probe.committed_total(), probe.aborted_total(), probe.abort_rate() * 100.0);
+    println!(
+        "\ncommitted={} aborted={} abort_rate={:.2}%",
+        probe.committed_total(),
+        probe.aborted_total(),
+        probe.abort_rate() * 100.0
+    );
     println!("mean_tps={mean:.0} (after warmup)");
     println!("latency p50={p50:?} p95={p95:?} p99={p99:?} mean={:?}", latency_hist.mean());
     println!("locks_stolen={stolen}");
+    if let Some(path) = args.get("metrics-json") {
+        registry.add_reports(&cluster.fd.reports());
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| ParseError(format!("cannot write {path}: {e}")))?;
+        println!("metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -298,11 +314,7 @@ fn cmd_recovery(args: &Args) -> Result<(), ParseError> {
     let config = parse_config(args)?;
     let workload = parse_workload(args)?;
     let frozen_n = args.get_u64("frozen", 8)? as usize;
-    println!(
-        "workload={} protocol={:?} frozen={frozen_n}",
-        workload.name(),
-        config.protocol
-    );
+    println!("workload={} protocol={:?} frozen={frozen_n}", workload.name(), config.protocol);
     let protocol = config.protocol;
     let cluster = build_cluster(workload.as_ref(), config, LatencyModel::zero());
 
@@ -331,17 +343,18 @@ fn cmd_recovery(args: &Args) -> Result<(), ParseError> {
 
     let rc = cluster.fd.recovery();
     let t0 = Instant::now();
-    let mut logged = 0;
+    let mut reports = Vec::new();
     match protocol {
         ProtocolKind::Pandora => {
             for &(coord, ep) in &frozen {
-                logged += rc.recover_pandora(coord, ep).logged_txns;
+                reports.push(rc.recover_pandora(coord, ep));
             }
         }
-        ProtocolKind::Ford => logged += rc.recover_baseline(&frozen).logged_txns,
-        ProtocolKind::Traditional => logged += rc.recover_traditional(&frozen).logged_txns,
+        ProtocolKind::Ford => reports.push(rc.recover_baseline(&frozen)),
+        ProtocolKind::Traditional => reports.push(rc.recover_traditional(&frozen)),
     }
     let elapsed = t0.elapsed();
+    let logged: usize = reports.iter().map(|r| r.logged_txns).sum();
     println!(
         "recovered {} coordinators ({} logged stray txns) in {:?} ({:.0} us/coordinator)",
         frozen.len(),
@@ -349,6 +362,19 @@ fn cmd_recovery(args: &Args) -> Result<(), ParseError> {
         elapsed,
         elapsed.as_secs_f64() * 1e6 / frozen.len().max(1) as f64
     );
+    for r in &reports {
+        println!(
+            "  coord {}: fence={:?} log-recovery={:?} notify={:?} total={:?}",
+            r.coord, r.link_termination, r.log_recovery, r.stray_notification, r.total
+        );
+    }
+    if let Some(path) = args.get("metrics-json") {
+        let registry = pandora::MetricsRegistry::new().with_fabric(Arc::clone(&cluster.ctx.fabric));
+        registry.add_reports(&reports);
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| ParseError(format!("cannot write {path}: {e}")))?;
+        println!("metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -371,7 +397,9 @@ fn cmd_litmus(args: &Args) -> Result<(), ParseError> {
         let buggy = run_scenario(scenario, protocol, scenario.bug_flags());
         match buggy.violation {
             Some(v) => println!("  VIOLATION: {v}"),
-            None => println!("  no violation observed (timing-dependent scenarios may need reruns)"),
+            None => {
+                println!("  no violation observed (timing-dependent scenarios may need reruns)")
+            }
         }
         println!("scenario {scenario:?} with the fix:");
         let fixed = run_scenario(scenario, protocol, BugFlags::none());
@@ -380,9 +408,7 @@ fn cmd_litmus(args: &Args) -> Result<(), ParseError> {
             // demonstration; the FIXED protocol violating is a failure.
             Some(v) => {
                 println!("  VIOLATION (unexpected!): {v}");
-                return Err(ParseError(format!(
-                    "fixed protocol violated litmus {scenario:?}"
-                )));
+                return Err(ParseError(format!("fixed protocol violated litmus {scenario:?}")));
             }
             None => println!("  passes"),
         }

@@ -3,6 +3,7 @@
 //! servers perform those over the memory servers through one-sided RDMA").
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dkvs::hash::FxHashMap;
 use dkvs::{ClusterMap, LockWord, SlotImage, SlotLayout, SlotRef, TableId};
@@ -10,6 +11,7 @@ use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
 
 use crate::context::SharedContext;
 use crate::metrics::ThroughputProbe;
+use crate::obs::{PhaseStats, TxnPhase};
 use crate::pause::CoordGate;
 use crate::txn::{AbortReason, Txn, TxnError};
 
@@ -36,6 +38,7 @@ pub struct Coordinator {
     pub(crate) txn_seq: u64,
     pub(crate) probe: Option<Arc<ThroughputProbe>>,
     pub(crate) tracer: Option<Arc<crate::trace::Tracer>>,
+    pub(crate) phase_stats: Option<Arc<PhaseStats>>,
     pub stats: CoordStats,
 }
 
@@ -91,6 +94,7 @@ impl Coordinator {
             txn_seq: 0,
             probe: None,
             tracer: None,
+            phase_stats: None,
             stats: CoordStats::default(),
         })
     }
@@ -128,11 +132,48 @@ impl Coordinator {
         self
     }
 
+    /// Attach per-phase commit-path statistics (see [`crate::obs`]).
+    pub fn with_phase_stats(mut self, stats: Arc<PhaseStats>) -> Coordinator {
+        self.phase_stats = Some(stats);
+        self
+    }
+
     /// Record a protocol event if a tracer is attached.
     #[inline]
     pub(crate) fn trace(&self, event: crate::trace::TxnEvent) {
         if let Some(t) = &self.tracer {
             t.record(self.coord_id, event);
+        }
+    }
+
+    /// Start a phase timer — `Some` only when phase stats are attached,
+    /// so untimed runs pay a single branch and no clock read.
+    #[inline]
+    pub(crate) fn phase_start(&self) -> Option<Instant> {
+        self.phase_stats.as_ref().map(|_| Instant::now())
+    }
+
+    /// Finish a phase timer started with [`Coordinator::phase_start`].
+    #[inline]
+    pub(crate) fn phase_end(&self, phase: TxnPhase, t0: Option<Instant>) {
+        if let (Some(stats), Some(t0)) = (&self.phase_stats, t0) {
+            stats.record(phase, t0.elapsed());
+        }
+    }
+
+    /// Record an already-measured phase duration.
+    #[inline]
+    pub(crate) fn record_phase(&self, phase: TxnPhase, d: Duration) {
+        if let Some(stats) = &self.phase_stats {
+            stats.record(phase, d);
+        }
+    }
+
+    /// Count an abort by reason.
+    #[inline]
+    pub(crate) fn note_abort(&self, reason: AbortReason) {
+        if let Some(stats) = &self.phase_stats {
+            stats.note_abort(reason);
         }
     }
 
@@ -222,11 +263,7 @@ impl Coordinator {
     }
 
     /// READ and parse one full slot (key..value) from `node`.
-    pub(crate) fn read_full_slot(
-        &self,
-        node: NodeId,
-        slot: SlotRef,
-    ) -> Result<FullSlot, TxnError> {
+    pub(crate) fn read_full_slot(&self, node: NodeId, slot: SlotRef) -> Result<FullSlot, TxnError> {
         let layout = self.map().layout(slot.table);
         let addr = self.map().slot_addr(node, slot.table, slot.bucket, slot.slot);
         let mut buf = vec![0u8; layout.slot_bytes() as usize];
@@ -260,8 +297,8 @@ impl Coordinator {
         node: NodeId,
         slot: SlotRef,
     ) -> Result<(LockWord, dkvs::VersionWord), TxnError> {
-        let addr = self.map().slot_addr(node, slot.table, slot.bucket, slot.slot)
-            + SlotLayout::LOCK_OFF;
+        let addr =
+            self.map().slot_addr(node, slot.table, slot.bucket, slot.slot) + SlotLayout::LOCK_OFF;
         let mut buf = [0u8; 16];
         self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
         Ok((

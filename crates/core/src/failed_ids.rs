@@ -30,8 +30,10 @@ impl Default for FailedIds {
 impl FailedIds {
     pub fn new() -> FailedIds {
         let bits: Vec<AtomicU64> = (0..WORDS).map(|_| AtomicU64::new(0)).collect();
-        let bits: Box<[AtomicU64; WORDS]> =
-            bits.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("fixed size"));
+        let bits: Box<[AtomicU64; WORDS]> = bits
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("fixed size"));
         FailedIds { bits, epoch: AtomicU64::new(0), population: AtomicU64::new(0) }
     }
 

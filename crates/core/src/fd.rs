@@ -156,10 +156,7 @@ impl FailureDetector {
     /// coordinator-ids").
     pub fn advance_id_space(&self, next_id: u32) {
         let mut st = self.state.lock();
-        assert!(
-            next_id as usize <= MAX_COORDINATORS,
-            "cannot advance past the 16-bit id space"
-        );
+        assert!(next_id as usize <= MAX_COORDINATORS, "cannot advance past the 16-bit id space");
         st.next_id = st.next_id.max(next_id);
     }
 
@@ -190,16 +187,19 @@ impl FailureDetector {
     /// (experiments bypass the heartbeat wait with this; the end-to-end
     /// path including detection is [`FailureDetector::start_monitor`]).
     pub fn declare_failed(&self, coord_id: u16) -> Option<RecoveryReport> {
-        let endpoint = {
+        let (endpoint, detection) = {
             let mut st = self.state.lock();
             let m = st.members.iter_mut().find(|m| m.coord_id == coord_id)?;
             if m.state != MemberState::Alive {
                 return None;
             }
             m.state = MemberState::Failed;
-            m.endpoint
+            // Step 1: how stale the heartbeat was at declaration time —
+            // the FD's view of detection latency.
+            (m.endpoint, m.last_change.elapsed())
         };
-        let report = self.recover_with_retry(|rc| rc.recover_compute(coord_id, endpoint));
+        let mut report = self.recover_with_retry(|rc| rc.recover_compute(coord_id, endpoint));
+        report.detection = detection;
         self.reports.lock().push(report.clone());
         Some(report)
     }
@@ -239,7 +239,9 @@ impl FailureDetector {
             }
             return Vec::new();
         }
-        let suspects: Vec<(u16, EndpointId)> = {
+        // Suspects carry their detection latency (staleness at sweep
+        // time, ≥ the configured timeout by construction).
+        let suspects: Vec<(u16, EndpointId, Duration)> = {
             let mut st = self.state.lock();
             let mut out = Vec::new();
             for m in st.members.iter_mut() {
@@ -252,7 +254,7 @@ impl FailureDetector {
                     m.last_change = now;
                 } else if now.duration_since(m.last_change) >= timeout {
                     m.state = MemberState::Failed;
-                    out.push((m.coord_id, m.endpoint));
+                    out.push((m.coord_id, m.endpoint, now.duration_since(m.last_change)));
                 }
             }
             out
@@ -263,15 +265,26 @@ impl FailureDetector {
         }
         match self.ctx.config.protocol {
             crate::config::ProtocolKind::Pandora => {
-                for (coord, ep) in suspects {
-                    reports.push(self.recover_with_retry(|rc| rc.recover_pandora(coord, ep)));
+                for (coord, ep, detection) in suspects {
+                    let mut r = self.recover_with_retry(|rc| rc.recover_pandora(coord, ep));
+                    r.detection = detection;
+                    reports.push(r);
                 }
             }
-            crate::config::ProtocolKind::Ford => {
-                reports.push(self.recover_with_retry(|rc| rc.recover_baseline(&suspects)));
-            }
-            crate::config::ProtocolKind::Traditional => {
-                reports.push(self.recover_with_retry(|rc| rc.recover_traditional(&suspects)));
+            crate::config::ProtocolKind::Ford | crate::config::ProtocolKind::Traditional => {
+                let batch: Vec<(u16, EndpointId)> =
+                    suspects.iter().map(|&(c, e, _)| (c, e)).collect();
+                // One batched recovery; its detection step is the worst
+                // staleness in the batch.
+                let detection = suspects.iter().map(|&(_, _, d)| d).max().unwrap_or_default();
+                let mut r = match self.ctx.config.protocol {
+                    crate::config::ProtocolKind::Ford => {
+                        self.recover_with_retry(|rc| rc.recover_baseline(&batch))
+                    }
+                    _ => self.recover_with_retry(|rc| rc.recover_traditional(&batch)),
+                };
+                r.detection = detection;
+                reports.push(r);
             }
         }
         self.reports.lock().extend(reports.iter().cloned());
@@ -303,7 +316,12 @@ impl FailureDetector {
 
     /// Number of currently-alive registered coordinators.
     pub fn alive_count(&self) -> usize {
-        self.state.lock().members.iter().filter(|m| m.state == MemberState::Alive).count()
+        self.state
+            .lock()
+            .members
+            .iter()
+            .filter(|m| m.state == MemberState::Alive)
+            .count()
     }
 }
 
@@ -335,7 +353,6 @@ impl Drop for FdMonitor {
 // Distributed FD (paper §3.2.4, Figure 4b)
 // --------------------------------------------------------------------
 
-
 /// Quorum-replicated failure detector: `n_replicas` independent views of
 /// the same heartbeats; a coordinator is declared failed only when a
 /// majority of views have seen no heartbeat for the timeout. The
@@ -361,11 +378,7 @@ impl QuorumFd {
     /// failure was confirmed. This is deliberately slower than the
     /// standalone FD — the paper reports <20 ms with three ZooKeeper
     /// replicas vs ~5 ms standalone.
-    pub fn detect_and_recover(
-        &self,
-        coord: u16,
-        timeout: Duration,
-    ) -> Option<RecoveryReport> {
+    pub fn detect_and_recover(&self, coord: u16, timeout: Duration) -> Option<RecoveryReport> {
         let heartbeat = {
             let st = self.fd.state.lock();
             let m = st.members.iter().find(|m| m.coord_id == coord)?;

@@ -53,6 +53,7 @@ pub mod failed_ids;
 pub mod fd;
 pub mod memfail;
 pub mod metrics;
+pub mod obs;
 pub mod pause;
 pub mod recovery;
 pub mod sim;
@@ -67,8 +68,11 @@ pub use failed_ids::FailedIds;
 pub use fd::{CoordinatorLease, FailureDetector, FdMonitor, QuorumFd};
 pub use memfail::{MemFailReport, MemoryFailureHandler};
 pub use metrics::{mean_tps, LatencyHistogram, Sample, Sampler, ThroughputProbe};
+pub use obs::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PhaseStats, RecoverySnapshot, TxnPhase,
+};
 pub use pause::{CoordGate, WorldPause};
 pub use recovery::{RecoveryCoordinator, RecoveryReport};
 pub use sim::{SimCluster, SimClusterBuilder};
-pub use trace::{Tracer, TraceRecord, TxnEvent};
+pub use trace::{TraceRecord, Tracer, TxnEvent};
 pub use txn::{AbortReason, Txn, TxnError};

@@ -106,12 +106,8 @@ impl MemoryFailureHandler {
                 if !self.ctx.map.replicas(table, bucket).contains(&target) {
                     continue;
                 }
-                let Some(&src) = self
-                    .ctx
-                    .map
-                    .live_replicas(table, bucket, &dead)
-                    .iter()
-                    .find(|&&n| n != target)
+                let Some(&src) =
+                    self.ctx.map.live_replicas(table, bucket, &dead).iter().find(|&&n| n != target)
                 else {
                     continue; // nothing left to copy from
                 };

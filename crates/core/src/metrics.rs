@@ -77,18 +77,30 @@ impl Sampler {
                 let mut last = probe.committed_total();
                 let mut last_t = t0;
                 let mut out = Vec::new();
-                while !stop2.load(Ordering::Acquire) {
-                    std::thread::sleep(interval);
+                let mut take = |last: &mut u64, last_t: &mut Instant| {
                     let now = Instant::now();
                     let cur = probe.committed_total();
-                    let dt = now.duration_since(last_t).as_secs_f64().max(1e-9);
+                    let dt = now.duration_since(*last_t).as_secs_f64().max(1e-9);
                     out.push(Sample {
                         at_ms: now.duration_since(t0).as_millis() as u64,
-                        committed_delta: cur - last,
-                        tps: (cur - last) as f64 / dt,
+                        committed_delta: cur - *last,
+                        tps: (cur - *last) as f64 / dt,
                     });
-                    last = cur;
-                    last_t = now;
+                    *last = cur;
+                    *last_t = now;
+                };
+                loop {
+                    if stop2.load(Ordering::Acquire) {
+                        // Final partial interval: commits landing after the
+                        // last tick must still be counted, or short runs
+                        // under-report totals.
+                        if probe.committed_total() != last {
+                            take(&mut last, &mut last_t);
+                        }
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                    take(&mut last, &mut last_t);
                 }
                 out
             })
@@ -99,7 +111,11 @@ impl Sampler {
     /// Stop sampling and collect the series.
     pub fn finish(mut self) -> Vec<Sample> {
         self.stop.store(true, Ordering::Release);
-        self.handle.take().expect("finish called once").join().expect("sampler panicked")
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("sampler panicked")
     }
 }
 
@@ -182,6 +198,19 @@ impl LatencyHistogram {
     pub fn percentiles(&self) -> (Duration, Duration, Duration) {
         (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
     }
+
+    /// Fold `other`'s observations into this histogram (bucket-wise sum),
+    /// so per-thread histograms can be combined into one snapshot.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns.fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// Mean tps over the samples whose timestamps fall in `[from_ms, to_ms)`.
@@ -231,6 +260,41 @@ mod tests {
         let total: u64 = samples.iter().map(|s| s.committed_delta).sum();
         assert!(total >= 40, "most commits should be captured, got {total}");
         assert!(samples.iter().any(|s| s.tps > 0.0));
+    }
+
+    #[test]
+    fn sampler_counts_commits_after_the_last_tick() {
+        let p = ThroughputProbe::new();
+        let sampler = Sampler::start(Arc::clone(&p), Duration::from_millis(50));
+        // Land well inside the first interval, then stop before the next
+        // tick: without the final partial sample these commits vanish.
+        std::thread::sleep(Duration::from_millis(5));
+        for _ in 0..25 {
+            p.commit();
+        }
+        let samples = sampler.finish();
+        let total: u64 = samples.iter().map(|s| s.committed_delta).sum();
+        assert_eq!(total, 25, "final partial interval must be sampled");
+    }
+
+    #[test]
+    fn latency_histogram_merge_matches_single_histogram() {
+        let one = LatencyHistogram::new();
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for (i, us) in [10u64, 20, 30, 40, 50, 100, 200, 400, 800, 5000].iter().enumerate() {
+            let d = Duration::from_micros(*us);
+            one.record(d);
+            if i % 2 == 0 {
+                a.record(d)
+            } else {
+                b.record(d)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), one.count());
+        assert_eq!(a.mean(), one.mean());
+        assert_eq!(a.percentiles(), one.percentiles());
     }
 
     #[test]

@@ -1,0 +1,767 @@
+//! Unified observability layer: per-phase commit-path latency, abort
+//! taxonomies, fabric-wide verb counters, recovery-step timers, and a
+//! JSON-serializable snapshot of all of it.
+//!
+//! The paper's evaluation is a story about *where time goes* — execution
+//! vs. locking vs. validation vs. logging on the commit path (Figures
+//! 6–14), and detection vs. link termination vs. log recovery vs.
+//! stray-lock notification during fail-over (Table 2). This module makes
+//! that breakdown first-class: a [`MetricsRegistry`] composes the
+//! fragments the rest of the crate already collects ([`ThroughputProbe`],
+//! [`LatencyHistogram`], [`RecoveryReport`], rdma-sim `OpCounters`) into
+//! one [`MetricsSnapshot`] that serializes to JSON without external
+//! dependencies (the workspace has no `serde_json`; see [`json`] for the
+//! matching reader used by tests and tools).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rdma_sim::{Fabric, OpCountersSnapshot};
+
+use crate::metrics::{LatencyHistogram, ThroughputProbe};
+use crate::recovery::RecoveryReport;
+use crate::txn::AbortReason;
+
+/// The six commit-path stages of the protocol, in execution order.
+///
+/// * `Execute` — application reads/writes up to the `commit()` call,
+///   excluding time spent acquiring write locks.
+/// * `Lock` — write-lock acquisition (CAS loops, PILL stray-lock steals),
+///   whether eager (during execution) or deferred.
+/// * `Validate` — read-set version/lock re-checks.
+/// * `Log` — undo-log WRITEs to the f+1 log replicas.
+/// * `Apply` — in-place value/version WRITEs on every replica.
+/// * `Unlock` — lock-word release WRITEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnPhase {
+    Execute,
+    Lock,
+    Validate,
+    Log,
+    Apply,
+    Unlock,
+}
+
+impl TxnPhase {
+    pub const COUNT: usize = 6;
+    pub const ALL: [TxnPhase; TxnPhase::COUNT] = [
+        TxnPhase::Execute,
+        TxnPhase::Lock,
+        TxnPhase::Validate,
+        TxnPhase::Log,
+        TxnPhase::Apply,
+        TxnPhase::Unlock,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            TxnPhase::Execute => "execute",
+            TxnPhase::Lock => "lock",
+            TxnPhase::Validate => "validate",
+            TxnPhase::Log => "log",
+            TxnPhase::Apply => "apply",
+            TxnPhase::Unlock => "unlock",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Lock-free per-phase latency histograms plus abort-reason counters,
+/// shared by every coordinator of a run. All updates are relaxed atomic
+/// bumps on [`LatencyHistogram`] buckets — cheap enough to leave on.
+#[derive(Debug, Default)]
+pub struct PhaseStats {
+    phases: [LatencyHistogram; TxnPhase::COUNT],
+    aborts: [AtomicU64; AbortReason::COUNT],
+}
+
+impl PhaseStats {
+    pub fn new() -> Arc<PhaseStats> {
+        Arc::new(PhaseStats::default())
+    }
+
+    /// Record one observation of `phase` taking `latency`.
+    #[inline]
+    pub fn record(&self, phase: TxnPhase, latency: Duration) {
+        self.phases[phase.index()].record(latency);
+    }
+
+    /// Count one abort for `reason`.
+    #[inline]
+    pub fn note_abort(&self, reason: AbortReason) {
+        self.aborts[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn histogram(&self, phase: TxnPhase) -> &LatencyHistogram {
+        &self.phases[phase.index()]
+    }
+
+    pub fn abort_count(&self, reason: AbortReason) -> u64 {
+        self.aborts[reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// `(name, snapshot)` for every phase, in execution order.
+    pub fn histogram_snapshots(&self) -> [(&'static str, HistogramSnapshot); TxnPhase::COUNT] {
+        TxnPhase::ALL.map(|p| (p.name(), HistogramSnapshot::of(&self.phases[p.index()])))
+    }
+
+    /// `(name, count)` for every abort reason, including zero counts so
+    /// the JSON schema is stable across runs.
+    pub fn abort_counts(&self) -> [(&'static str, u64); AbortReason::COUNT] {
+        AbortReason::ALL.map(|r| (r.name(), self.aborts[r.index()].load(Ordering::Relaxed)))
+    }
+
+    /// Fold another stats block into this one (per-thread aggregation).
+    pub fn merge(&self, other: &PhaseStats) {
+        for p in TxnPhase::ALL {
+            self.phases[p.index()].merge(&other.phases[p.index()]);
+        }
+        for r in AbortReason::ALL {
+            self.aborts[r.index()]
+                .fetch_add(other.aborts[r.index()].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time summary of one [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn of(h: &LatencyHistogram) -> HistogramSnapshot {
+        let (p50, p95, p99) = h.percentiles();
+        HistogramSnapshot {
+            count: h.count(),
+            mean_ns: h.mean().as_nanos() as u64,
+            p50_ns: p50.as_nanos() as u64,
+            p95_ns: p95.as_nanos() as u64,
+            p99_ns: p99.as_nanos() as u64,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns
+        )
+    }
+}
+
+/// One recovery, flattened to integers for serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    pub coord: u16,
+    pub detection_ns: u64,
+    pub link_termination_ns: u64,
+    pub log_recovery_ns: u64,
+    pub stray_notification_ns: u64,
+    pub total_ns: u64,
+    pub end_to_end_ns: u64,
+    pub logged_txns: u64,
+    pub rolled_forward: u64,
+    pub rolled_back: u64,
+    pub locks_released: u64,
+    pub completed: bool,
+}
+
+impl RecoverySnapshot {
+    pub fn from_report(r: &RecoveryReport) -> RecoverySnapshot {
+        RecoverySnapshot {
+            coord: r.coord,
+            detection_ns: r.detection.as_nanos() as u64,
+            link_termination_ns: r.link_termination.as_nanos() as u64,
+            log_recovery_ns: r.log_recovery.as_nanos() as u64,
+            stray_notification_ns: r.stray_notification.as_nanos() as u64,
+            total_ns: r.total.as_nanos() as u64,
+            end_to_end_ns: r.end_to_end().as_nanos() as u64,
+            logged_txns: r.logged_txns as u64,
+            rolled_forward: r.rolled_forward as u64,
+            rolled_back: r.rolled_back as u64,
+            locks_released: r.locks_released as u64,
+            completed: r.completed,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"coord\":{},\"detection_ns\":{},\"link_termination_ns\":{},\
+             \"log_recovery_ns\":{},\"stray_notification_ns\":{},\"total_ns\":{},\
+             \"end_to_end_ns\":{},\"logged_txns\":{},\"rolled_forward\":{},\
+             \"rolled_back\":{},\"locks_released\":{},\"completed\":{}}}",
+            self.coord,
+            self.detection_ns,
+            self.link_termination_ns,
+            self.log_recovery_ns,
+            self.stray_notification_ns,
+            self.total_ns,
+            self.end_to_end_ns,
+            self.logged_txns,
+            self.rolled_forward,
+            self.rolled_back,
+            self.locks_released,
+            self.completed
+        )
+    }
+}
+
+/// Composes the run's metric sources; build with the `with_*` methods,
+/// then call [`MetricsRegistry::snapshot`] at any point (sources are
+/// shared `Arc`s, so a registry stays valid after the runner that created
+/// it is torn down).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    phases: Option<Arc<PhaseStats>>,
+    probe: Option<Arc<ThroughputProbe>>,
+    txn_latency: Option<Arc<LatencyHistogram>>,
+    fabric: Option<Arc<Fabric>>,
+    reports: Mutex<Vec<RecoveryReport>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn with_phases(mut self, phases: Arc<PhaseStats>) -> MetricsRegistry {
+        self.phases = Some(phases);
+        self
+    }
+
+    pub fn with_probe(mut self, probe: Arc<ThroughputProbe>) -> MetricsRegistry {
+        self.probe = Some(probe);
+        self
+    }
+
+    pub fn with_txn_latency(mut self, latency: Arc<LatencyHistogram>) -> MetricsRegistry {
+        self.txn_latency = Some(latency);
+        self
+    }
+
+    pub fn with_fabric(mut self, fabric: Arc<Fabric>) -> MetricsRegistry {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// Append recovery reports (e.g. from `FailureDetector::reports`).
+    pub fn add_reports(&self, reports: &[RecoveryReport]) {
+        self.reports.lock().extend_from_slice(reports);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (committed, aborted, abort_rate) = match &self.probe {
+            Some(p) => (p.committed_total(), p.aborted_total(), p.abort_rate()),
+            None => (0, 0, 0.0),
+        };
+        let phases = match &self.phases {
+            Some(p) => p.histogram_snapshots().to_vec(),
+            None => TxnPhase::ALL.map(|p| (p.name(), HistogramSnapshot::default())).to_vec(),
+        };
+        let abort_reasons = match &self.phases {
+            Some(p) => p.abort_counts().to_vec(),
+            None => AbortReason::ALL.map(|r| (r.name(), 0)).to_vec(),
+        };
+        MetricsSnapshot {
+            committed,
+            aborted,
+            abort_rate,
+            txn_latency: self.txn_latency.as_deref().map(HistogramSnapshot::of),
+            phases,
+            abort_reasons,
+            fabric_total: self.fabric.as_ref().map(|f| f.total_counters()),
+            fabric_nodes: self
+                .fabric
+                .as_ref()
+                .map(|f| f.per_node_counters().into_iter().map(|(n, s)| (n.0, s)).collect())
+                .unwrap_or_default(),
+            recoveries: self.reports.lock().iter().map(RecoverySnapshot::from_report).collect(),
+        }
+    }
+}
+
+/// Everything the registry knows at one instant. `to_json` emits the
+/// schema documented in EXPERIMENTS.md §Observability; [`json::parse`]
+/// reads it back.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub committed: u64,
+    pub aborted: u64,
+    pub abort_rate: f64,
+    /// End-to-end transaction latency (as recorded by the runner).
+    pub txn_latency: Option<HistogramSnapshot>,
+    /// Per-phase commit-path histograms, in execution order.
+    pub phases: Vec<(&'static str, HistogramSnapshot)>,
+    /// Abort counts per reason (zero counts included).
+    pub abort_reasons: Vec<(&'static str, u64)>,
+    /// Fabric-wide verb counts and bytes on the wire.
+    pub fabric_total: Option<OpCountersSnapshot>,
+    /// Per-memory-node verb counts, in node-id order.
+    pub fabric_nodes: Vec<(u16, OpCountersSnapshot)>,
+    /// One entry per recovery performed during the run.
+    pub recoveries: Vec<RecoverySnapshot>,
+}
+
+fn ops_json(o: &OpCountersSnapshot) -> String {
+    format!(
+        "{{\"reads\":{},\"writes\":{},\"cas\":{},\"faa\":{},\"flushes\":{},\
+         \"bytes_read\":{},\"bytes_written\":{}}}",
+        o.reads, o.writes, o.cas, o.faa, o.flushes, o.bytes_read, o.bytes_written
+    )
+}
+
+impl MetricsSnapshot {
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\"schema\":\"pandora-metrics-v1\",");
+        s.push_str(&format!(
+            "\"commit\":{{\"committed\":{},\"aborted\":{},\"abort_rate\":{:.6}}},",
+            self.committed, self.aborted, self.abort_rate
+        ));
+        s.push_str("\"txn_latency\":");
+        match &self.txn_latency {
+            Some(h) => s.push_str(&h.to_json()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"phases\":{");
+        for (i, (name, h)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{}", h.to_json()));
+        }
+        s.push_str("},\"abort_reasons\":{");
+        for (i, (name, n)) in self.abort_reasons.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{n}"));
+        }
+        s.push_str("},\"fabric\":");
+        match &self.fabric_total {
+            Some(total) => {
+                s.push_str(&format!("{{\"total\":{},\"nodes\":[", ops_json(total)));
+                for (i, (node, ops)) in self.fabric_nodes.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("{{\"node\":{node},\"ops\":{}}}", ops_json(ops)));
+                }
+                s.push_str("]}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"recoveries\":[");
+        for (i, r) in self.recoveries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+pub mod json {
+    //! A minimal JSON reader (and string escaper) so tests and tools can
+    //! consume [`super::MetricsSnapshot::to_json`] output without external
+    //! crates. Accepts standard JSON; numbers are parsed as `f64`, which
+    //! is exact for every counter below 2⁵³.
+
+    /// A parsed JSON value. Object fields keep document order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<JsonValue>),
+        Obj(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        /// Field lookup on an object; `None` for other variants.
+        pub fn get(&self, key: &str) -> Option<&JsonValue> {
+            match self {
+                JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// Numeric field as an exact non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+            match self {
+                JsonValue::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn is_null(&self) -> bool {
+            matches!(self, JsonValue::Null)
+        }
+    }
+
+    /// Parse one complete JSON document.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser { b: input.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Escape a string for embedding in a JSON document.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<JsonValue, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+                Some(b't') => self.literal("true", JsonValue::Bool(true)),
+                Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+                Some(b'n') => self.literal("null", JsonValue::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.i)),
+            }
+        }
+
+        fn object(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.i += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000C}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                if self.i + 4 > self.b.len() {
+                                    return Err("truncated \\u escape".into());
+                                }
+                                let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                self.i += 4;
+                                // Our writer never emits surrogate pairs;
+                                // map lone surrogates to U+FFFD.
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            }
+                            _ => return Err(format!("bad escape \\{}", esc as char)),
+                        }
+                    }
+                    Some(_) => {
+                        // Copy one UTF-8 scalar (input is a valid &str, so
+                        // continuation bytes are well-formed).
+                        let start = self.i;
+                        self.i += 1;
+                        while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                            self.i += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.b[start..self.i])
+                                .map_err(|_| "invalid UTF-8".to_string())?,
+                        );
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<JsonValue, String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(JsonValue::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_record_and_snapshot() {
+        let stats = PhaseStats::new();
+        for _ in 0..100 {
+            stats.record(TxnPhase::Execute, Duration::from_micros(10));
+        }
+        stats.record(TxnPhase::Apply, Duration::from_micros(50));
+        stats.note_abort(AbortReason::LockConflict);
+        stats.note_abort(AbortReason::LockConflict);
+        stats.note_abort(AbortReason::ValidationVersion);
+
+        let snaps = stats.histogram_snapshots();
+        assert_eq!(snaps[0].0, "execute");
+        assert_eq!(snaps[0].1.count, 100);
+        assert!(snaps[0].1.p50_ns >= 10_000);
+        assert_eq!(snaps[4].0, "apply");
+        assert_eq!(snaps[4].1.count, 1);
+        assert_eq!(stats.abort_count(AbortReason::LockConflict), 2);
+        let aborts = stats.abort_counts();
+        assert_eq!(aborts.len(), AbortReason::COUNT);
+        assert_eq!(
+            aborts.iter().find(|(n, _)| *n == "ValidationVersion").map(|(_, c)| *c),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn phase_stats_merge_combines_counts() {
+        let a = PhaseStats::new();
+        let b = PhaseStats::new();
+        a.record(TxnPhase::Lock, Duration::from_micros(5));
+        b.record(TxnPhase::Lock, Duration::from_micros(5));
+        b.note_abort(AbortReason::Paused);
+        a.merge(&b);
+        assert_eq!(a.histogram(TxnPhase::Lock).count(), 2);
+        assert_eq!(a.abort_count(AbortReason::Paused), 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_mini_parser() {
+        let registry = MetricsRegistry::new();
+        registry.add_reports(&[RecoveryReport {
+            coord: 3,
+            detection: Duration::from_micros(5),
+            link_termination: Duration::from_micros(7),
+            log_recovery: Duration::from_micros(11),
+            stray_notification: Duration::from_micros(2),
+            total: Duration::from_micros(25),
+            completed: true,
+            logged_txns: 1,
+            ..Default::default()
+        }]);
+        let text = registry.snapshot().to_json();
+        let v = json::parse(&text).expect("writer output must parse");
+
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("pandora-metrics-v1"));
+        let phases = v.get("phases").expect("phases object");
+        for name in TxnPhase::ALL.map(TxnPhase::name) {
+            let p = phases.get(name).unwrap_or_else(|| panic!("missing phase {name}"));
+            assert_eq!(p.get("count").and_then(|c| c.as_u64()), Some(0));
+        }
+        assert!(v.get("txn_latency").expect("key present").is_null());
+        assert!(v.get("fabric").expect("key present").is_null());
+        let recs = v.get("recoveries").and_then(|r| r.as_array()).expect("array");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get("coord").and_then(|c| c.as_u64()), Some(3));
+        assert_eq!(recs[0].get("detection_ns").and_then(|c| c.as_u64()), Some(5_000));
+        assert_eq!(recs[0].get("end_to_end_ns").and_then(|c| c.as_u64()), Some(30_000));
+        assert_eq!(recs[0].get("completed").and_then(|c| c.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn registry_with_probe_and_phases_reports_counts() {
+        let probe = ThroughputProbe::new();
+        probe.commit();
+        probe.commit();
+        probe.abort();
+        let phases = PhaseStats::new();
+        phases.record(TxnPhase::Validate, Duration::from_micros(3));
+        let registry = MetricsRegistry::new()
+            .with_probe(Arc::clone(&probe))
+            .with_phases(Arc::clone(&phases));
+        let snap = registry.snapshot();
+        assert_eq!((snap.committed, snap.aborted), (2, 1));
+        assert!((snap.abort_rate - 1.0 / 3.0).abs() < 1e-9);
+        let validate = snap.phases.iter().find(|(n, _)| *n == "validate").unwrap();
+        assert_eq!(validate.1.count, 1);
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_escapes_and_numbers() {
+        let v = json::parse(
+            r#" {"a":[1, 2.5, -3, true, false, null], "s":"he\"ll\\o\nA", "nested":{"x":1e3}} "#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-3.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("he\"ll\\o\nA"));
+        assert_eq!(v.get("nested").unwrap().get("x").unwrap().as_f64(), Some(1000.0));
+
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("{} extra").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn json_escape_round_trips() {
+        let original = "tab\there \"quoted\" back\\slash\nnewline \u{1}ctl";
+        let doc = format!("{{\"k\":\"{}\"}}", json::escape(original));
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+    }
+}

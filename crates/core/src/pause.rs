@@ -65,10 +65,8 @@ impl WorldPause {
     /// Register a coordinator; it must call [`WorldPause::enter_txn`] /
     /// [`WorldPause::exit_txn`] around every transaction.
     pub fn register(&self) -> Arc<CoordGate> {
-        let gate = Arc::new(CoordGate {
-            in_txn: AtomicBool::new(false),
-            alive: AtomicBool::new(true),
-        });
+        let gate =
+            Arc::new(CoordGate { in_txn: AtomicBool::new(false), alive: AtomicBool::new(true) });
         self.gates.lock().push(Arc::clone(&gate));
         gate
     }

@@ -42,15 +42,50 @@ pub struct RecoveryReport {
     /// Stray locks released during a Baseline scan / Traditional intent
     /// replay (Pandora leaves NotLogged strays to lock stealing).
     pub locks_released: usize,
-    /// Wall time of the log-recovery step only (what Table 2 reports).
+    /// Step 1 — failure detection: how stale the coordinator's heartbeat
+    /// was when the failure was declared. Filled by the failure detector;
+    /// recoveries driven directly through an RC leave it zero.
+    pub detection: Duration,
+    /// Step 2 — active-link termination: revoking the failed endpoint's
+    /// RDMA rights on every memory node (for the blocking schemes, the
+    /// revocation loop over the whole failed batch).
+    pub link_termination: Duration,
+    /// Step 3 — wall time of the log-recovery step only (what Table 2
+    /// reports). For the blocking schemes this includes the stray-lock
+    /// scan / intent replay, which is the point of comparison.
     pub log_recovery: Duration,
-    /// End-to-end recovery time (revocation through notification).
+    /// Step 4 — stray-lock notification: publishing the failed-id bit
+    /// (Pandora) or resuming the paused world (Baseline/Traditional, the
+    /// stop-the-world analogue of telling live coordinators to go on).
+    pub stray_notification: Duration,
+    /// End-to-end recovery time (revocation through notification). The
+    /// world-quiesce wait of the blocking schemes is counted here but in
+    /// no individual step, so the steps sum to ≤ `total`.
     pub total: Duration,
     /// False when the RC itself crashed mid-recovery: the run must be
     /// re-executed by a fresh RC (recovery is idempotent, paper §3.2.3 —
     /// "Pandora allows for the re-execution of the log-recovery step
     /// until the final acknowledgment is received").
     pub completed: bool,
+}
+
+impl RecoveryReport {
+    /// The four recovery steps of the paper (§3.2, Figure 3) as
+    /// `(name, duration)` pairs, in execution order.
+    pub fn steps(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("detection", self.detection),
+            ("link_termination", self.link_termination),
+            ("log_recovery", self.log_recovery),
+            ("stray_notification", self.stray_notification),
+        ]
+    }
+
+    /// Failure-to-resolution time: detection latency plus the recovery
+    /// protocol itself.
+    pub fn end_to_end(&self) -> Duration {
+        self.detection + self.total
+    }
 }
 
 /// The Recovery Coordinator (RC): a thread on a standard compute server
@@ -115,20 +150,24 @@ impl RecoveryCoordinator {
         let t0 = Instant::now();
         // Step 2: active-link termination (Cor1).
         self.ctx.fabric.revoke_everywhere(endpoint);
+        let link_termination = t0.elapsed();
 
         // Step 3: log recovery.
         let t_log = Instant::now();
         let mut report = self.log_recovery(coord, &self.ctx.map.log_servers(coord));
         report.log_recovery = t_log.elapsed();
+        report.link_termination = link_termination;
 
         // Step 4: stray-lock notification (strictly after log recovery —
         // Cor4: only NotLogged strays may be stolen). A crashed RC must
         // NOT notify: its log recovery may be partial, and notifying
         // would let thieves steal locks of unresolved Logged-Stray-Txs.
+        let t_notify = Instant::now();
         report.completed = !self.injector.is_crashed();
         if report.completed {
             self.ctx.failed.set(coord);
         }
+        report.stray_notification = t_notify.elapsed();
 
         report.coord = coord;
         report.total = t0.elapsed();
@@ -318,12 +357,7 @@ impl RecoveryCoordinator {
 
     /// Owner-checked unlock of a record's primary.
     fn unlock_primary_cas(&self, coord: u16, r: &UndoRecord, dead: &[NodeId]) {
-        let Some(&primary) = self
-            .ctx
-            .map
-            .live_replicas(r.table, r.bucket, dead)
-            .first()
-        else {
+        let Some(&primary) = self.ctx.map.live_replicas(r.table, r.bucket, dead).first() else {
             return;
         };
         let addr =
@@ -359,12 +393,13 @@ impl RecoveryCoordinator {
         for &(_, ep) in failed {
             self.ctx.fabric.revoke_everywhere(ep);
         }
+        let link_termination = t0.elapsed();
         let quiesced = self.ctx.pause.pause_and_quiesce(Duration::from_secs(60));
         debug_assert!(quiesced, "a live coordinator failed to quiesce");
 
         let t_log = Instant::now();
         let all_nodes: Vec<NodeId> = self.ctx.fabric.node_ids().collect();
-        let mut report = RecoveryReport::default();
+        let mut report = RecoveryReport { link_termination, ..RecoveryReport::default() };
         for &(coord, _) in failed {
             let r = self.log_recovery(coord, &all_nodes);
             report.logged_txns += r.logged_txns;
@@ -382,7 +417,9 @@ impl RecoveryCoordinator {
         // every partially-rolled object still holds its lock until the
         // log is truncated, so live transactions cannot observe torn
         // state; the FD's retry re-pauses and finishes the job.
+        let t_notify = Instant::now();
         self.ctx.pause.resume();
+        report.stray_notification = t_notify.elapsed();
         report.coord = failed.first().map(|&(c, _)| c).unwrap_or(0);
         report.total = t0.elapsed();
         report
@@ -393,15 +430,13 @@ impl RecoveryCoordinator {
     fn scan_release_all_locks(&self) -> usize {
         let dead = self.ctx.dead_nodes();
         let mut released = 0;
-        let table_ids: Vec<TableId> =
-            self.ctx.map.tables().map(|t| t.id).collect();
+        let table_ids: Vec<TableId> = self.ctx.map.tables().map(|t| t.id).collect();
         for table in table_ids {
             let def = self.ctx.map.table(table).clone();
             let layout = def.layout();
             let mut buf = vec![0u8; def.bucket_bytes() as usize];
             for bucket in 0..def.buckets {
-                let Some(&primary) =
-                    self.ctx.map.live_replicas(table, bucket, &dead).first()
+                let Some(&primary) = self.ctx.map.live_replicas(table, bucket, &dead).first()
                 else {
                     continue;
                 };
@@ -441,12 +476,13 @@ impl RecoveryCoordinator {
         for &(_, ep) in failed {
             self.ctx.fabric.revoke_everywhere(ep);
         }
+        let link_termination = t0.elapsed();
         let quiesced = self.ctx.pause.pause_and_quiesce(Duration::from_secs(60));
         debug_assert!(quiesced, "a live coordinator failed to quiesce");
 
         let t_log = Instant::now();
         let all_nodes: Vec<NodeId> = self.ctx.fabric.node_ids().collect();
-        let mut report = RecoveryReport::default();
+        let mut report = RecoveryReport { link_termination, ..RecoveryReport::default() };
         for &(coord, _) in failed {
             let r = self.log_recovery(coord, &all_nodes);
             report.logged_txns += r.logged_txns;
@@ -456,7 +492,9 @@ impl RecoveryCoordinator {
         }
         report.log_recovery = t_log.elapsed();
         report.completed = !self.injector.is_crashed();
+        let t_notify = Instant::now();
         self.ctx.pause.resume(); // counted lease; see recover_baseline
+        report.stray_notification = t_notify.elapsed();
         report.coord = failed.first().map(|&(c, _)| c).unwrap_or(0);
         report.total = t0.elapsed();
         report
@@ -484,9 +522,7 @@ impl RecoveryCoordinator {
             for i in 0..count {
                 let off = 8 + i * 24;
                 let w = |j: usize| {
-                    u64::from_le_bytes(
-                        buf[off + j * 8..off + (j + 1) * 8].try_into().expect("8B"),
-                    )
+                    u64::from_le_bytes(buf[off + j * 8..off + (j + 1) * 8].try_into().expect("8B"))
                 };
                 let rec = (w(0), w(1), w(2));
                 if !seen.contains(&rec) {
@@ -496,12 +532,11 @@ impl RecoveryCoordinator {
         }
         for (table, bucket, slot) in seen {
             let table = TableId(table as u16);
-            let Some(&primary) = self.ctx.map.live_replicas(table, bucket, &dead).first()
-            else {
+            let Some(&primary) = self.ctx.map.live_replicas(table, bucket, &dead).first() else {
                 continue;
             };
-            let addr = self.ctx.map.slot_addr(primary, table, bucket, slot as u32)
-                + SlotLayout::LOCK_OFF;
+            let addr =
+                self.ctx.map.slot_addr(primary, table, bucket, slot as u32) + SlotLayout::LOCK_OFF;
             if let Ok(v) = self.qp(primary).read_u64(addr) {
                 if LockWord(v).is_locked() && self.qp(primary).write_u64(addr, 0).is_ok() {
                     released += 1;
@@ -545,8 +580,7 @@ impl RecoveryCoordinator {
             let layout = def.layout();
             let mut buf = vec![0u8; def.bucket_bytes() as usize];
             for bucket in 0..def.buckets {
-                let Some(&primary) =
-                    self.ctx.map.live_replicas(table, bucket, &dead).first()
+                let Some(&primary) = self.ctx.map.live_replicas(table, bucket, &dead).first()
                 else {
                     continue;
                 };

@@ -59,9 +59,13 @@ impl Tracer {
 
     /// Append an event for `coord`.
     pub fn record(&self, coord: u16, event: TxnEvent) {
+        let mut ring = self.ring.lock();
+        // The sequence number must be allocated under the ring lock:
+        // allocated outside it, two racing writers mapping to the same
+        // `seq % capacity` slot can land out of order, letting the older
+        // record overwrite the newer one.
         let seq = self.seq.fetch_add(1, Ordering::AcqRel);
         let rec = TraceRecord { coord, seq, at: Instant::now(), event };
-        let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             let idx = (seq % self.capacity as u64) as usize;
             ring[idx] = rec;
@@ -164,5 +168,33 @@ mod tests {
         }
         assert_eq!(t.recorded(), 400);
         assert_eq!(t.snapshot().len(), 256);
+    }
+
+    #[test]
+    fn contended_ring_retains_exactly_the_newest_records() {
+        // Regression: seq used to be allocated outside the ring lock, so
+        // an older record could overwrite a newer one sharing its
+        // `seq % capacity` slot, leaving a stale seq in the retained set.
+        const CAPACITY: u64 = 64;
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 200;
+        let t = Tracer::new(CAPACITY as usize);
+        let mut handles = Vec::new();
+        for c in 0..THREADS {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    t.record(c as u16, TxnEvent::Begin { txn_id: i });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = THREADS * PER_THREAD;
+        assert_eq!(t.recorded(), total);
+        let seqs: Vec<u64> = t.snapshot().iter().map(|r| r.seq).collect();
+        let expect: Vec<u64> = (total - CAPACITY..total).collect();
+        assert_eq!(seqs, expect, "retained set must be exactly the newest {CAPACITY} seqs");
     }
 }

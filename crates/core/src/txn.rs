@@ -21,10 +21,13 @@
 //! * **Abort** — truncate any logs, unlock **only the locks actually
 //!   acquired** (complicit-aborts fix, §5.1), ack the client.
 
+use std::time::{Duration, Instant};
+
 use dkvs::{LockWord, LogEntry, SlotLayout, SlotRef, TableId, UndoRecord, VersionWord};
 use rdma_sim::{NodeId, RdmaError};
 
 use crate::coordinator::Coordinator;
+use crate::obs::TxnPhase;
 
 /// Why a transaction aborted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +53,42 @@ pub enum AbortReason {
     /// The key is outside the supported space (`u64::MAX` is reserved
     /// as the empty-slot sentinel's complement — see `dkvs::layout`).
     InvalidKey,
+}
+
+impl AbortReason {
+    pub const COUNT: usize = 10;
+    pub const ALL: [AbortReason; AbortReason::COUNT] = [
+        AbortReason::LockConflict,
+        AbortReason::ValidationVersion,
+        AbortReason::ValidationLocked,
+        AbortReason::NotFound,
+        AbortReason::AlreadyExists,
+        AbortReason::BucketFull,
+        AbortReason::Paused,
+        AbortReason::MemoryFailure,
+        AbortReason::UserAbort,
+        AbortReason::InvalidKey,
+    ];
+
+    /// Dense index for per-reason counters (see `obs::PhaseStats`).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            AbortReason::LockConflict => "LockConflict",
+            AbortReason::ValidationVersion => "ValidationVersion",
+            AbortReason::ValidationLocked => "ValidationLocked",
+            AbortReason::NotFound => "NotFound",
+            AbortReason::AlreadyExists => "AlreadyExists",
+            AbortReason::BucketFull => "BucketFull",
+            AbortReason::Paused => "Paused",
+            AbortReason::MemoryFailure => "MemoryFailure",
+            AbortReason::UserAbort => "UserAbort",
+            AbortReason::InvalidKey => "InvalidKey",
+        }
+    }
 }
 
 /// Transaction-level errors.
@@ -137,10 +176,17 @@ pub struct Txn<'c> {
     /// (a partial apply can only be repaired from the undo log).
     apply_started: bool,
     done: bool,
+    /// Execution-phase start; `Some` only when phase stats are attached,
+    /// so the untimed path pays nothing but an `Option` check.
+    started: Option<Instant>,
+    /// Cumulative write-lock acquisition time (CAS loops, PILL steals),
+    /// accounted to the lock phase rather than execute.
+    lock_elapsed: Duration,
 }
 
 impl<'c> Txn<'c> {
     pub(crate) fn new(co: &'c mut Coordinator, txn_id: u64) -> Txn<'c> {
+        let started = co.phase_start();
         Txn {
             co,
             txn_id,
@@ -149,6 +195,8 @@ impl<'c> Txn<'c> {
             logged_nodes: Vec::new(),
             apply_started: false,
             done: false,
+            started,
+            lock_elapsed: Duration::ZERO,
         }
     }
 
@@ -166,11 +214,7 @@ impl<'c> Txn<'c> {
 
     fn pad_value(&self, table: TableId, value: &[u8]) -> Vec<u8> {
         let layout = self.co.map().layout(table);
-        assert_eq!(
-            value.len(),
-            layout.value_len,
-            "value length must match the table's value_len"
-        );
+        assert_eq!(value.len(), layout.value_len, "value length must match the table's value_len");
         let mut v = value.to_vec();
         v.resize(layout.value_padded(), 0);
         v
@@ -402,8 +446,8 @@ impl<'c> Txn<'c> {
                 };
                 let slot = SlotRef { table, bucket, slot: free as u32 };
                 let key_addr = self.co.map().slot_addr(primary, table, bucket, free as u32);
-                let prev =
-                    self.co
+                let prev = self
+                    .co
                     .qp(primary)
                     .cas(key_addr, dkvs::layout::EMPTY_KEY, dkvs::layout::stored_key(key))
                     .map_err(TxnError::from_rdma)?;
@@ -451,9 +495,7 @@ impl<'c> Txn<'c> {
         if key == u64::MAX {
             return Err(self.abort_now(AbortReason::InvalidKey));
         }
-        if let Some(pos) =
-            self.write_set.iter().position(|w| w.table == table && w.key == key)
-        {
+        if let Some(pos) = self.write_set.iter().position(|w| w.table == table && w.key == key) {
             let w = &mut self.write_set[pos];
             if w.kind == WriteKind::Delete {
                 // Already deleted by this txn: the key reads as absent.
@@ -510,8 +552,7 @@ impl<'c> Txn<'c> {
                 if full.key == dkvs::layout::stored_key(key) {
                     let release_mine = |txn: &Txn<'_>| -> Result<(), TxnError> {
                         let pm = txn.co.primary_of(table, mine.bucket)?;
-                        let addr =
-                            txn.co.map().slot_addr(pm, table, mine.bucket, mine.slot);
+                        let addr = txn.co.map().slot_addr(pm, table, mine.bucket, mine.slot);
                         txn.co
                             .qp(pm)
                             .write_u64(addr + SlotLayout::KEY_OFF, dkvs::layout::EMPTY_KEY)
@@ -575,6 +616,7 @@ impl<'c> Txn<'c> {
             self.write_set.pop();
         }
 
+        let t_lock = self.co.phase_start();
         let mut locked = self.try_lock(slot, key)?;
         if !locked && self.co.ctx.config.stall_on_conflict {
             // Stall path (§6.4): wait for the lock instead of aborting —
@@ -588,6 +630,9 @@ impl<'c> Txn<'c> {
                 std::thread::yield_now();
                 locked = self.try_lock(slot, key)?;
             }
+        }
+        if let Some(t0) = t_lock {
+            self.lock_elapsed += t0.elapsed();
         }
         if !locked {
             // FORD's complicit-aborts bug: the failed-to-lock object is
@@ -706,21 +751,22 @@ impl<'c> Txn<'c> {
         let my = self.co.my_lock();
         let prev = self.co.qp(primary).cas(addr, 0, my.raw()).map_err(TxnError::from_rdma)?;
         if prev == 0 {
-            self.co.trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: false });
+            self.co
+                .trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: false });
             return Ok(true);
         }
         let prev_lock = LockWord(prev);
         if self.lock_is_stray(prev_lock) && prev_lock != my {
             // Steal: one extra CAS, owner-checked so a concurrent thief
             // cannot double-steal (paper §3.1.2 "How does stealing work?").
-            let got = self
-                .co
-                .qp(primary)
-                .cas(addr, prev, my.raw())
-                .map_err(TxnError::from_rdma)?;
+            let got = self.co.qp(primary).cas(addr, prev, my.raw()).map_err(TxnError::from_rdma)?;
             if got == prev {
                 self.co.stats.locks_stolen += 1;
-                self.co.trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: true });
+                self.co.trace(crate::trace::TxnEvent::Lock {
+                    table: slot.table,
+                    key,
+                    stolen: true,
+                });
                 return Ok(true);
             }
         }
@@ -746,9 +792,8 @@ impl<'c> Txn<'c> {
             if self.write_set.iter().any(|w| w.table == table && w.key == key) {
                 continue; // protected by our own lock
             }
-            let primary = self.co.primary_of(table, slot.bucket).map_err(|_| {
-                AbortReason::MemoryFailure
-            })?;
+            let primary =
+                self.co.primary_of(table, slot.bucket).map_err(|_| AbortReason::MemoryFailure)?;
             let (lock, cur_version) = self
                 .co
                 .read_lock_version(primary, slot)
@@ -898,7 +943,6 @@ impl<'c> Txn<'c> {
         Ok(())
     }
 
-
     // ---------------------------------------------------------------
     // Commit / abort
     // ---------------------------------------------------------------
@@ -911,9 +955,18 @@ impl<'c> Txn<'c> {
             // The txn already aborted through an earlier op error.
             return Err(TxnError::Aborted(AbortReason::UserAbort));
         }
+        // Execution ends at the commit() call; lock-acquisition time spent
+        // during eager locking belongs to the lock phase, not execute.
+        if let Some(t0) = self.started {
+            self.co
+                .record_phase(TxnPhase::Execute, t0.elapsed().saturating_sub(self.lock_elapsed));
+        }
         let result = self.commit_inner();
         match &result {
             Ok(()) => {
+                if self.started.is_some() && !self.write_set.is_empty() {
+                    self.co.record_phase(TxnPhase::Lock, self.lock_elapsed);
+                }
                 self.co.stats.committed += 1;
                 self.co.trace(crate::trace::TxnEvent::Committed { txn_id: self.txn_id });
                 if let Some(p) = &self.co.probe {
@@ -953,21 +1006,32 @@ impl<'c> Txn<'c> {
         let bugs = self.co.ctx.config.bugs;
 
         // Validation (relaxed-locks bug: validate before locks are held).
+        let t = self.co.phase_start();
         if let Err(reason) = self.validate() {
             return Err(self.abort_now(reason));
         }
+        self.co.phase_end(TxnPhase::Validate, t);
         if bugs.relaxed_locks {
-            self.lock_deferred()?;
+            let t = self.co.phase_start();
+            let deferred = self.lock_deferred();
+            if let Some(t0) = t {
+                self.lock_elapsed += t0.elapsed();
+            }
+            deferred?;
         }
 
         // Logging phase — after validation only (lost-decision fix). The
         // lost-decision bug already logged during execution.
         if !bugs.lost_decision {
+            let t = self.co.phase_start();
             self.write_undo_logs()?;
+            self.co.phase_end(TxnPhase::Log, t);
         }
 
         // Commit phase: apply to every live replica.
+        let t = self.co.phase_start();
         self.apply_updates()?;
+        self.co.phase_end(TxnPhase::Apply, t);
 
         // ---- client commit-ack point (paper §2.3: "The client is
         // notified after the first step") ----
@@ -980,7 +1044,9 @@ impl<'c> Txn<'c> {
         // and every lock still held at replay time is stray). This keeps
         // the traditional scheme at the paper's "one additional logging
         // round trip for each lock" (§6.2.1).
+        let t = self.co.phase_start();
         self.unlock_all();
+        self.co.phase_end(TxnPhase::Unlock, t);
         Ok(())
     }
 
@@ -1114,10 +1180,9 @@ impl<'c> Txn<'c> {
             return TxnError::Crashed;
         }
         self.co.stats.aborted += 1;
-        self.co.trace(crate::trace::TxnEvent::Aborted {
-            txn_id: self.txn_id,
-            reason: abort_reason_name(reason),
-        });
+        self.co.note_abort(reason);
+        self.co
+            .trace(crate::trace::TxnEvent::Aborted { txn_id: self.txn_id, reason: reason.name() });
         if let Some(p) = &self.co.probe {
             p.abort();
         }
@@ -1129,21 +1194,6 @@ impl<'c> Txn<'c> {
     /// Explicitly abort (client-requested rollback).
     pub fn abort(mut self) -> TxnError {
         self.abort_now(AbortReason::UserAbort)
-    }
-}
-
-fn abort_reason_name(reason: AbortReason) -> &'static str {
-    match reason {
-        AbortReason::LockConflict => "LockConflict",
-        AbortReason::ValidationVersion => "ValidationVersion",
-        AbortReason::ValidationLocked => "ValidationLocked",
-        AbortReason::NotFound => "NotFound",
-        AbortReason::AlreadyExists => "AlreadyExists",
-        AbortReason::BucketFull => "BucketFull",
-        AbortReason::Paused => "Paused",
-        AbortReason::MemoryFailure => "MemoryFailure",
-        AbortReason::UserAbort => "UserAbort",
-        AbortReason::InvalidKey => "InvalidKey",
     }
 }
 

@@ -44,7 +44,8 @@ fn batched_commits_are_correct() {
 #[test]
 fn batching_reduces_write_verbs() {
     let count_writes = |batched: bool| -> u64 {
-        let cluster = if batched { batched_cluster() } else { cluster_with_keys(ProtocolKind::Pandora, 64) };
+        let cluster =
+            if batched { batched_cluster() } else { cluster_with_keys(ProtocolKind::Pandora, 64) };
         let (mut co, _lease) = cluster.coordinator().unwrap();
         co.run(|txn| {
             for k in 0..4 {

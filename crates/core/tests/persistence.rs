@@ -66,10 +66,7 @@ fn nvm_mode_flushes_selectively_once_per_touched_node() {
     // flush per node hosting a replica of key 1 or 2 — between 2 and 3
     // nodes on a 3-node cluster. Crucially NOT one per write (the
     // "selective" property): upper bound 5, lower bound 3.
-    assert!(
-        (3..=5).contains(&flushes),
-        "expected selective flushing (3..=5), got {flushes}"
-    );
+    assert!((3..=5).contains(&flushes), "expected selective flushing (3..=5), got {flushes}");
 
     // Correctness is unchanged.
     assert_eq!(cluster.peek(KV, 1), Some(value_for(1, 1)));

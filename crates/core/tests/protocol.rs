@@ -209,9 +209,8 @@ fn no_lost_updates_under_concurrency() {
             }));
         }
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        let final_sum: u64 = (0..4)
-            .map(|k| generation_of(&cluster.peek(KV, k).expect("key")))
-            .sum();
+        let final_sum: u64 =
+            (0..4).map(|k| generation_of(&cluster.peek(KV, k).expect("key"))).sum();
         assert_eq!(total, final_sum, "{protocol:?}: lost or phantom updates");
         assert_eq!(total, 800, "co.run retries until commit, so all must commit");
     }
@@ -244,9 +243,8 @@ fn transfer_preserves_total_balance() {
     for h in handles {
         h.join().unwrap();
     }
-    let total: i64 = (0..16)
-        .map(|k| generation_of(&cluster.peek(KV, k).expect("key")) as i64)
-        .sum();
+    let total: i64 =
+        (0..16).map(|k| generation_of(&cluster.peek(KV, k).expect("key")) as i64).sum();
     assert_eq!(total, 0, "transfers must conserve the total (mod wrapping)");
 }
 
@@ -352,8 +350,7 @@ fn concurrent_inserts_of_same_key_are_unique() {
                 let mut wins = 0;
                 for key in 1000..1010u64 {
                     let mut txn = co.begin();
-                    match txn.insert(KV, key, &value_for(key, t + 1)).and_then(|()| txn.commit())
-                    {
+                    match txn.insert(KV, key, &value_for(key, t + 1)).and_then(|()| txn.commit()) {
                         Ok(()) => wins += 1,
                         Err(TxnError::Aborted(_)) => {}
                         Err(e) => panic!("unexpected: {e:?}"),

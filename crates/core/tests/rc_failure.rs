@@ -9,9 +9,7 @@ use pandora::{ProtocolKind, RecoveryCoordinator, TxnError};
 use rdma_sim::{CrashMode, CrashPlan, FaultInjector};
 
 /// Freeze a coordinator mid-commit (partial apply) and return its lease.
-fn freeze_midcommit(
-    cluster: &pandora::SimCluster,
-) -> (pandora::CoordinatorLease, u64 /* key */) {
+fn freeze_midcommit(cluster: &pandora::SimCluster) -> (pandora::CoordinatorLease, u64 /* key */) {
     let (mut co, lease) = cluster.coordinator().unwrap();
     co.run(|txn| txn.read(KV, 9).map(|_| ())).unwrap(); // warm cache
     let base = co.injector().ops_issued();
@@ -35,11 +33,8 @@ fn rc_crash_mid_recovery_is_reexecutable_at_every_step() {
         // First RC crashes mid-recovery.
         let injector = FaultInjector::new();
         injector.arm(CrashPlan { at_op: rc_crash_at, mode: CrashMode::AfterOp });
-        let rc1 = RecoveryCoordinator::with_injector(
-            std::sync::Arc::clone(&cluster.ctx),
-            injector,
-        )
-        .unwrap();
+        let rc1 = RecoveryCoordinator::with_injector(std::sync::Arc::clone(&cluster.ctx), injector)
+            .unwrap();
         let r1 = rc1.recover_pandora(lease.coord_id, lease.endpoint);
         if r1.completed {
             // The RC finished before its crash point — fine; verify and

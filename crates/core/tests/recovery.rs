@@ -441,10 +441,7 @@ fn insert_crash_rolls_back_to_absent() {
     co1.injector().arm(CrashPlan { at_op: base + 11, mode: CrashMode::AfterOp });
     {
         let mut txn = co1.begin();
-        let err = txn
-            .insert(KV, key, &value_for(key, 1))
-            .and_then(|()| txn.commit())
-            .unwrap_err();
+        let err = txn.insert(KV, key, &value_for(key, 1)).and_then(|()| txn.commit()).unwrap_err();
         assert_eq!(err, TxnError::Crashed);
     }
     let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");

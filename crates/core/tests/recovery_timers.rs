@@ -1,0 +1,86 @@
+//! Per-step recovery timers (paper §3.2, Table 2): every report must
+//! break the fail-over down into the four steps — detection, active-link
+//! termination, log recovery, stray-lock notification — with durations
+//! that nest inside the end-to-end time.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{cluster_with_keys, value_for, KV, VALUE_LEN};
+use dkvs::TableDef;
+use pandora::{ProtocolKind, SimCluster, TxnError};
+use rdma_sim::{CrashMode, CrashPlan, LatencyModel};
+
+/// A Pandora cluster whose data path pays a 20 µs RTT per verb, so each
+/// recovery step accumulates measurable wall time.
+fn latency_cluster() -> SimCluster {
+    let cluster = SimCluster::builder(ProtocolKind::Pandora)
+        .memory_nodes(3)
+        .replication(2)
+        .capacity_per_node(64 << 20)
+        .table(TableDef::sized_for(0, "kv", VALUE_LEN, 128))
+        .max_coord_slots(64)
+        .latency(LatencyModel { rtt: Duration::from_micros(20), ns_per_kib: 0 })
+        .build()
+        .expect("build cluster");
+    cluster.bulk_load(KV, (0..64).map(|k| (k, value_for(k, 0)))).expect("bulk load");
+    cluster
+}
+
+#[test]
+fn declared_failure_populates_all_four_step_timers() {
+    let cluster = latency_cluster();
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    // Warm the address cache so the crash point below is deterministic.
+    co.run(|txn| txn.read(KV, 5).map(|_| ())).unwrap();
+    let base = co.injector().ops_issued();
+    // Warm single-write layout: resolve(1) lock(2) re-read(3) logs(4,5)
+    // applies(6..9) unlock(10). Crashing mid-apply leaves a
+    // Logged-Stray-Tx, so the log-recovery step has real work to do.
+    co.injector().arm(CrashPlan { at_op: base + 7, mode: CrashMode::AfterOp });
+    {
+        let mut txn = co.begin();
+        let err = txn.write(KV, 5, &value_for(5, 1)).and_then(|()| txn.commit()).unwrap_err();
+        assert_eq!(err, TxnError::Crashed);
+    }
+
+    let report = cluster.fd.declare_failed(lease.coord_id).expect("recovered");
+    assert!(report.completed);
+    assert_eq!(report.logged_txns, 1);
+    for (name, d) in report.steps() {
+        assert!(d > Duration::ZERO, "step {name} must be timed");
+    }
+    // Steps 2–4 are disjoint intervals inside the recovery run.
+    let in_protocol = report.link_termination + report.log_recovery + report.stray_notification;
+    assert!(
+        in_protocol <= report.total,
+        "steps ({in_protocol:?}) must nest inside the end-to-end time ({:?})",
+        report.total
+    );
+    assert_eq!(report.end_to_end(), report.detection + report.total);
+    assert!(
+        report.log_recovery >= Duration::from_micros(20),
+        "log recovery must pay at least one injected RTT, got {:?}",
+        report.log_recovery
+    );
+}
+
+#[test]
+fn sweep_detection_time_reflects_heartbeat_staleness() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (co, _lease) = cluster.coordinator().unwrap();
+    co.injector().crash_now();
+    co.gate().mark_dead();
+    std::thread::sleep(Duration::from_millis(10));
+
+    let reports = cluster.fd.sweep(Duration::from_millis(5));
+    assert_eq!(reports.len(), 1, "the silent coordinator must be declared");
+    assert!(reports[0].completed);
+    assert!(
+        reports[0].detection >= Duration::from_millis(5),
+        "detection must be at least the sweep timeout, got {:?}",
+        reports[0].detection
+    );
+    assert_eq!(reports[0].end_to_end(), reports[0].detection + reports[0].total);
+}

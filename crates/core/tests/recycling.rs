@@ -35,19 +35,13 @@ fn exhaustion_threshold_triggers_recycling() {
     cluster.fd.advance_id_space((MAX_COORDINATORS * 96 / 100) as u32);
     let (_co2, lease2) = cluster.coordinator().unwrap();
 
-    assert!(
-        !cluster.ctx.failed.contains(l1.coord_id),
-        "recycling must clear the failed bit"
-    );
+    assert!(!cluster.ctx.failed.contains(l1.coord_id), "recycling must clear the failed bit");
     assert!(
         !cluster.raw_slot(KV, 5, primary).unwrap().0.is_locked(),
         "recycling must release the stray lock"
     );
     // The recycled id is reused for new registrations (free pool first).
-    assert_eq!(
-        lease2.coord_id, l1.coord_id,
-        "the freed id must be handed out again"
-    );
+    assert_eq!(lease2.coord_id, l1.coord_id, "the freed id must be handed out again");
 
     // And the object is simply writable — no stealing involved.
     let (mut co3, _l3) = cluster.coordinator().unwrap();

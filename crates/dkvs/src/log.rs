@@ -108,7 +108,9 @@ impl LogEntry {
     /// * `Some(entry)` — a valid Logged-Stray-Tx candidate.
     pub fn decode(region: &[u8]) -> Option<LogEntry> {
         let word = |i: usize| -> Option<u64> {
-            region.get(i * 8..i * 8 + 8).map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
+            region
+                .get(i * 8..i * 8 + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8B")))
         };
         if word(0)? != 1 {
             return None; // empty or truncated

@@ -177,9 +177,7 @@ mod tests {
         let after = Placement::new(nodes(5), 2);
         let buckets: u64 = 2000;
         let limit = (buckets * 6 / 10) as usize;
-        let moved = (0..buckets)
-            .filter(|&b| before.replicas(1, b) != after.replicas(1, b))
-            .count();
+        let moved = (0..buckets).filter(|&b| before.replicas(1, b) != after.replicas(1, b)).count();
         // Expected ≈ 2 * 1/5 = 40% of replica-lists gain the new node in
         // one of two slots; a full rehash would move ~100%. Assert well
         // under the rehash level and above zero.

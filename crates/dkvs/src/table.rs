@@ -47,7 +47,12 @@ impl TableDef {
 
     /// Size a table for roughly `expected_keys` at ~50% slot load factor
     /// with 8-way buckets.
-    pub fn sized_for(id: u16, name: &'static str, value_len: usize, expected_keys: u64) -> TableDef {
+    pub fn sized_for(
+        id: u16,
+        name: &'static str,
+        value_len: usize,
+        expected_keys: u64,
+    ) -> TableDef {
         let slots_per_bucket = 8u32;
         let want_slots = (expected_keys * 2).max(slots_per_bucket as u64);
         let buckets = want_slots.div_ceil(slots_per_bucket as u64).next_power_of_two();

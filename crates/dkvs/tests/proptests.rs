@@ -6,15 +6,7 @@ use proptest::prelude::*;
 use rdma_sim::NodeId;
 
 fn arb_record() -> impl Strategy<Value = UndoRecord> {
-    (
-        0u16..8,
-        any::<u64>(),
-        0u64..1 << 20,
-        0u32..16,
-        0u64..1 << 40,
-        0u64..1 << 40,
-        0usize..16,
-    )
+    (0u16..8, any::<u64>(), 0u64..1 << 20, 0u32..16, 0u64..1 << 40, 0u64..1 << 40, 0usize..16)
         .prop_map(|(table, key, bucket, slot, oldv, newv, words)| UndoRecord {
             table: TableId(table),
             key,

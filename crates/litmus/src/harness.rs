@@ -110,7 +110,11 @@ pub fn load_initial(cluster: &SimCluster, init: &[(Var, u64)]) {
 }
 
 /// Interpret one litmus transaction body inside `txn`.
-fn run_ops(txn: &mut pandora::Txn<'_>, ops: &[Op], jitter: &mut Option<&mut StdRng>) -> Result<(), TxnError> {
+fn run_ops(
+    txn: &mut pandora::Txn<'_>,
+    ops: &[Op],
+    jitter: &mut Option<&mut StdRng>,
+) -> Result<(), TxnError> {
     let mut regs: Vec<Option<u64>> = vec![None; 8];
     for op in ops {
         if let Some(rng) = jitter.as_deref_mut() {
@@ -193,11 +197,8 @@ pub fn run_random(test: &LitmusTest, config: &LitmusConfig) -> LitmusOutcome {
     let mut out = LitmusOutcome { iterations: config.iterations, ..Default::default() };
 
     for iter in 0..config.iterations {
-        let cluster = Arc::new(litmus_cluster_with_latency(
-            config.protocol,
-            config.bugs,
-            config.latency,
-        ));
+        let cluster =
+            Arc::new(litmus_cluster_with_latency(config.protocol, config.bugs, config.latency));
         load_initial(&cluster, &test.init);
 
         // Pick the crash site for this iteration: transaction index and

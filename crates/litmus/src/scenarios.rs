@@ -60,9 +60,7 @@ impl Scenario {
         match self {
             Scenario::ComplicitAbort | Scenario::MissingActions => "Litmus-1 (Direct-Write)",
             Scenario::CovertLocks | Scenario::RelaxedLocks => "Litmus-2 (Read-Write)",
-            Scenario::LostDecision | Scenario::LoggingWithoutLocking => {
-                "Litmus-3 (Indirect-Write)"
-            }
+            Scenario::LostDecision | Scenario::LoggingWithoutLocking => "Litmus-3 (Indirect-Write)",
         }
     }
 
@@ -191,11 +189,11 @@ fn racing_commit_cycle(protocol: ProtocolKind, bugs: BugFlags) -> Option<String>
     // Sleep-scale verb latency forces the two commits to interleave even
     // on a single-core host (validation of both passes before either
     // apply lands — the precise window the lock checks exist to close).
-    let latency = rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(300), ns_per_kib: 0 };
+    let latency =
+        rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(300), ns_per_kib: 0 };
     for attempt in 0..40 {
-        let cluster = Arc::new(crate::harness::litmus_cluster_with_latency(
-            protocol, bugs, latency,
-        ));
+        let cluster =
+            Arc::new(crate::harness::litmus_cluster_with_latency(protocol, bugs, latency));
         load_initial(&cluster, &[(X, 0), (Y, 0)]);
         let barrier = Arc::new(Barrier::new(2));
 

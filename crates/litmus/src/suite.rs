@@ -87,10 +87,7 @@ pub fn litmus1_delete() -> LitmusTest {
                     Op::Write { var: Y, expr: Expr::Const(1) },
                 ],
             },
-            TxnProgram {
-                name: "T2",
-                ops: vec![Op::Delete { var: X }, Op::Delete { var: Y }],
-            },
+            TxnProgram { name: "T2", ops: vec![Op::Delete { var: X }, Op::Delete { var: Y }] },
         ],
         check: |s: &State| {
             if s.get(X) == s.get(Y) {
@@ -216,12 +213,8 @@ pub fn compound() -> LitmusTest {
             },
         ],
         check: |s: &State| {
-            let (w, x, y, z) = (
-                s.get_or_zero(W),
-                s.get_or_zero(X),
-                s.get_or_zero(Y),
-                s.get_or_zero(Z),
-            );
+            let (w, x, y, z) =
+                (s.get_or_zero(W), s.get_or_zero(X), s.get_or_zero(Y), s.get_or_zero(Z));
             if w != x || x != y || y != z {
                 return Err(format!("stretched direct-write: W={w} X={x} Y={y} Z={z}"));
             }

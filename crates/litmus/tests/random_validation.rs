@@ -64,10 +64,8 @@ fn random_harness_catches_covert_locks_bug() {
     cfg.inject_crashes = false;
     cfg.iterations = 60;
     // Sleep-scale latency interleaves the two commits even on one core.
-    cfg.latency = rdma_sim::LatencyModel {
-        rtt: std::time::Duration::from_micros(300),
-        ns_per_kib: 0,
-    };
+    cfg.latency =
+        rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(300), ns_per_kib: 0 };
     let outcome = run_random(&suite::litmus2(), &cfg);
     assert!(
         !outcome.ok(),

@@ -11,11 +11,7 @@ fn assert_bug_caught(scenario: Scenario, protocol: ProtocolKind) {
         "{scenario:?} with its bug enabled must violate strict serializability"
     );
     let fixed = run_scenario(scenario, protocol, BugFlags::none());
-    assert!(
-        !fixed.violated(),
-        "{scenario:?} with the fix must pass, got: {:?}",
-        fixed.violation
-    );
+    assert!(!fixed.violated(), "{scenario:?} with the fix must pass, got: {:?}", fixed.violation);
 }
 
 #[test]

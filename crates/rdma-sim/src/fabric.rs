@@ -5,7 +5,7 @@ use crate::error::{RdmaError, RdmaResult};
 use crate::fault::FaultInjector;
 use crate::latency::LatencyModel;
 use crate::mem::{MemoryNode, MAX_ENDPOINTS};
-use crate::qp::QueuePair;
+use crate::qp::{OpCounters, OpCountersSnapshot, QueuePair};
 use crate::rpc::{CtrlClient, CtrlService};
 
 /// Identifier of a memory server.
@@ -31,11 +31,7 @@ pub struct FabricConfig {
 
 impl Default for FabricConfig {
     fn default() -> Self {
-        FabricConfig {
-            memory_nodes: 2,
-            capacity_per_node: 64 << 20,
-            latency: LatencyModel::zero(),
-        }
+        FabricConfig { memory_nodes: 2, capacity_per_node: 64 << 20, latency: LatencyModel::zero() }
     }
 }
 
@@ -44,6 +40,9 @@ impl Default for FabricConfig {
 pub struct Fabric {
     nodes: Vec<Arc<MemoryNode>>,
     ctrl: Vec<CtrlClient>,
+    /// Per-node aggregate verb counters; every QP created towards a node
+    /// shares that node's counter block, so totals survive QP teardown.
+    node_counters: Vec<Arc<OpCounters>>,
     next_endpoint: AtomicU32,
     latency: LatencyModel,
 }
@@ -52,13 +51,21 @@ impl Fabric {
     pub fn new(config: FabricConfig) -> Arc<Self> {
         let mut nodes = Vec::with_capacity(config.memory_nodes as usize);
         let mut ctrl = Vec::with_capacity(config.memory_nodes as usize);
+        let mut node_counters = Vec::with_capacity(config.memory_nodes as usize);
         for i in 0..config.memory_nodes {
             let node = Arc::new(MemoryNode::new(NodeId(i), config.capacity_per_node));
             let svc = CtrlService::spawn(Arc::clone(&node));
             ctrl.push(CtrlClient { tx: svc.tx });
             nodes.push(node);
+            node_counters.push(Arc::new(OpCounters::default()));
         }
-        Arc::new(Fabric { nodes, ctrl, next_endpoint: AtomicU32::new(0), latency: config.latency })
+        Arc::new(Fabric {
+            nodes,
+            ctrl,
+            node_counters,
+            next_endpoint: AtomicU32::new(0),
+            latency: config.latency,
+        })
     }
 
     pub fn num_nodes(&self) -> u16 {
@@ -104,7 +111,31 @@ impl Fabric {
         latency: LatencyModel,
     ) -> RdmaResult<QueuePair> {
         let node = Arc::clone(self.node(node)?);
-        Ok(QueuePair::new(node, endpoint, injector, latency))
+        let counters = Arc::clone(&self.node_counters[node.id().0 as usize]);
+        Ok(QueuePair::new(node, endpoint, injector, latency, counters))
+    }
+
+    /// Aggregate verb counters for all traffic that ever targeted `node`,
+    /// across every QP (live or torn down).
+    pub fn node_counters(&self, node: NodeId) -> RdmaResult<OpCountersSnapshot> {
+        self.node(node)?; // validate id
+        Ok(self.node_counters[node.0 as usize].snapshot())
+    }
+
+    /// Per-node verb counters for the whole fabric, in node-id order.
+    pub fn per_node_counters(&self) -> Vec<(NodeId, OpCountersSnapshot)> {
+        self.nodes
+            .iter()
+            .zip(self.node_counters.iter())
+            .map(|(n, c)| (n.id(), c.snapshot()))
+            .collect()
+    }
+
+    /// Fabric-wide verb counters: the sum over all memory nodes.
+    pub fn total_counters(&self) -> OpCountersSnapshot {
+        self.node_counters
+            .iter()
+            .fold(OpCountersSnapshot::default(), |acc, c| acc.plus(&c.snapshot()))
     }
 
     /// Control-path client for `node` (wimpy-core RPC).
@@ -167,7 +198,11 @@ mod tests {
     use super::*;
 
     fn fabric() -> Arc<Fabric> {
-        Fabric::new(FabricConfig { memory_nodes: 3, capacity_per_node: 1 << 16, latency: LatencyModel::zero() })
+        Fabric::new(FabricConfig {
+            memory_nodes: 3,
+            capacity_per_node: 1 << 16,
+            latency: LatencyModel::zero(),
+        })
     }
 
     #[test]
@@ -202,6 +237,32 @@ mod tests {
         assert_eq!(c.ping(), Err(RdmaError::NodeDead));
         f.revive_node(NodeId(0)).unwrap();
         assert!(c.ping().is_ok());
+    }
+
+    #[test]
+    fn fabric_aggregates_counters_across_qps() {
+        let f = fabric();
+        let ep1 = f.register_endpoint();
+        let ep2 = f.register_endpoint();
+        let qp1 = f.qp(ep1, NodeId(0), FaultInjector::new()).unwrap();
+        let qp2 = f.qp(ep2, NodeId(0), FaultInjector::new()).unwrap();
+
+        qp1.write(0, &[7u8; 16]).unwrap();
+        qp2.read_u64(0).unwrap();
+        qp2.cas(8, 0, 1).unwrap();
+
+        let n0 = f.node_counters(NodeId(0)).unwrap();
+        assert_eq!((n0.writes, n0.reads, n0.cas), (1, 1, 1));
+        assert_eq!(n0.bytes_written, 16);
+        assert_eq!(n0.bytes_read, 8);
+
+        let total = f.total_counters();
+        assert_eq!(total.total_ops(), 3);
+
+        let per_node = f.per_node_counters();
+        assert_eq!(per_node.len(), 3);
+        assert_eq!(per_node[1].1, OpCountersSnapshot::default());
+        assert!(f.node_counters(NodeId(9)).is_err());
     }
 
     #[test]

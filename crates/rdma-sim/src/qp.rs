@@ -36,6 +36,24 @@ impl OpCountersSnapshot {
     pub fn total_ops(&self) -> u64 {
         self.reads + self.writes + self.cas + self.faa + self.flushes
     }
+
+    /// Bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Field-wise sum (fabric-wide aggregation over nodes).
+    pub fn plus(&self, other: &OpCountersSnapshot) -> OpCountersSnapshot {
+        OpCountersSnapshot {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            cas: self.cas + other.cas,
+            faa: self.faa + other.faa,
+            flushes: self.flushes + other.flushes,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
 }
 
 impl OpCounters {
@@ -68,6 +86,9 @@ pub struct QueuePair {
     injector: Arc<FaultInjector>,
     latency: LatencyModel,
     counters: Arc<OpCounters>,
+    /// Fabric-owned per-node aggregate, shared by every QP to this node
+    /// (see `Fabric::node_counters`).
+    node_counters: Arc<OpCounters>,
 }
 
 impl QueuePair {
@@ -76,8 +97,16 @@ impl QueuePair {
         endpoint: EndpointId,
         injector: Arc<FaultInjector>,
         latency: LatencyModel,
+        node_counters: Arc<OpCounters>,
     ) -> Self {
-        QueuePair { node, endpoint, injector, latency, counters: Arc::new(OpCounters::default()) }
+        QueuePair {
+            node,
+            endpoint,
+            injector,
+            latency,
+            counters: Arc::new(OpCounters::default()),
+            node_counters,
+        }
     }
 
     pub fn endpoint(&self) -> EndpointId {
@@ -95,6 +124,22 @@ impl QueuePair {
     /// The injector wired into this QP (shared by all QPs of a coordinator).
     pub fn injector(&self) -> Arc<FaultInjector> {
         Arc::clone(&self.injector)
+    }
+
+    #[inline]
+    fn count_read(&self, bytes: u64) {
+        for c in [&self.counters, &self.node_counters] {
+            c.reads.fetch_add(1, Ordering::Relaxed);
+            c.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn count_write(&self, bytes: u64) {
+        for c in [&self.counters, &self.node_counters] {
+            c.writes.fetch_add(1, Ordering::Relaxed);
+            c.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        }
     }
 
     #[inline]
@@ -119,8 +164,7 @@ impl QueuePair {
             return Err(RdmaError::Crashed);
         }
         self.node.copy_out(addr, buf)?;
-        self.counters.reads.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.count_read(buf.len() as u64);
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -149,8 +193,7 @@ impl QueuePair {
             return Err(RdmaError::Crashed);
         }
         self.node.copy_in_revocable(addr, data, self.endpoint.0)?;
-        self.counters.writes.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.count_write(data.len() as u64);
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -190,8 +233,7 @@ impl QueuePair {
         for (addr, data) in writes {
             self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
         }
-        self.counters.writes.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_written.fetch_add(total as u64, Ordering::Relaxed);
+        self.count_write(total as u64);
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -209,6 +251,7 @@ impl QueuePair {
         }
         let prev = self.node.cas(addr, expected, new)?;
         self.counters.cas.fetch_add(1, Ordering::Relaxed);
+        self.node_counters.cas.fetch_add(1, Ordering::Relaxed);
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -230,6 +273,7 @@ impl QueuePair {
         // The read-back that implements the flush.
         self.node.copy_out(addr & !7, &mut [0u8; 8])?;
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        self.node_counters.flushes.fetch_add(1, Ordering::Relaxed);
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -246,6 +290,7 @@ impl QueuePair {
         }
         let prev = self.node.faa(addr, add)?;
         self.counters.faa.fetch_add(1, Ordering::Relaxed);
+        self.node_counters.faa.fetch_add(1, Ordering::Relaxed);
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }

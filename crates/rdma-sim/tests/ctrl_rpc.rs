@@ -66,23 +66,15 @@ fn alloc_exhaustion_is_permanent_until_capacity() {
 fn revoke_blocks_data_path_and_restore_readmits() {
     let f = fabric();
     let ep = f.register_endpoint();
-    let qp = f
-        .qp(ep, NodeId(0), FaultInjector::new())
-        .unwrap();
+    let qp = f.qp(ep, NodeId(0), FaultInjector::new()).unwrap();
     let c = f.control(NodeId(0)).unwrap();
     let base = c.alloc(64).unwrap();
 
     qp.write_u64(base, 7).unwrap();
     c.revoke(ep.0).unwrap();
-    assert!(matches!(
-        qp.write_u64(base, 8),
-        Err(RdmaError::AccessRevoked)
-    ));
+    assert!(matches!(qp.write_u64(base, 8), Err(RdmaError::AccessRevoked)));
     assert!(matches!(qp.read_u64(base), Err(RdmaError::AccessRevoked)));
-    assert!(matches!(
-        qp.cas(base, 7, 9),
-        Err(RdmaError::AccessRevoked)
-    ));
+    assert!(matches!(qp.cas(base, 7, 9), Err(RdmaError::AccessRevoked)));
 
     c.restore(ep.0).unwrap();
     // Value is the pre-revocation one: the revoked write never landed.
@@ -142,9 +134,7 @@ fn revoke_is_idempotent() {
     c.revoke(ep.0).unwrap();
     c.revoke(ep.0).unwrap();
     c.restore(ep.0).unwrap();
-    let qp = f
-        .qp(ep, NodeId(0), FaultInjector::new())
-        .unwrap();
+    let qp = f.qp(ep, NodeId(0), FaultInjector::new()).unwrap();
     let base = c.alloc(64).unwrap();
     // A single restore undoes any number of revokes (revocation is a
     // flag, not a counter).
@@ -172,10 +162,7 @@ fn concurrent_allocs_never_overlap() {
             (0..16).map(|_| c.alloc(512).unwrap()).collect::<Vec<_>>()
         }));
     }
-    let mut all: Vec<u64> = handles
-        .into_iter()
-        .flat_map(|h| h.join().unwrap())
-        .collect();
+    let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
     all.sort_unstable();
     for w in all.windows(2) {
         assert!(w[0] + 512 <= w[1], "regions {} and {} overlap", w[0], w[1]);

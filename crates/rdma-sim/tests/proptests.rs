@@ -2,7 +2,9 @@
 //! arbitrary aligned accesses, revocation isolation, crash-plan algebra.
 
 use proptest::prelude::*;
-use rdma_sim::{CrashMode, CrashPlan, Fabric, FabricConfig, FaultInjector, LatencyModel, NodeId, RdmaError};
+use rdma_sim::{
+    CrashMode, CrashPlan, Fabric, FabricConfig, FaultInjector, LatencyModel, NodeId, RdmaError,
+};
 
 fn fabric() -> std::sync::Arc<Fabric> {
     Fabric::new(FabricConfig {

@@ -16,11 +16,11 @@
 
 pub mod micro;
 pub mod runner;
-pub mod ycsb;
-pub mod zipf;
 pub mod smallbank;
 pub mod tatp;
 pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
 
 use dkvs::TableDef;
 use pandora::{Coordinator, SimCluster, SimClusterBuilder, TxnError};

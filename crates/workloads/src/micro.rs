@@ -33,13 +33,7 @@ pub struct MicroBench {
 
 impl MicroBench {
     pub fn new(keys: u64, write_ratio: f64) -> MicroBench {
-        MicroBench {
-            keys,
-            hot_keys: keys,
-            write_ratio,
-            ops_per_txn: 4,
-            retry_until_commit: false,
-        }
+        MicroBench { keys, hot_keys: keys, write_ratio, ops_per_txn: 4, retry_until_commit: false }
     }
 
     pub fn with_retry_until_commit(mut self) -> MicroBench {
@@ -87,8 +81,7 @@ impl Workload for MicroBench {
         // unordered acquisition deadlocks (t1 holds A wants B, t2 holds
         // B wants A, both waiting).
         keys.sort_unstable();
-        let writes: Vec<bool> =
-            keys.iter().map(|_| rng.random_bool(self.write_ratio)).collect();
+        let writes: Vec<bool> = keys.iter().map(|_| rng.random_bool(self.write_ratio)).collect();
         loop {
             let mut txn = co.begin();
             let body = (|| {

@@ -7,7 +7,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pandora::{CoordStats, LatencyHistogram, SimCluster, ThroughputProbe, TxnError};
+use pandora::{
+    CoordStats, LatencyHistogram, MetricsRegistry, PhaseStats, SimCluster, ThroughputProbe,
+    TxnError,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdma_sim::FaultInjector;
@@ -20,11 +23,15 @@ pub struct RunnerConfig {
     /// Number of coordinator worker threads.
     pub coordinators: usize,
     pub seed: u64,
+    /// Attach per-phase commit-path instrumentation to every worker
+    /// coordinator. Costs a few clock reads per transaction; disable for
+    /// peak-throughput measurements.
+    pub phase_metrics: bool,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        RunnerConfig { coordinators: 4, seed: 42 }
+        RunnerConfig { coordinators: 4, seed: 42, phase_metrics: true }
     }
 }
 
@@ -48,6 +55,8 @@ pub struct WorkloadRunner<W: Workload> {
     workload: Arc<W>,
     probe: Arc<ThroughputProbe>,
     latency: Arc<LatencyHistogram>,
+    phases: Arc<PhaseStats>,
+    attach_phases: bool,
     stop: Arc<AtomicBool>,
     slots: Vec<WorkerSlot>,
     next_seed: u64,
@@ -67,6 +76,8 @@ impl<W: Workload> WorkloadRunner<W> {
             workload,
             probe,
             latency: Arc::new(LatencyHistogram::new()),
+            phases: PhaseStats::new(),
+            attach_phases: config.phase_metrics,
             stop,
             slots: Vec::with_capacity(config.coordinators),
             next_seed: config.seed,
@@ -82,6 +93,9 @@ impl<W: Workload> WorkloadRunner<W> {
         self.next_seed += 1;
         let (co, lease) = self.cluster.coordinator().expect("spawn coordinator");
         let mut co = co.with_probe(Arc::clone(&self.probe));
+        if self.attach_phases {
+            co = co.with_phase_stats(Arc::clone(&self.phases));
+        }
         co.warm_addr_cache(warm_cache);
         let injector = co.injector();
         let coord_id = lease.coord_id;
@@ -142,6 +156,25 @@ impl<W: Workload> WorkloadRunner<W> {
     /// Committed-transaction latency histogram across all workers.
     pub fn latency(&self) -> Arc<LatencyHistogram> {
         Arc::clone(&self.latency)
+    }
+
+    /// Per-phase commit-path stats shared by all workers. Stays at zero
+    /// when the runner was configured with `phase_metrics: false`.
+    pub fn phase_stats(&self) -> Arc<PhaseStats> {
+        Arc::clone(&self.phases)
+    }
+
+    /// A metrics registry wired to everything this runner observes:
+    /// throughput probe, per-phase stats, end-to-end latency histogram,
+    /// and the cluster's fabric counters. Snapshot it any time — also
+    /// after `stop_and_join`, since the shared atomics outlive the
+    /// workers.
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::new()
+            .with_probe(Arc::clone(&self.probe))
+            .with_phases(Arc::clone(&self.phases))
+            .with_txn_latency(Arc::clone(&self.latency))
+            .with_fabric(Arc::clone(&self.cluster.ctx.fabric))
     }
 
     pub fn cluster(&self) -> &Arc<SimCluster> {
@@ -240,7 +273,7 @@ mod tests {
         let runner = WorkloadRunner::spawn(
             Arc::clone(&cluster),
             bench,
-            RunnerConfig { coordinators: 3, seed: 1 },
+            RunnerConfig { coordinators: 3, seed: 1, ..RunnerConfig::default() },
         );
         std::thread::sleep(Duration::from_millis(100));
         let probe = runner.probe();
@@ -252,13 +285,44 @@ mod tests {
     }
 
     #[test]
+    fn runner_metrics_capture_phases_and_fabric() {
+        use pandora::TxnPhase;
+        let bench = Arc::new(MicroBench::new(512, 0.5));
+        let cluster = micro_cluster(&bench);
+        let runner = WorkloadRunner::spawn(
+            Arc::clone(&cluster),
+            bench,
+            RunnerConfig { coordinators: 2, seed: 7, ..RunnerConfig::default() },
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let registry = runner.metrics();
+        runner.stop_and_join();
+
+        let snap = registry.snapshot();
+        assert!(snap.committed > 0);
+        let execute = snap
+            .phases
+            .iter()
+            .find(|(name, _)| *name == TxnPhase::Execute.name())
+            .expect("execute phase present");
+        // Execute is timed on every commit attempt, so aborted attempts
+        // count too: the total can only meet or exceed the commits.
+        assert!(execute.1.count >= snap.committed);
+        let fabric = snap.fabric_total.expect("fabric counters wired");
+        assert!(fabric.reads > 0 && fabric.bytes_read > 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"phases\""));
+        assert!(json.contains("\"fabric\""));
+    }
+
+    #[test]
     fn crash_and_recover_and_respawn() {
         let bench = Arc::new(MicroBench::new(512, 0.5));
         let cluster = micro_cluster(&bench);
         let mut runner = WorkloadRunner::spawn(
             Arc::clone(&cluster),
             bench,
-            RunnerConfig { coordinators: 3, seed: 2 },
+            RunnerConfig { coordinators: 3, seed: 2, ..RunnerConfig::default() },
         );
         std::thread::sleep(Duration::from_millis(50));
         let victim = runner.crash_worker(0);

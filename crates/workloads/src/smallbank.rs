@@ -176,11 +176,7 @@ mod tests {
             }
         }
         let total: u64 = (0..32)
-            .flat_map(|a| {
-                [SAVINGS, CHECKING]
-                    .into_iter()
-                    .map(move |t| (t, a))
-            })
+            .flat_map(|a| [SAVINGS, CHECKING].into_iter().map(move |t| (t, a)))
             .map(|(t, a)| decode_field(&cluster.peek(t, a).expect("acct")))
             .sum();
         let initial = 32 * 2 * INITIAL_BALANCE;

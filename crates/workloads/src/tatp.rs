@@ -69,15 +69,17 @@ impl Workload for Tatp {
         cluster
             .bulk_load(
                 ACCESS_INFO,
-                (0..self.subscribers)
-                    .flat_map(|s| (0..2).map(move |t| (Self::ai_key(s, t), encode_value(TATP_VALUE_LEN, s)))),
+                (0..self.subscribers).flat_map(|s| {
+                    (0..2).map(move |t| (Self::ai_key(s, t), encode_value(TATP_VALUE_LEN, s)))
+                }),
             )
             .expect("load access_info");
         cluster
             .bulk_load(
                 SPECIAL_FACILITY,
-                (0..self.subscribers)
-                    .flat_map(|s| (0..2).map(move |t| (Self::sf_key(s, t), encode_value(TATP_VALUE_LEN, s)))),
+                (0..self.subscribers).flat_map(|s| {
+                    (0..2).map(move |t| (Self::sf_key(s, t), encode_value(TATP_VALUE_LEN, s)))
+                }),
             )
             .expect("load special_facility");
         // Half the subscribers start with one call-forwarding record.
@@ -118,7 +120,11 @@ impl Workload for Tatp {
                 txn.write(SUBSCRIBER, sub, &encode_value(TATP_VALUE_LEN, decode_field(&v) + 1))?;
                 let sf = Self::sf_key(sub, rng.random_range(0..2u64));
                 if let Some(v) = txn.read(SPECIAL_FACILITY, sf)? {
-                    txn.write(SPECIAL_FACILITY, sf, &encode_value(TATP_VALUE_LEN, decode_field(&v) + 1))?;
+                    txn.write(
+                        SPECIAL_FACILITY,
+                        sf,
+                        &encode_value(TATP_VALUE_LEN, decode_field(&v) + 1),
+                    )?;
                 }
             }
             // UpdateLocation (14%).

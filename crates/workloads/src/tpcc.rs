@@ -115,11 +115,21 @@ impl Workload for Tpcc {
         vec![
             TableDef::sized_for(0, "warehouse", TPCC_VALUE_LEN, w),
             TableDef::sized_for(1, "district", TPCC_VALUE_LEN, districts),
-            TableDef::sized_for(2, "customer", TPCC_VALUE_LEN, districts * self.customers_per_district),
+            TableDef::sized_for(
+                2,
+                "customer",
+                TPCC_VALUE_LEN,
+                districts * self.customers_per_district,
+            ),
             TableDef::sized_for(3, "history", TPCC_VALUE_LEN, districts * ORDER_WINDOW),
             TableDef::sized_for(4, "neworder", TPCC_VALUE_LEN, districts * ORDER_WINDOW),
             TableDef::sized_for(5, "orders", TPCC_VALUE_LEN, districts * ORDER_WINDOW),
-            TableDef::sized_for(6, "orderline", TPCC_VALUE_LEN, districts * ORDER_WINDOW * MAX_OL_PER_ORDER),
+            TableDef::sized_for(
+                6,
+                "orderline",
+                TPCC_VALUE_LEN,
+                districts * ORDER_WINDOW * MAX_OL_PER_ORDER,
+            ),
             TableDef::sized_for(7, "item", TPCC_VALUE_LEN, self.items),
             TableDef::sized_for(8, "stock", TPCC_VALUE_LEN, w * self.items),
         ]

@@ -127,10 +127,7 @@ impl Workload for Ycsb {
 
     fn load(&self, cluster: &SimCluster) {
         cluster
-            .bulk_load(
-                YCSB_TABLE,
-                (0..self.records).map(|k| (k, encode_value(YCSB_VALUE_LEN, k))),
-            )
+            .bulk_load(YCSB_TABLE, (0..self.records).map(|k| (k, encode_value(YCSB_VALUE_LEN, k))))
             .expect("load ycsb");
     }
 

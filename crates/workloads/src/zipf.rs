@@ -50,8 +50,7 @@ impl Zipf {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
     }
 }
@@ -90,10 +89,7 @@ mod tests {
         }
         // With θ=0.99 over 10k keys, the top-10 ranks draw roughly half
         // the traffic; assert a conservative lower bound.
-        assert!(
-            top10 > draws / 5,
-            "zipf skew too weak: top-10 got {top10}/{draws}"
-        );
+        assert!(top10 > draws / 5, "zipf skew too weak: top-10 got {top10}/{draws}");
     }
 
     #[test]
@@ -101,9 +97,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let weak = Zipf::new(10_000, 0.5);
         let strong = Zipf::new(10_000, 0.99);
-        let count_top = |z: &Zipf, rng: &mut StdRng| {
-            (0..10_000).filter(|_| z.sample(rng) < 100).count()
-        };
+        let count_top =
+            |z: &Zipf, rng: &mut StdRng| (0..10_000).filter(|_| z.sample(rng) < 100).count();
         let w = count_top(&weak, &mut rng);
         let s = count_top(&strong, &mut rng);
         assert!(s > w, "higher theta must concentrate more: strong={s} weak={w}");

@@ -135,9 +135,8 @@ fn write_fraction(w: &dyn Workload, txns: u32) -> f64 {
     let mut committed = 0u32;
     // A committed read-only transaction issues zero WRITE verbs; any
     // write transaction must issue at least one (log or apply).
-    let writes_issued = |co: &pandora::Coordinator| -> u64 {
-        co.op_counters().iter().map(|(_, s)| s.writes).sum()
-    };
+    let writes_issued =
+        |co: &pandora::Coordinator| -> u64 { co.op_counters().iter().map(|(_, s)| s.writes).sum() };
     while committed < txns {
         let before = writes_issued(&co);
         if w.execute(&mut co, &mut rng).is_ok() {

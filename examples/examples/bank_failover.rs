@@ -103,7 +103,10 @@ fn main() {
     for report in cluster.fd.reports() {
         println!(
             "recovered coordinator {}: {} logged txn(s), {} forward, {} back, {:?} total",
-            report.coord, report.logged_txns, report.rolled_forward, report.rolled_back,
+            report.coord,
+            report.logged_txns,
+            report.rolled_forward,
+            report.rolled_back,
             report.total
         );
     }

@@ -18,11 +18,8 @@ fn main() {
     //    both commit and X == Y == 1 — a strict-serializability
     //    violation.
     println!("== directed scenario: covert locks (paper Table 1, litmus 2) ==");
-    let buggy = run_scenario(
-        Scenario::CovertLocks,
-        ProtocolKind::Ford,
-        Scenario::CovertLocks.bug_flags(),
-    );
+    let buggy =
+        run_scenario(Scenario::CovertLocks, ProtocolKind::Ford, Scenario::CovertLocks.bug_flags());
     match &buggy.violation {
         Some(v) => println!("bug reproduced: {v}"),
         None => println!("(the racing interleaving did not fire this run)"),

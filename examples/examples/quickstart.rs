@@ -46,9 +46,11 @@ fn main() {
             txn.write(ACCOUNTS, 2, &value(to + 250))
         })
         .expect("transfer");
-    println!("after transfer: acct1 = {}, acct2 = {}",
+    println!(
+        "after transfer: acct1 = {}, acct2 = {}",
         balance(&cluster.peek(ACCOUNTS, 1).unwrap()),
-        balance(&cluster.peek(ACCOUNTS, 2).unwrap()));
+        balance(&cluster.peek(ACCOUNTS, 2).unwrap())
+    );
 
     // 4. Crash a coordinator in the middle of its commit phase — after
     //    it has updated one replica of account 3 but not the other.
@@ -76,7 +78,9 @@ fn main() {
 
     // 6. Account 3 is intact and writable again.
     assert_eq!(balance(&cluster.peek(ACCOUNTS, 3).unwrap()), 1_000);
-    alice.run(|txn| txn.write(ACCOUNTS, 3, &value(1_234))).expect("write after recovery");
+    alice
+        .run(|txn| txn.write(ACCOUNTS, 3, &value(1_234)))
+        .expect("write after recovery");
     assert_eq!(balance(&cluster.peek(ACCOUNTS, 3).unwrap()), 1_234);
     println!("acct3 rolled back to 1000, then committed to 1234 — recovery is seamless");
 }

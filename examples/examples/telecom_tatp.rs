@@ -35,7 +35,7 @@ fn main() {
     let runner = WorkloadRunner::spawn(
         Arc::clone(&cluster),
         Arc::clone(&tatp),
-        RunnerConfig { coordinators: 4, seed: 2 },
+        RunnerConfig { coordinators: 4, seed: 2, ..RunnerConfig::default() },
     );
     std::thread::sleep(Duration::from_millis(400));
     let before = runner.probe().committed_total();

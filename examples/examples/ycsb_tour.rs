@@ -33,7 +33,7 @@ fn main() {
         let runner = WorkloadRunner::spawn(
             Arc::clone(&cluster),
             Arc::clone(&workload),
-            RunnerConfig { coordinators: 4, seed: 11 },
+            RunnerConfig { coordinators: 4, seed: 11, ..RunnerConfig::default() },
         );
         let window = Duration::from_millis(600);
         std::thread::sleep(window);

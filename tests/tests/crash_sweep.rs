@@ -44,7 +44,9 @@ fn sweep_once(protocol: ProtocolKind, at_op: u64, mode: CrashMode) -> bool {
     co.injector().arm(CrashPlan { at_op, mode });
     let commit_result = {
         let mut txn = co.begin();
-        txn.write(KV, 3, &value(1)).and_then(|()| txn.write(KV, 7, &value(1))).and_then(|()| txn.commit())
+        txn.write(KV, 3, &value(1))
+            .and_then(|()| txn.write(KV, 7, &value(1)))
+            .and_then(|()| txn.commit())
     };
     let fired = co.injector().is_crashed();
     if fired {
@@ -235,7 +237,8 @@ fn successive_failures_on_the_same_keys_recover() {
         cluster.fd.declare_failed(l1.coord_id).unwrap();
 
         let (mut co2, l2) = cluster.coordinator().unwrap();
-        co2.injector().arm(CrashPlan { at_op: second_offset, mode: CrashMode::MidWrite });
+        co2.injector()
+            .arm(CrashPlan { at_op: second_offset, mode: CrashMode::MidWrite });
         {
             let mut txn = co2.begin();
             let _ = txn

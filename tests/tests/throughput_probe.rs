@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pandora::{ProtocolKind, SimCluster, SystemConfig};
-use pandora_workloads::{with_tables, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner};
+use pandora_workloads::{
+    with_tables, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner,
+};
 
 fn probe<W: Workload>(workload: W, protocol: ProtocolKind) -> (u64, u64) {
     let workload = Arc::new(workload);
@@ -32,7 +34,7 @@ fn probe<W: Workload>(workload: W, protocol: ProtocolKind) -> (u64, u64) {
     let runner = WorkloadRunner::spawn(
         Arc::new(cluster),
         workload,
-        RunnerConfig { coordinators: 4, seed: 5 },
+        RunnerConfig { coordinators: 4, seed: 5, ..RunnerConfig::default() },
     );
     std::thread::sleep(Duration::from_millis(800));
     let probe = runner.probe();
