@@ -23,7 +23,7 @@ use pandora_workloads::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rdma_sim::{CrashMode, CrashPlan, LatencyModel, NodeId};
+use rdma_sim::{ChaosConfig, CrashMode, CrashPlan, LatencyModel, NodeId};
 
 const HELP: &str = "\
 pandora-cli — fast, highly available, recoverable transactions on a simulated DKVS
@@ -44,6 +44,10 @@ RUN FLAGS
   --fault SPEC          compute:<frac>@<secs> | memory:<node>@<secs>
   --respawn             respawn crashed coordinators after recovery
   --latency-us N        per-verb RTT to inject         (default 0)
+  --chaos-seed N        enable seeded transient-fault injection (verb
+                        timeouts, link flaps, delay spikes); a given
+                        seed replays the exact same fault schedule
+  --chaos-profile P     light|heavy                    (default light)
   --stalls              stall (not abort) on lock conflicts
   --persistence volatile|battery|nvm                   (default volatile)
   --doorbell            coalesce commit writes per node (doorbell batching)
@@ -176,10 +180,11 @@ fn build_cluster(
     workload: &dyn Workload,
     config: SystemConfig,
     latency: LatencyModel,
+    chaos: Option<ChaosConfig>,
 ) -> Arc<SimCluster> {
     let segments: u64 = workload.tables().iter().map(|t| t.segment_bytes()).sum();
     let capacity = (segments + (96 << 20)).next_power_of_two();
-    let cluster = with_tables(
+    let mut builder = with_tables(
         SimCluster::builder(config.protocol)
             .memory_nodes(3)
             .replication(2)
@@ -188,11 +193,27 @@ fn build_cluster(
             .config(config)
             .latency(latency),
         workload,
-    )
-    .build()
-    .expect("build cluster");
+    );
+    if let Some(cfg) = chaos {
+        builder = builder.chaos(cfg);
+    }
+    let cluster = builder.build().expect("build cluster");
     workload.load(&cluster);
     Arc::new(cluster)
+}
+
+/// `--chaos-seed` / `--chaos-profile` → a chaos config (None when the
+/// flags are absent; the model then never exists, so the run pays zero
+/// overhead).
+fn parse_chaos(args: &Args) -> Result<Option<ChaosConfig>, ParseError> {
+    if !args.has("chaos-seed") && !args.has("chaos-profile") {
+        return Ok(None);
+    }
+    let seed = args.get_u64("chaos-seed", 42)?;
+    let name = args.get("chaos-profile").unwrap_or("light");
+    ChaosConfig::profile(name, seed)
+        .map(Some)
+        .ok_or_else(|| ParseError(format!("unknown chaos profile {name:?}")))
 }
 
 fn cmd_run(args: &Args) -> Result<(), ParseError> {
@@ -218,12 +239,21 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
         }
     }
 
+    let chaos_cfg = parse_chaos(args)?;
     println!(
         "workload={} protocol={:?} coordinators={coordinators} duration={duration:?} fault={fault:?}",
         workload.name(),
         config.protocol
     );
-    let cluster = build_cluster(workload.as_ref(), config, latency);
+    let cluster = build_cluster(workload.as_ref(), config, latency, chaos_cfg);
+    if let Some(chaos) = &cluster.chaos {
+        // Dataset is loaded; everything from here on runs under fire.
+        chaos.set_enabled(true);
+        println!(
+            "chaos enabled: seed={} (replay with the same --chaos-seed)",
+            chaos_cfg.unwrap().seed
+        );
+    }
     let mut runner = WorkloadRunner::spawn(
         Arc::clone(&cluster),
         Arc::clone(&workload),
@@ -301,6 +331,27 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
     println!("mean_tps={mean:.0} (after warmup)");
     println!("latency p50={p50:?} p95={p95:?} p99={p99:?} mean={:?}", latency_hist.mean());
     println!("locks_stolen={stolen}");
+    if let Some(chaos) = &cluster.chaos {
+        let c = chaos.stats();
+        println!(
+            "chaos: timeouts={} (ambiguous={}) dropped_in_flap={} flaps={} partitions={} spikes={}",
+            c.timeouts_ambiguous + c.timeouts_not_applied,
+            c.timeouts_ambiguous,
+            c.verbs_dropped_in_flap,
+            c.flaps_started,
+            c.partitions_started,
+            c.delay_spikes
+        );
+        let r = cluster.ctx.resilience.snapshot();
+        println!(
+            "resilience: retries={} exhausted={} ambiguous_resolved={} survivals={} self_fenced={}",
+            r.retries,
+            r.retries_exhausted,
+            r.ambiguous_resolved,
+            r.false_suspicion_survivals,
+            r.self_fenced
+        );
+    }
     if let Some(path) = args.get("metrics-json") {
         registry.add_reports(&cluster.fd.reports());
         std::fs::write(path, registry.snapshot().to_json())
@@ -316,7 +367,7 @@ fn cmd_recovery(args: &Args) -> Result<(), ParseError> {
     let frozen_n = args.get_u64("frozen", 8)? as usize;
     println!("workload={} protocol={:?} frozen={frozen_n}", workload.name(), config.protocol);
     let protocol = config.protocol;
-    let cluster = build_cluster(workload.as_ref(), config, LatencyModel::zero());
+    let cluster = build_cluster(workload.as_ref(), config, LatencyModel::zero(), None);
 
     let mut rng = StdRng::seed_from_u64(args.get_u64("seed", 7)?);
     let mut frozen = Vec::new();

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::retry::RetryPolicy;
+
 /// How committed data is made durable on the memory servers (paper §7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PersistenceMode {
@@ -152,6 +154,10 @@ pub struct SystemConfig {
     pub fd_timeout: Duration,
     /// FD poll interval.
     pub fd_poll: Duration,
+    /// Verb-level retry/backoff policy for transient fabric faults
+    /// (timeouts injected by the chaos model). Release paths and
+    /// recovery escalate this budget; see [`RetryPolicy::escalated`].
+    pub retry: RetryPolicy,
 }
 
 impl SystemConfig {
@@ -167,7 +173,13 @@ impl SystemConfig {
             doorbell_batching: false,
             fd_timeout: Duration::from_millis(5),
             fd_poll: Duration::from_millis(1),
+            retry: RetryPolicy::verbs(),
         }
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> SystemConfig {
+        self.retry = retry;
+        self
     }
 
     pub fn with_persistence(mut self, mode: PersistenceMode) -> SystemConfig {

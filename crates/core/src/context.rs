@@ -11,6 +11,7 @@ use rdma_sim::{Fabric, NodeId};
 use crate::config::SystemConfig;
 use crate::failed_ids::FailedIds;
 use crate::pause::WorldPause;
+use crate::retry::ResilienceStats;
 
 /// Cluster-wide shared state: the fabric, the layout map, the failed-ids
 /// set, the dead-memory-node list, and the stop-the-world controller.
@@ -26,6 +27,8 @@ pub struct SharedContext {
     pub failed: Arc<FailedIds>,
     pub pause: WorldPause,
     pub config: SystemConfig,
+    /// Cluster-wide retry/survival counters (transient-fault telemetry).
+    pub resilience: Arc<ResilienceStats>,
     dead_nodes: RwLock<Vec<NodeId>>,
     dead_epoch: AtomicU64,
 }
@@ -42,6 +45,7 @@ impl SharedContext {
             failed: Arc::new(FailedIds::new()),
             pause: WorldPause::new(),
             config,
+            resilience: ResilienceStats::new(),
             dead_nodes: RwLock::new(Vec::new()),
             dead_epoch: AtomicU64::new(0),
         })

@@ -2,6 +2,7 @@
 //! transactional protocol over one-sided verbs (paper §2.1: "compute
 //! servers perform those over the memory servers through one-sided RDMA").
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -10,9 +11,11 @@ use dkvs::{ClusterMap, LockWord, SlotImage, SlotLayout, SlotRef, TableId};
 use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
 
 use crate::context::SharedContext;
+use crate::fd::{CoordinatorLease, FailureDetector};
 use crate::metrics::ThroughputProbe;
 use crate::obs::{PhaseStats, TxnPhase};
 use crate::pause::CoordGate;
+use crate::retry;
 use crate::txn::{AbortReason, Txn, TxnError};
 
 /// Statistics one coordinator accumulates over its lifetime.
@@ -231,6 +234,81 @@ impl Coordinator {
         &self.qps[node.0 as usize]
     }
 
+    /// Backoff-jitter salt: unique per coordinator incarnation and
+    /// transaction, so concurrent retriers desynchronize deterministically.
+    #[inline]
+    pub(crate) fn retry_salt(&self) -> u64 {
+        ((self.coord_id as u64) << 32) ^ ((self.endpoint.0 as u64) << 8) ^ self.txn_seq
+    }
+
+    /// Run an **idempotent** verb under the configured retry policy
+    /// (READs and same-bytes re-WRITEs survive transient timeouts).
+    pub(crate) fn retry_verb<T>(&self, f: impl FnMut() -> RdmaResult<T>) -> RdmaResult<T> {
+        retry::retry_op(&self.ctx.config.retry, Some(&self.ctx.resilience), self.retry_salt(), f)
+    }
+
+    /// Escalated-budget retry for release paths (lock releases, log
+    /// truncation): exhaustion here would strand remote state owned by a
+    /// live coordinator, so the budget is much larger.
+    pub(crate) fn retry_release<T>(&self, f: impl FnMut() -> RdmaResult<T>) -> RdmaResult<T> {
+        retry::retry_op(
+            &self.ctx.config.retry.escalated(),
+            Some(&self.ctx.resilience),
+            self.retry_salt(),
+            f,
+        )
+    }
+
+    /// CAS with ambiguity resolution (see [`retry::cas_resolved`]):
+    /// `unique_word` asserts that `new` cannot be produced by any other
+    /// coordinator (PILL lock words, key claims), enabling re-read
+    /// disambiguation of ambiguous timeouts.
+    pub(crate) fn cas_resolved(
+        &self,
+        node: NodeId,
+        addr: u64,
+        expected: u64,
+        new: u64,
+        unique_word: bool,
+    ) -> RdmaResult<u64> {
+        retry::cas_resolved(
+            &self.ctx.config.retry,
+            Some(&self.ctx.resilience),
+            self.retry_salt(),
+            self.qp(node),
+            addr,
+            expected,
+            new,
+            unique_word,
+        )
+    }
+
+    /// Survive a false suspicion (paper §3.2.2 Cor1: "a falsely-suspected
+    /// *live* coordinator is fenced, never wedged"). After this
+    /// coordinator's endpoint was revoked by active-link termination while
+    /// it was still running, drop the fenced endpoint, lease a *fresh*
+    /// coordinator id (the old id sits in the failed set while recovery
+    /// steals its stray locks exactly once), and rebuild queue pairs under
+    /// a new endpoint. Keeps the address cache (slot locations re-verify
+    /// on use), stats, probes, and the — still live — fault injector.
+    pub fn reincarnate(&mut self, fd: &FailureDetector) -> RdmaResult<CoordinatorLease> {
+        let endpoint = self.ctx.fabric.register_endpoint();
+        let lease = fd.register(endpoint);
+        let mut qps = Vec::with_capacity(self.ctx.fabric.num_nodes() as usize);
+        for n in self.ctx.fabric.node_ids() {
+            qps.push(self.ctx.fabric.qp(endpoint, n, Arc::clone(&self.injector))?);
+        }
+        // The fenced incarnation's pause gate must never hold up a
+        // stop-the-world recovery; register a fresh one.
+        self.gate.mark_dead();
+        self.gate = self.ctx.pause.register();
+        self.coord_id = lease.coord_id;
+        self.endpoint = endpoint;
+        self.qps = qps;
+        self.ctx.resilience.false_suspicion_survivals.fetch_add(1, Ordering::Relaxed);
+        Ok(lease)
+    }
+
     pub(crate) fn map(&self) -> &ClusterMap {
         &self.ctx.map
     }
@@ -267,7 +345,8 @@ impl Coordinator {
         let layout = self.map().layout(slot.table);
         let addr = self.map().slot_addr(node, slot.table, slot.bucket, slot.slot);
         let mut buf = vec![0u8; layout.slot_bytes() as usize];
-        self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
+        self.retry_verb(|| self.qp(node).read(addr, &mut buf))
+            .map_err(TxnError::from_rdma)?;
         Ok(parse_full_slot(layout, &buf))
     }
 
@@ -282,7 +361,8 @@ impl Coordinator {
         let layout = def.layout();
         let addr = self.map().bucket_addr(node, table, bucket);
         let mut buf = vec![0u8; def.bucket_bytes() as usize];
-        self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
+        self.retry_verb(|| self.qp(node).read(addr, &mut buf))
+            .map_err(TxnError::from_rdma)?;
         let sb = layout.slot_bytes() as usize;
         Ok((0..def.slots_per_bucket as usize)
             .map(|i| parse_full_slot(layout, &buf[i * sb..(i + 1) * sb]))
@@ -300,7 +380,8 @@ impl Coordinator {
         let addr =
             self.map().slot_addr(node, slot.table, slot.bucket, slot.slot) + SlotLayout::LOCK_OFF;
         let mut buf = [0u8; 16];
-        self.qp(node).read(addr, &mut buf).map_err(TxnError::from_rdma)?;
+        self.retry_verb(|| self.qp(node).read(addr, &mut buf))
+            .map_err(TxnError::from_rdma)?;
         Ok((
             LockWord(u64::from_le_bytes(buf[0..8].try_into().expect("8B"))),
             dkvs::VersionWord(u64::from_le_bytes(buf[8..16].try_into().expect("8B"))),

@@ -56,6 +56,7 @@ pub mod metrics;
 pub mod obs;
 pub mod pause;
 pub mod recovery;
+pub mod retry;
 pub mod sim;
 pub mod trace;
 pub mod txn;
@@ -73,6 +74,7 @@ pub use obs::{
 };
 pub use pause::{CoordGate, WorldPause};
 pub use recovery::{RecoveryCoordinator, RecoveryReport};
+pub use retry::{ResilienceSnapshot, ResilienceStats, RetryPolicy};
 pub use sim::{SimCluster, SimClusterBuilder};
 pub use trace::{TraceRecord, Tracer, TxnEvent};
 pub use txn::{AbortReason, Txn, TxnError};

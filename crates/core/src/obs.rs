@@ -18,10 +18,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use rdma_sim::{Fabric, OpCountersSnapshot};
+use rdma_sim::{ChaosModel, ChaosStatsSnapshot, Fabric, OpCountersSnapshot};
 
 use crate::metrics::{LatencyHistogram, ThroughputProbe};
 use crate::recovery::RecoveryReport;
+use crate::retry::{ResilienceSnapshot, ResilienceStats};
 use crate::txn::AbortReason;
 
 /// The six commit-path stages of the protocol, in execution order.
@@ -225,6 +226,8 @@ pub struct MetricsRegistry {
     probe: Option<Arc<ThroughputProbe>>,
     txn_latency: Option<Arc<LatencyHistogram>>,
     fabric: Option<Arc<Fabric>>,
+    resilience: Option<Arc<ResilienceStats>>,
+    chaos: Option<Arc<ChaosModel>>,
     reports: Mutex<Vec<RecoveryReport>>,
 }
 
@@ -250,6 +253,16 @@ impl MetricsRegistry {
 
     pub fn with_fabric(mut self, fabric: Arc<Fabric>) -> MetricsRegistry {
         self.fabric = Some(fabric);
+        self
+    }
+
+    pub fn with_resilience(mut self, resilience: Arc<ResilienceStats>) -> MetricsRegistry {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    pub fn with_chaos(mut self, chaos: Arc<ChaosModel>) -> MetricsRegistry {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -284,6 +297,8 @@ impl MetricsRegistry {
                 .as_ref()
                 .map(|f| f.per_node_counters().into_iter().map(|(n, s)| (n.0, s)).collect())
                 .unwrap_or_default(),
+            resilience: self.resilience.as_ref().map(|r| r.snapshot()),
+            chaos: self.chaos.as_ref().map(|c| c.stats()),
             recoveries: self.reports.lock().iter().map(RecoverySnapshot::from_report).collect(),
         }
     }
@@ -307,6 +322,11 @@ pub struct MetricsSnapshot {
     pub fabric_total: Option<OpCountersSnapshot>,
     /// Per-memory-node verb counts, in node-id order.
     pub fabric_nodes: Vec<(u16, OpCountersSnapshot)>,
+    /// Retry / false-suspicion-survival / self-fence counters, when the
+    /// registry was wired to a [`ResilienceStats`].
+    pub resilience: Option<ResilienceSnapshot>,
+    /// Injected-fault counters, when a chaos model was installed.
+    pub chaos: Option<ChaosStatsSnapshot>,
     /// One entry per recovery performed during the run.
     pub recoveries: Vec<RecoverySnapshot>,
 }
@@ -358,6 +378,34 @@ impl MetricsSnapshot {
                 }
                 s.push_str("]}");
             }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"resilience\":");
+        match &self.resilience {
+            Some(r) => s.push_str(&format!(
+                "{{\"retries\":{},\"retries_exhausted\":{},\"ambiguous_resolved\":{},\
+                 \"false_suspicion_survivals\":{},\"self_fenced\":{}}}",
+                r.retries,
+                r.retries_exhausted,
+                r.ambiguous_resolved,
+                r.false_suspicion_survivals,
+                r.self_fenced
+            )),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"chaos\":");
+        match &self.chaos {
+            Some(c) => s.push_str(&format!(
+                "{{\"timeouts_ambiguous\":{},\"timeouts_not_applied\":{},\
+                 \"verbs_dropped_in_flap\":{},\"flaps_started\":{},\
+                 \"partitions_started\":{},\"delay_spikes\":{}}}",
+                c.timeouts_ambiguous,
+                c.timeouts_not_applied,
+                c.verbs_dropped_in_flap,
+                c.flaps_started,
+                c.partitions_started,
+                c.delay_spikes
+            )),
             None => s.push_str("null"),
         }
         s.push_str(",\"recoveries\":[");
@@ -714,6 +762,8 @@ mod tests {
         }
         assert!(v.get("txn_latency").expect("key present").is_null());
         assert!(v.get("fabric").expect("key present").is_null());
+        assert!(v.get("resilience").expect("key present").is_null());
+        assert!(v.get("chaos").expect("key present").is_null());
         let recs = v.get("recoveries").and_then(|r| r.as_array()).expect("array");
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].get("coord").and_then(|c| c.as_u64()), Some(3));
@@ -738,6 +788,26 @@ mod tests {
         assert!((snap.abort_rate - 1.0 / 3.0).abs() < 1e-9);
         let validate = snap.phases.iter().find(|(n, _)| *n == "validate").unwrap();
         assert_eq!(validate.1.count, 1);
+    }
+
+    #[test]
+    fn resilience_and_chaos_counters_appear_in_json() {
+        let resilience = ResilienceStats::new();
+        resilience.retries.fetch_add(7, Ordering::Relaxed);
+        resilience.ambiguous_resolved.fetch_add(2, Ordering::Relaxed);
+        let chaos = rdma_sim::ChaosModel::new(rdma_sim::ChaosConfig::light(42));
+        let registry = MetricsRegistry::new()
+            .with_resilience(Arc::clone(&resilience))
+            .with_chaos(Arc::clone(&chaos));
+        let text = registry.snapshot().to_json();
+        let v = json::parse(&text).expect("writer output must parse");
+        let r = v.get("resilience").expect("key present");
+        assert_eq!(r.get("retries").and_then(|n| n.as_u64()), Some(7));
+        assert_eq!(r.get("ambiguous_resolved").and_then(|n| n.as_u64()), Some(2));
+        assert_eq!(r.get("self_fenced").and_then(|n| n.as_u64()), Some(0));
+        let c = v.get("chaos").expect("key present");
+        assert_eq!(c.get("timeouts_ambiguous").and_then(|n| n.as_u64()), Some(0));
+        assert_eq!(c.get("delay_spikes").and_then(|n| n.as_u64()), Some(0));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
 
 use crate::config::ProtocolKind;
 use crate::context::SharedContext;
+use crate::retry;
 
 /// What one compute-failure recovery did.
 #[derive(Debug, Clone, Default)]
@@ -129,6 +130,34 @@ impl RecoveryCoordinator {
         &self.qps[node.0 as usize]
     }
 
+    /// Recovery verbs retry transient timeouts through the escalated
+    /// budget: a transiently-failed log-region READ must never be
+    /// mistaken for "nothing logged" (that would truncate a live undo
+    /// image and lose the pre-images a rollback needs).
+    fn retry_verb<T>(&self, f: impl FnMut() -> RdmaResult<T>) -> RdmaResult<T> {
+        retry::retry_op(
+            &self.ctx.config.retry.escalated(),
+            Some(&self.ctx.resilience),
+            0x5ec0_7e57,
+            f,
+        )
+    }
+
+    /// Like [`Self::retry_verb`], but if even the escalated budget is
+    /// exhausted the RC *fences itself* (crash-stop): every subsequent
+    /// verb of this run fails closed, the report ends `completed: false`,
+    /// and the failure detector re-executes the recovery on a fresh RC —
+    /// recovery is idempotent (§3.2.3), so re-execution is always safe,
+    /// while continuing half-blind here would not be.
+    fn verb_or_fence<T>(&self, f: impl FnMut() -> RdmaResult<T>) -> RdmaResult<T> {
+        let r = self.retry_verb(f);
+        if matches!(r, Err(rdma_sim::RdmaError::Timeout { .. })) && !self.injector.is_crashed() {
+            self.ctx.resilience.note_self_fence();
+            self.injector.crash_now();
+        }
+        r
+    }
+
     /// Full compute-failure recovery for one coordinator, dispatching on
     /// the configured protocol.
     pub fn recover_compute(&self, coord: u16, endpoint: EndpointId) -> RecoveryReport {
@@ -208,7 +237,7 @@ impl RecoveryCoordinator {
             }
             let region = self.ctx.map.log_region(node, coord);
             let mut buf = vec![0u8; LOG_REGION_BYTES as usize];
-            if self.qp(node).read(region.base, &mut buf).is_err() {
+            if self.verb_or_fence(|| self.qp(node).read(region.base, &mut buf)).is_err() {
                 continue;
             }
             if let Some(entry) = LogEntry::decode(&buf) {
@@ -257,10 +286,17 @@ impl RecoveryCoordinator {
                             continue;
                         }
                         let base = self.ctx.map.slot_addr(node, r.table, r.bucket, r.slot);
-                        let _ = self.qp(node).write(base + SlotLayout::VALUE_OFF, &r.old_value);
-                        let _ = self
-                            .qp(node)
-                            .write_u64(base + SlotLayout::VERSION_OFF, r.old_version.raw());
+                        // A restore write that exhausts its retries fences
+                        // the RC: a silently-skipped pre-image would leave
+                        // this replica holding the failed txn's partial
+                        // update after truncation erased the undo record.
+                        let _ = self.verb_or_fence(|| {
+                            self.qp(node).write(base + SlotLayout::VALUE_OFF, &r.old_value)
+                        });
+                        let _ = self.verb_or_fence(|| {
+                            self.qp(node)
+                                .write_u64(base + SlotLayout::VERSION_OFF, r.old_version.raw())
+                        });
                     }
                 }
                 self.truncate_logs(coord, log_nodes, &dead);
@@ -287,9 +323,9 @@ impl RecoveryCoordinator {
                 continue;
             }
             let log = self.ctx.map.log_region(node, coord);
-            let _ = self.qp(node).write_u64(log.base, 0);
+            let _ = self.verb_or_fence(|| self.qp(node).write_u64(log.base, 0));
             let intents = self.ctx.map.intent_region(node, coord);
-            let _ = self.qp(node).write_u64(intents.base, 0);
+            let _ = self.verb_or_fence(|| self.qp(node).write_u64(intents.base, 0));
         }
     }
 
@@ -300,7 +336,7 @@ impl RecoveryCoordinator {
                 continue;
             }
             let region = self.ctx.map.log_region(node, coord);
-            let _ = self.qp(node).write_u64(region.base, 0);
+            let _ = self.verb_or_fence(|| self.qp(node).write_u64(region.base, 0));
         }
     }
 
@@ -332,7 +368,12 @@ impl RecoveryCoordinator {
                 }
                 let addr = self.ctx.map.slot_addr(node, r.table, r.bucket, r.slot)
                     + SlotLayout::VERSION_OFF;
-                match self.qp(node).read_u64(addr) {
+                // Retried (and fenced on exhaustion): answering `false`
+                // off a transient read failure would roll back a
+                // possibly-acked commit (Cor3). A fenced RC still returns
+                // `false` here, but its restore writes all fail closed
+                // and the FD re-executes recovery on a fresh RC.
+                match self.verb_or_fence(|| self.qp(node).read_u64(addr)) {
                     Ok(v) => {
                         if v == r.old_version.raw() {
                             return false;
@@ -367,16 +408,19 @@ impl RecoveryCoordinator {
             // CAS on it — still owner-checked (a lock re-acquired by a
             // live coordinator has a different owner or tag and the CAS
             // fails harmlessly).
-            if let Ok(raw) = self.qp(primary).read_u64(addr) {
+            if let Ok(raw) = self.verb_or_fence(|| self.qp(primary).read_u64(addr)) {
                 let observed = LockWord(raw);
                 if observed.is_locked() && observed.owner() == coord {
-                    let _ = self.qp(primary).cas(addr, raw, 0);
+                    // Re-issuing an ambiguously-timed-out unlock CAS is
+                    // harmless: if the first attempt landed, the retry
+                    // fails its compare against 0 and changes nothing.
+                    let _ = self.verb_or_fence(|| self.qp(primary).cas(addr, raw, 0));
                 }
             }
         } else {
             // Anonymous locks: blind unlock — only safe because FORD /
             // Traditional recovery runs under a world pause.
-            let _ = self.qp(primary).write_u64(addr, 0);
+            let _ = self.verb_or_fence(|| self.qp(primary).write_u64(addr, 0));
         }
     }
 
@@ -441,7 +485,7 @@ impl RecoveryCoordinator {
                     continue;
                 };
                 let addr = self.ctx.map.bucket_addr(primary, table, bucket);
-                if self.qp(primary).read(addr, &mut buf).is_err() {
+                if self.verb_or_fence(|| self.qp(primary).read(addr, &mut buf)).is_err() {
                     continue;
                 }
                 let sb = layout.slot_bytes() as usize;
@@ -452,7 +496,7 @@ impl RecoveryCoordinator {
                     ));
                     if lock.is_locked() {
                         let la = addr + (i as u64) * layout.slot_bytes() + SlotLayout::LOCK_OFF;
-                        if self.qp(primary).write_u64(la, 0).is_ok() {
+                        if self.verb_or_fence(|| self.qp(primary).write_u64(la, 0)).is_ok() {
                             released += 1;
                         }
                     }
@@ -512,7 +556,7 @@ impl RecoveryCoordinator {
             }
             let region = self.ctx.map.intent_region(node, coord);
             let mut buf = vec![0u8; dkvs::cluster::INTENT_REGION_BYTES as usize];
-            if self.qp(node).read(region.base, &mut buf).is_err() {
+            if self.verb_or_fence(|| self.qp(node).read(region.base, &mut buf)).is_err() {
                 continue;
             }
             let count = u64::from_le_bytes(buf[0..8].try_into().expect("8B")) as usize;
@@ -537,8 +581,10 @@ impl RecoveryCoordinator {
             };
             let addr =
                 self.ctx.map.slot_addr(primary, table, bucket, slot as u32) + SlotLayout::LOCK_OFF;
-            if let Ok(v) = self.qp(primary).read_u64(addr) {
-                if LockWord(v).is_locked() && self.qp(primary).write_u64(addr, 0).is_ok() {
+            if let Ok(v) = self.verb_or_fence(|| self.qp(primary).read_u64(addr)) {
+                if LockWord(v).is_locked()
+                    && self.verb_or_fence(|| self.qp(primary).write_u64(addr, 0)).is_ok()
+                {
                     released += 1;
                 }
             }
@@ -549,7 +595,7 @@ impl RecoveryCoordinator {
                 continue;
             }
             let region = self.ctx.map.intent_region(node, coord);
-            let _ = self.qp(node).write_u64(region.base, 0);
+            let _ = self.verb_or_fence(|| self.qp(node).write_u64(region.base, 0));
         }
         released
     }
@@ -585,7 +631,7 @@ impl RecoveryCoordinator {
                     continue;
                 };
                 let addr = self.ctx.map.bucket_addr(primary, table, bucket);
-                if self.qp(primary).read(addr, &mut buf).is_err() {
+                if self.retry_verb(|| self.qp(primary).read(addr, &mut buf)).is_err() {
                     scan_complete = false;
                     continue;
                 }
@@ -597,7 +643,12 @@ impl RecoveryCoordinator {
                     ));
                     if lock.is_locked() && failed.contains(&lock.owner()) {
                         let la = addr + (i as u64) * layout.slot_bytes() + SlotLayout::LOCK_OFF;
-                        if self.qp(primary).cas(la, lock.raw(), 0).is_ok() {
+                        // Retried; if an ambiguous release already landed,
+                        // the retry's compare fails against the now-zero
+                        // word but still completes Ok — the lock is free
+                        // either way. Only an exhausted budget keeps the
+                        // failed bit set (scan_complete) for a later pass.
+                        if self.retry_verb(|| self.qp(primary).cas(la, lock.raw(), 0)).is_ok() {
                             released += 1;
                         } else {
                             scan_complete = false;

@@ -1,0 +1,407 @@
+//! Idempotence-aware retry policy for one-sided verbs under transient
+//! network faults (the chaos regime of `rdma_sim::ChaosModel`).
+//!
+//! Real RC transports retransmit until they give up; what leaks to the
+//! issuer is a completion-queue timeout that says *nothing* about whether
+//! the verb executed remotely. The protocol survives this with three
+//! rules, all implemented here:
+//!
+//! * **Idempotent verbs retry blindly** ([`retry_op`]): READs, re-issued
+//!   WRITEs of the same bytes (log entries, value/version images, lock
+//!   releases) are safe to repeat, so a bounded retry loop with
+//!   exponential backoff + deterministic jitter absorbs timeouts and
+//!   link flaps. The backoff exists for plausibility and contention
+//!   relief; flap healing is counted in verbs, so the *attempts*
+//!   themselves drive recovery of the link.
+//! * **Ambiguous CAS must disambiguate** ([`cas_resolved`]): a lock or
+//!   claim CAS that times out ambiguously may have landed. Blindly
+//!   re-issuing it would then fail against our *own* word and be
+//!   misread as a conflict — leaking a lock forever. Instead the word is
+//!   re-read: under PILL the lock word is unique to this coordinator
+//!   incarnation *and* transaction (see `Coordinator::my_lock`), so
+//!   value equality proves ownership. Anonymous (FORD/Traditional) lock
+//!   words carry no identity, making the ambiguity *unresolvable* — the
+//!   caller aborts instead, which is precisely the availability gap PILL
+//!   closes.
+//! * **Exhaustion is never a stuck lock**: callers on release paths use
+//!   the [`RetryPolicy::escalated`] budget, and if even that fails they
+//!   self-fence (crash-stop) so the failure detector's recovery frees
+//!   their locks. See `Txn::release_lock_or_fence`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rdma_sim::{QueuePair, RdmaError, RdmaResult, TimeoutApplied};
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// `max_attempts` counts every issue of the verb (the first try
+/// included), so `max_attempts: 1` means "no retries". Keep the budget
+/// above the chaos model's worst flap length (`ChaosConfig::flap_ops`),
+/// or flaps become aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Default verb-level budget: 24 attempts comfortably cover the
+    /// heaviest built-in flap (16 link-ops) plus stray timeouts, while
+    /// bounding a dead link to ~5 ms of backoff before a clean abort.
+    pub const fn verbs() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 24,
+            base: Duration::from_micros(2),
+            cap: Duration::from_micros(500),
+        }
+    }
+
+    /// Escalated budget for paths whose failure would strand remote
+    /// state owned by a *live* coordinator (lock releases, log
+    /// truncation) and for recovery verbs (a transiently-failed log read
+    /// must not masquerade as "nothing logged").
+    pub fn escalated(self) -> RetryPolicy {
+        RetryPolicy { max_attempts: self.max_attempts.saturating_mul(8), ..self }
+    }
+
+    /// Un-jittered backoff before retry `attempt` (1-based): monotone
+    /// non-decreasing, capped.
+    pub fn base_delay(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(62);
+        let nanos = (self.base.as_nanos() as u64).saturating_shl(exp);
+        Duration::from_nanos(nanos).min(self.cap)
+    }
+
+    /// Jittered backoff: deterministic in `(attempt, salt)`, always
+    /// within `[base_delay / 2, base_delay]` — replays of a failing
+    /// schedule back off identically.
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let full = self.base_delay(attempt);
+        if full.is_zero() {
+            return full;
+        }
+        // Fraction in [1/2, 1] from a splitmix64-style hash.
+        let h = mix64(salt ^ ((attempt as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15);
+        let num = 512 + (h % 513); // 512..=1024 of 1024
+        Duration::from_nanos((full.as_nanos() as u64).saturating_mul(num) / 1024)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::verbs()
+    }
+}
+
+/// splitmix64 finalizer (same constants as the chaos model's seed mixer).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            return 0;
+        }
+        if shift >= self.leading_zeros() {
+            return u64::MAX;
+        }
+        self << shift
+    }
+}
+
+/// Cluster-wide counters of how the retry/survival machinery is doing;
+/// exported through the metrics registry (`obs::MetricsRegistry`).
+#[derive(Debug, Default)]
+pub struct ResilienceStats {
+    /// Verb retries performed (one per re-issued verb).
+    pub retries: AtomicU64,
+    /// Retry budgets exhausted (each one surfaces as an abort,
+    /// a self-fence, or a recovery re-execution).
+    pub retries_exhausted: AtomicU64,
+    /// Ambiguous CAS timeouts resolved by re-reading the word.
+    pub ambiguous_resolved: AtomicU64,
+    /// Falsely-suspected live coordinators that re-registered and
+    /// resumed instead of dying.
+    pub false_suspicion_survivals: AtomicU64,
+    /// Coordinators (or recovery coordinators) that crash-stopped
+    /// themselves because they could no longer release remote state.
+    pub self_fenced: AtomicU64,
+}
+
+impl ResilienceStats {
+    pub fn new() -> Arc<ResilienceStats> {
+        Arc::new(ResilienceStats::default())
+    }
+
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            retries: self.retries.load(Ordering::Acquire),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Acquire),
+            ambiguous_resolved: self.ambiguous_resolved.load(Ordering::Acquire),
+            false_suspicion_survivals: self.false_suspicion_survivals.load(Ordering::Acquire),
+            self_fenced: self.self_fenced.load(Ordering::Acquire),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_self_fence(&self) {
+        self.self_fenced.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of [`ResilienceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceSnapshot {
+    pub retries: u64,
+    pub retries_exhausted: u64,
+    pub ambiguous_resolved: u64,
+    pub false_suspicion_survivals: u64,
+    pub self_fenced: u64,
+}
+
+/// Run an **idempotent** verb under `policy`, retrying only transient
+/// timeouts ([`RdmaError::Timeout`]). Every other error — including
+/// `NodeDead`, which the protocol layer resolves through dead-node
+/// placement rather than blind repetition — returns immediately.
+///
+/// Safe only for verbs whose repetition is harmless: READs, WRITEs of
+/// the same bytes to the same address, lock releases. Lock/claim CAS
+/// must go through [`cas_resolved`] instead.
+pub fn retry_op<T>(
+    policy: &RetryPolicy,
+    stats: Option<&ResilienceStats>,
+    salt: u64,
+    mut f: impl FnMut() -> RdmaResult<T>,
+) -> RdmaResult<T> {
+    let mut attempt = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e @ RdmaError::Timeout { .. }) => {
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    if let Some(s) = stats {
+                        s.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+                if let Some(s) = stats {
+                    s.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                let d = policy.delay(attempt, salt);
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// CAS with ambiguity resolution: behaves like `QueuePair::cas` but
+/// survives transient timeouts.
+///
+/// * `Timeout { NotApplied }` — the CAS provably never executed;
+///   re-issue it (bounded).
+/// * `Timeout { Ambiguous }` — the CAS may have landed with only the
+///   completion lost. If `unique_word` (the caller's `new` value cannot
+///   be produced by anyone else — PILL lock words, key claims), the word
+///   is re-read: seeing `new` proves our CAS landed (report success),
+///   seeing anything else but `expected` proves we lost the race (report
+///   that value, as a failed CAS would), and seeing `expected` proves it
+///   never landed (retry). Without a unique word the ambiguity is
+///   unresolvable and the timeout is surfaced to the caller — the
+///   inherent cost of anonymous locks.
+///
+/// `expected` and `new` must differ (a no-op CAS has nothing to
+/// disambiguate).
+#[allow(clippy::too_many_arguments)]
+pub fn cas_resolved(
+    policy: &RetryPolicy,
+    stats: Option<&ResilienceStats>,
+    salt: u64,
+    qp: &QueuePair,
+    addr: u64,
+    expected: u64,
+    new: u64,
+    unique_word: bool,
+) -> RdmaResult<u64> {
+    debug_assert_ne!(expected, new, "a no-op CAS cannot be disambiguated");
+    let mut attempt = 0u32;
+    loop {
+        match qp.cas(addr, expected, new) {
+            Ok(prev) => return Ok(prev),
+            Err(e @ RdmaError::Timeout { applied }) => {
+                if applied == TimeoutApplied::Ambiguous {
+                    if !unique_word {
+                        return Err(e);
+                    }
+                    let cur = retry_op(policy, stats, salt ^ 0xA5, || qp.read_u64(addr))?;
+                    if cur == new {
+                        // Our CAS landed; only the completion was lost.
+                        if let Some(s) = stats {
+                            s.ambiguous_resolved.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(expected);
+                    }
+                    if cur != expected {
+                        // Someone else got there first: the CAS (landed
+                        // or not) observed a conflicting value.
+                        if let Some(s) = stats {
+                            s.ambiguous_resolved.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(cur);
+                    }
+                    // cur == expected: provably not applied; fall through.
+                }
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    if let Some(s) = stats {
+                        s.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+                if let Some(s) = stats {
+                    s.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                let d = policy.delay(attempt, salt);
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn timeout() -> RdmaError {
+        RdmaError::Timeout { applied: TimeoutApplied::NotApplied }
+    }
+
+    #[test]
+    fn retry_op_succeeds_after_transient_failures() {
+        let policy = RetryPolicy { base: Duration::ZERO, ..RetryPolicy::verbs() };
+        let stats = ResilienceStats::new();
+        let mut calls = 0u32;
+        let r = retry_op(&policy, Some(&stats), 7, || {
+            calls += 1;
+            if calls < 5 {
+                Err(timeout())
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(5));
+        assert_eq!(stats.snapshot().retries, 4);
+        assert_eq!(stats.snapshot().retries_exhausted, 0);
+    }
+
+    #[test]
+    fn retry_op_does_not_retry_fatal_errors() {
+        let policy = RetryPolicy::verbs();
+        let mut calls = 0u32;
+        let r: RdmaResult<()> = retry_op(&policy, None, 0, || {
+            calls += 1;
+            Err(RdmaError::AccessRevoked)
+        });
+        assert_eq!(r, Err(RdmaError::AccessRevoked));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retry_op_does_not_retry_node_dead() {
+        let policy = RetryPolicy::verbs();
+        let mut calls = 0u32;
+        let r: RdmaResult<()> = retry_op(&policy, None, 0, || {
+            calls += 1;
+            Err(RdmaError::NodeDead)
+        });
+        assert_eq!(r, Err(RdmaError::NodeDead));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn escalated_budget_is_larger() {
+        let p = RetryPolicy::verbs();
+        assert!(p.escalated().max_attempts > p.max_attempts);
+    }
+
+    proptest! {
+        /// The attempt count is exactly bounded by the policy.
+        #[test]
+        fn attempts_are_bounded(max_attempts in 1u32..64) {
+            let policy = RetryPolicy {
+                max_attempts,
+                base: Duration::ZERO,
+                cap: Duration::ZERO,
+            };
+            let stats = ResilienceStats::new();
+            let mut calls = 0u32;
+            let r: RdmaResult<()> = retry_op(&policy, Some(&stats), 3, || {
+                calls += 1;
+                Err(timeout())
+            });
+            prop_assert!(r.is_err());
+            prop_assert_eq!(calls, max_attempts);
+            prop_assert_eq!(stats.snapshot().retries, (max_attempts - 1) as u64);
+            prop_assert_eq!(stats.snapshot().retries_exhausted, 1);
+        }
+
+        /// The un-jittered backoff never decreases with the attempt number
+        /// and never exceeds the cap.
+        #[test]
+        fn base_backoff_is_monotone_and_capped(
+            base_us in 0u64..100,
+            cap_us in 0u64..10_000,
+            attempt in 1u32..100,
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_micros(base_us),
+                cap: Duration::from_micros(cap_us),
+            };
+            let here = policy.base_delay(attempt);
+            let next = policy.base_delay(attempt + 1);
+            prop_assert!(next >= here);
+            prop_assert!(here <= policy.cap);
+        }
+
+        /// Jitter stays within [base/2, base] and is deterministic in
+        /// (attempt, salt).
+        #[test]
+        fn jitter_is_bounded_and_deterministic(
+            base_us in 1u64..100,
+            attempt in 1u32..64,
+            salt in any::<u64>(),
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_micros(base_us),
+                cap: Duration::from_micros(800),
+            };
+            let full = policy.base_delay(attempt);
+            let d = policy.delay(attempt, salt);
+            prop_assert_eq!(d, policy.delay(attempt, salt));
+            prop_assert!(d <= full);
+            prop_assert!(d >= full / 2);
+        }
+    }
+}

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use dkvs::{ClusterMapBuilder, SlotLayout, TableDef, TableId, VersionWord};
-use rdma_sim::{Fabric, FabricConfig, FaultInjector, LatencyModel, RdmaResult};
+use rdma_sim::{
+    ChaosConfig, ChaosModel, Fabric, FabricConfig, FaultInjector, LatencyModel, RdmaResult,
+};
 
 use crate::config::{BugFlags, ProtocolKind, SystemConfig};
 use crate::context::SharedContext;
@@ -20,6 +22,7 @@ pub struct SimClusterBuilder {
     tables: Vec<TableDef>,
     config: SystemConfig,
     latency: LatencyModel,
+    chaos: Option<ChaosConfig>,
     max_coord_slots: u32,
 }
 
@@ -32,6 +35,7 @@ impl SimClusterBuilder {
             tables: Vec::new(),
             config: SystemConfig::new(protocol),
             latency: LatencyModel::zero(),
+            chaos: None,
             max_coord_slots: 1024,
         }
     }
@@ -72,6 +76,16 @@ impl SimClusterBuilder {
         self
     }
 
+    /// Install a seeded chaos model on every protocol-path link. The
+    /// model starts *disabled*: load the dataset, then flip it on with
+    /// `cluster.chaos.set_enabled(true)` and off again before audits.
+    /// Admin paths ([`SimCluster::bulk_load`], [`SimCluster::raw_slot`])
+    /// bypass chaos unconditionally either way.
+    pub fn chaos(mut self, config: ChaosConfig) -> Self {
+        self.chaos = Some(config);
+        self
+    }
+
     pub fn max_coord_slots(mut self, slots: u32) -> Self {
         self.max_coord_slots = slots;
         self
@@ -83,6 +97,13 @@ impl SimClusterBuilder {
             capacity_per_node: self.capacity_per_node,
             latency: self.latency,
         });
+        // Install chaos before any QP exists so every later protocol
+        // link (coordinators, FD, recovery) is subject to injection.
+        let chaos = self.chaos.map(|cfg| {
+            let model = ChaosModel::new(cfg);
+            fabric.install_chaos(Arc::clone(&model));
+            model
+        });
         let mut mb = ClusterMapBuilder::new(self.replication).max_coord_slots(self.max_coord_slots);
         for t in self.tables {
             mb = mb.table(t);
@@ -90,7 +111,7 @@ impl SimClusterBuilder {
         let map = mb.build(&fabric)?;
         let ctx = SharedContext::new(fabric, map, self.config);
         let fd = FailureDetector::new(Arc::clone(&ctx))?;
-        Ok(SimCluster { ctx, fd })
+        Ok(SimCluster { ctx, fd, chaos })
     }
 }
 
@@ -98,6 +119,8 @@ impl SimClusterBuilder {
 pub struct SimCluster {
     pub ctx: Arc<SharedContext>,
     pub fd: Arc<FailureDetector>,
+    /// The installed chaos model, when the builder requested one.
+    pub chaos: Option<Arc<ChaosModel>>,
 }
 
 impl SimCluster {
@@ -127,13 +150,9 @@ impl SimCluster {
         let injector = FaultInjector::new();
         let mut qps = Vec::new();
         for n in self.ctx.fabric.node_ids() {
-            // Setup path: loads never pay the modelled network latency.
-            qps.push(self.ctx.fabric.qp_with_latency(
-                endpoint,
-                n,
-                Arc::clone(&injector),
-                LatencyModel::zero(),
-            )?);
+            // Setup path: loads never pay the modelled network latency
+            // and are never subject to chaos injection.
+            qps.push(self.ctx.fabric.qp_admin(endpoint, n, Arc::clone(&injector))?);
         }
         let def = self.ctx.map.table(table).clone();
         let layout = def.layout();
@@ -190,11 +209,7 @@ impl SimCluster {
     ) -> Option<(dkvs::LockWord, VersionWord, Vec<u8>)> {
         let endpoint = self.ctx.fabric.register_endpoint();
         let injector = FaultInjector::new();
-        let qp = self
-            .ctx
-            .fabric
-            .qp_with_latency(endpoint, node, injector, LatencyModel::zero())
-            .ok()?;
+        let qp = self.ctx.fabric.qp_admin(endpoint, node, injector).ok()?;
         let def = self.ctx.map.table(table);
         let layout = def.layout();
         let home = def.bucket_for(key);
@@ -241,11 +256,7 @@ impl SimCluster {
         node: rdma_sim::NodeId,
     ) -> Option<u32> {
         let endpoint = self.ctx.fabric.register_endpoint();
-        let qp = self
-            .ctx
-            .fabric
-            .qp_with_latency(endpoint, node, FaultInjector::new(), LatencyModel::zero())
-            .ok()?;
+        let qp = self.ctx.fabric.qp_admin(endpoint, node, FaultInjector::new()).ok()?;
         let def = self.ctx.map.table(table);
         let layout = def.layout();
         let mut buf = vec![0u8; def.bucket_bytes() as usize];

@@ -53,10 +53,14 @@ pub enum AbortReason {
     /// The key is outside the supported space (`u64::MAX` is reserved
     /// as the empty-slot sentinel's complement — see `dkvs::layout`).
     InvalidKey,
+    /// Transient fabric faults (verb timeouts, link flaps) exhausted the
+    /// retry budget before the commit point. The transaction aborted
+    /// cleanly — locks released, logs truncated — and is safe to retry.
+    NetworkTimeout,
 }
 
 impl AbortReason {
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
     pub const ALL: [AbortReason; AbortReason::COUNT] = [
         AbortReason::LockConflict,
         AbortReason::ValidationVersion,
@@ -68,6 +72,7 @@ impl AbortReason {
         AbortReason::MemoryFailure,
         AbortReason::UserAbort,
         AbortReason::InvalidKey,
+        AbortReason::NetworkTimeout,
     ];
 
     /// Dense index for per-reason counters (see `obs::PhaseStats`).
@@ -87,6 +92,7 @@ impl AbortReason {
             AbortReason::MemoryFailure => "MemoryFailure",
             AbortReason::UserAbort => "UserAbort",
             AbortReason::InvalidKey => "InvalidKey",
+            AbortReason::NetworkTimeout => "NetworkTimeout",
         }
     }
 }
@@ -220,12 +226,33 @@ impl<'c> Txn<'c> {
         v
     }
 
+    /// Map an exhausted-transient fabric error (`RdmaError::Timeout`
+    /// after the retry budget ran out) into a clean [`NetworkTimeout`]
+    /// abort — locks released, logs truncated, abort-ack delivered —
+    /// so callers see an ordinary retryable abort, never a panic or a
+    /// stuck lock. Every other outcome passes through unchanged.
+    ///
+    /// [`NetworkTimeout`]: AbortReason::NetworkTimeout
+    fn surface_transient<T>(&mut self, r: Result<T, TxnError>) -> Result<T, TxnError> {
+        match r {
+            Err(TxnError::Rdma(RdmaError::Timeout { .. })) => {
+                Err(self.abort_now(AbortReason::NetworkTimeout))
+            }
+            other => other,
+        }
+    }
+
     // ---------------------------------------------------------------
     // Execution phase: reads
     // ---------------------------------------------------------------
 
     /// Transactional read. `None` = key absent (or deleted).
     pub fn read(&mut self, table: TableId, key: u64) -> Result<Option<Vec<u8>>, TxnError> {
+        let r = self.read_impl(table, key);
+        self.surface_transient(r)
+    }
+
+    fn read_impl(&mut self, table: TableId, key: u64) -> Result<Option<Vec<u8>>, TxnError> {
         self.check_pause()?;
         if key == u64::MAX {
             return Ok(None); // reserved key can never exist
@@ -376,6 +403,11 @@ impl<'c> Txn<'c> {
 
     /// Transactional update of an existing key.
     pub fn write(&mut self, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
+        let r = self.write_impl(table, key, value);
+        self.surface_transient(r)
+    }
+
+    fn write_impl(&mut self, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
         self.check_pause()?;
         if key == u64::MAX {
             return Err(self.abort_now(AbortReason::InvalidKey));
@@ -405,6 +437,11 @@ impl<'c> Txn<'c> {
 
     /// Transactional insert of a new key.
     pub fn insert(&mut self, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
+        let r = self.insert_impl(table, key, value);
+        self.surface_transient(r)
+    }
+
+    fn insert_impl(&mut self, table: TableId, key: u64, value: &[u8]) -> Result<(), TxnError> {
         self.check_pause()?;
         if key == u64::MAX {
             return Err(self.abort_now(AbortReason::InvalidKey));
@@ -446,10 +483,20 @@ impl<'c> Txn<'c> {
                 };
                 let slot = SlotRef { table, bucket, slot: free as u32 };
                 let key_addr = self.co.map().slot_addr(primary, table, bucket, free as u32);
+                // A stored key is unique to the claimer's (key, slot)
+                // choice, so an ambiguous claim CAS is resolvable by
+                // re-reading the key word. (Two inserters of the *same*
+                // key racing on the same slot produce the same word; the
+                // wrong "I won" conclusion is caught by the lock CAS.)
                 let prev = self
                     .co
-                    .qp(primary)
-                    .cas(key_addr, dkvs::layout::EMPTY_KEY, dkvs::layout::stored_key(key))
+                    .cas_resolved(
+                        primary,
+                        key_addr,
+                        dkvs::layout::EMPTY_KEY,
+                        dkvs::layout::stored_key(key),
+                        true,
+                    )
                     .map_err(TxnError::from_rdma)?;
                 if prev == 0 {
                     // Claimed — but a racing inserter may have claimed a
@@ -491,6 +538,11 @@ impl<'c> Txn<'c> {
 
     /// Transactional delete of an existing key.
     pub fn delete(&mut self, table: TableId, key: u64) -> Result<(), TxnError> {
+        let r = self.delete_impl(table, key);
+        self.surface_transient(r)
+    }
+
+    fn delete_impl(&mut self, table: TableId, key: u64) -> Result<(), TxnError> {
         self.check_pause()?;
         if key == u64::MAX {
             return Err(self.abort_now(AbortReason::InvalidKey));
@@ -554,8 +606,11 @@ impl<'c> Txn<'c> {
                         let pm = txn.co.primary_of(table, mine.bucket)?;
                         let addr = txn.co.map().slot_addr(pm, table, mine.bucket, mine.slot);
                         txn.co
-                            .qp(pm)
-                            .write_u64(addr + SlotLayout::KEY_OFF, dkvs::layout::EMPTY_KEY)
+                            .retry_verb(|| {
+                                txn.co
+                                    .qp(pm)
+                                    .write_u64(addr + SlotLayout::KEY_OFF, dkvs::layout::EMPTY_KEY)
+                            })
                             .map_err(TxnError::from_rdma)
                     };
                     if full.image.version.raw() != 0 {
@@ -651,7 +706,7 @@ impl<'c> Txn<'c> {
                 // Leave the lock for recovery if we crashed; otherwise
                 // release it before surfacing the error.
                 if !matches!(e, TxnError::Crashed) {
-                    let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, slot), 0);
+                    self.release_lock_or_fence(primary, self.co.lock_addr(primary, slot));
                 }
                 return Err(e);
             }
@@ -673,7 +728,7 @@ impl<'c> Txn<'c> {
             .find(|r| r.table == table && r.key == key)
             .is_none_or(|r| r.version == full.image.version);
         if !entry_ok || !read_version_ok {
-            let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, slot), 0);
+            self.release_lock_or_fence(primary, self.co.lock_addr(primary, slot));
             let reason = if !key_ok {
                 AbortReason::LockConflict // slot repurposed under us; retryable
             } else if !read_version_ok {
@@ -745,11 +800,24 @@ impl<'c> Txn<'c> {
 
     /// CAS-lock the primary of `slot`; steal stray locks under PILL.
     /// `Ok(false)` = lock conflict with a live owner (caller aborts).
+    ///
+    /// Both CASes run through [`Coordinator::cas_resolved`]: a PILL lock
+    /// word is unique per incarnation *and* transaction (see
+    /// [`Coordinator::my_lock`]), so an ambiguously-timed-out lock CAS is
+    /// resolved by re-reading the word — own word ⇒ the lock landed,
+    /// foreign word ⇒ an ordinary conflict. Anonymous lock words
+    /// (FORD/Traditional) carry no identity, so the ambiguity is
+    /// unresolvable there and surfaces as a clean `NetworkTimeout` abort
+    /// instead — exactly the availability gap PILL's named locks close.
     fn try_lock(&mut self, slot: SlotRef, key: u64) -> Result<bool, TxnError> {
         let primary = self.co.primary_of(slot.table, slot.bucket)?;
         let addr = self.co.lock_addr(primary, slot);
         let my = self.co.my_lock();
-        let prev = self.co.qp(primary).cas(addr, 0, my.raw()).map_err(TxnError::from_rdma)?;
+        let unique = self.co.ctx.config.pill_active();
+        let prev = self
+            .co
+            .cas_resolved(primary, addr, 0, my.raw(), unique)
+            .map_err(TxnError::from_rdma)?;
         if prev == 0 {
             self.co
                 .trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: false });
@@ -759,7 +827,10 @@ impl<'c> Txn<'c> {
         if self.lock_is_stray(prev_lock) && prev_lock != my {
             // Steal: one extra CAS, owner-checked so a concurrent thief
             // cannot double-steal (paper §3.1.2 "How does stealing work?").
-            let got = self.co.qp(primary).cas(addr, prev, my.raw()).map_err(TxnError::from_rdma)?;
+            let got = self
+                .co
+                .cas_resolved(primary, addr, prev, my.raw(), unique)
+                .map_err(TxnError::from_rdma)?;
             if got == prev {
                 self.co.stats.locks_stolen += 1;
                 self.co.trace(crate::trace::TxnEvent::Lock {
@@ -884,11 +955,15 @@ impl<'c> Txn<'c> {
                     continue;
                 }
                 let region = self.co.map().log_region(node, coord);
-                self.co.qp(node).write(region.base, &buf).map_err(TxnError::from_rdma)?;
+                self.co
+                    .retry_verb(|| self.co.qp(node).write(region.base, &buf))
+                    .map_err(TxnError::from_rdma)?;
                 if self.co.ctx.config.persistence.needs_flush() {
                     // Selective flush (paper §7): persist the log before
                     // the commit phase may act on it.
-                    self.co.qp(node).flush(region.base).map_err(TxnError::from_rdma)?;
+                    self.co
+                        .retry_verb(|| self.co.qp(node).flush(region.base))
+                        .map_err(TxnError::from_rdma)?;
                 }
                 self.logged_nodes.push(node);
             }
@@ -907,12 +982,14 @@ impl<'c> Txn<'c> {
             for (node, writes) in per_node {
                 let entry = LogEntry { txn_id: self.txn_id, coord, writes };
                 let region = self.co.map().log_region(node, coord);
+                let buf = entry.encode();
                 self.co
-                    .qp(node)
-                    .write(region.base, &entry.encode())
+                    .retry_verb(|| self.co.qp(node).write(region.base, &buf))
                     .map_err(TxnError::from_rdma)?;
                 if self.co.ctx.config.persistence.needs_flush() {
-                    self.co.qp(node).flush(region.base).map_err(TxnError::from_rdma)?;
+                    self.co
+                        .retry_verb(|| self.co.qp(node).flush(region.base))
+                        .map_err(TxnError::from_rdma)?;
                 }
                 self.logged_nodes.push(node);
             }
@@ -938,7 +1015,9 @@ impl<'c> Txn<'c> {
                 continue;
             }
             let region = self.co.map().intent_region(node, coord);
-            self.co.qp(node).write(region.base, &buf).map_err(TxnError::from_rdma)?;
+            self.co
+                .retry_verb(|| self.co.qp(node).write(region.base, &buf))
+                .map_err(TxnError::from_rdma)?;
         }
         Ok(())
     }
@@ -989,8 +1068,7 @@ impl<'c> Txn<'c> {
                 // the locks and truncate any logs already written, so the
                 // stale entry cannot be mistaken for an in-flight txn by a
                 // later recovery.
-                self.truncate_own_logs();
-                self.unlock_all();
+                self.cleanup_pre_apply();
             }
             Err(TxnError::Aborted(_)) => {}
         }
@@ -1021,10 +1099,12 @@ impl<'c> Txn<'c> {
         }
 
         // Logging phase — after validation only (lost-decision fix). The
-        // lost-decision bug already logged during execution.
+        // lost-decision bug already logged during execution. An exhausted
+        // retry budget here is still pre-commit-point: abort cleanly.
         if !bugs.lost_decision {
             let t = self.co.phase_start();
-            self.write_undo_logs()?;
+            let logged = self.write_undo_logs();
+            self.surface_transient(logged)?;
             self.co.phase_end(TxnPhase::Log, t);
         }
 
@@ -1091,7 +1171,9 @@ impl<'c> Txn<'c> {
                     self.co.qp(node).write(base + SlotLayout::VERSION_OFF, &version_word)?;
                     Ok(())
                 };
-                match apply() {
+                // The apply writes are idempotent (same bytes, same
+                // addresses), so transient timeouts are retried in place.
+                match self.co.retry_verb(apply) {
                     Ok(()) => {
                         any_live = true;
                         if self.co.ctx.config.persistence.needs_flush() {
@@ -1110,6 +1192,18 @@ impl<'c> Txn<'c> {
                             return Err(TxnError::Rdma(RdmaError::NodeDead));
                         }
                     }
+                    Err(RdmaError::Timeout { .. }) => {
+                        // Retry budget exhausted mid-apply: some replicas
+                        // may already hold the new value, and a live
+                        // coordinator can neither finish nor undo from
+                        // here atomically. Fail-stop (self-fence) so the
+                        // FD's recovery resolves the transaction from its
+                        // undo log — roll forward iff every live replica
+                        // advanced, roll back otherwise.
+                        self.co.ctx.resilience.note_self_fence();
+                        self.co.injector().crash_now();
+                        return Err(TxnError::Crashed);
+                    }
                     Err(e) => return Err(TxnError::from_rdma(e)),
                 }
             }
@@ -1118,9 +1212,39 @@ impl<'c> Txn<'c> {
             }
         }
         for (node, addr) in flush_points {
-            self.co.qp(node).flush(addr).map_err(TxnError::from_rdma)?;
+            match self.co.retry_verb(|| self.co.qp(node).flush(addr)) {
+                Ok(()) => {}
+                Err(RdmaError::Timeout { .. }) => {
+                    // Unflushed NVM mid-apply has the same shape as an
+                    // unfinished apply: fail-stop and let recovery redo.
+                    self.co.ctx.resilience.note_self_fence();
+                    self.co.injector().crash_now();
+                    return Err(TxnError::Crashed);
+                }
+                Err(e) => return Err(TxnError::from_rdma(e)),
+            }
         }
         Ok(())
+    }
+
+    /// Release one lock word this txn acquired, escalating through the
+    /// release-grade retry budget. A *live* coordinator that exhausts
+    /// even that budget self-fences (crash-stop): the FD then declares it
+    /// failed and recovery frees the lock — transient faults never leave
+    /// a live-owned stuck lock. Revocation and node death hand the
+    /// lock's fate to recovery without fencing (under revocation the
+    /// coordinator may still be alive and about to reincarnate).
+    fn release_lock_or_fence(&self, node: NodeId, addr: u64) {
+        match self.co.retry_release(|| self.co.qp(node).write_u64(addr, 0)) {
+            Ok(_) => {}
+            Err(RdmaError::Timeout { .. }) => {
+                self.co.ctx.resilience.note_self_fence();
+                self.co.injector().crash_now();
+            }
+            // Crashed / AccessRevoked / NodeDead: recovery (or the dead
+            // node's absence) owns the lock word now.
+            Err(_) => {}
+        }
     }
 
     /// Release all locks this txn actually acquired (post-ack; errors are
@@ -1135,16 +1259,48 @@ impl<'c> Txn<'c> {
                 if dead.contains(&primary) {
                     continue;
                 }
-                let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, w.slot), 0);
+                self.release_lock_or_fence(primary, self.co.lock_addr(primary, w.slot));
             }
         }
     }
 
-    /// Truncate this txn's own undo-log entries (pre-apply cleanup).
-    fn truncate_own_logs(&mut self) {
+    /// Truncate this txn's own undo-log entries. Returns `false` if a
+    /// log copy on a *live* node could not be truncated: releasing the
+    /// write-locks with a live log entry left behind would let later
+    /// transactions commit into slots that a re-executed recovery might
+    /// then roll back, so the caller must keep the locks and fence.
+    fn truncate_own_logs(&mut self) -> bool {
+        let mut safe = true;
+        let mut fence = false;
         for node in std::mem::take(&mut self.logged_nodes) {
             let region = self.co.map().log_region(node, self.co.coord_id);
-            let _ = self.co.qp(node).write_u64(region.base, 0);
+            match self.co.retry_release(|| self.co.qp(node).write_u64(region.base, 0)) {
+                Ok(_) => {}
+                // A dead node's log copy is invisible to recovery too.
+                Err(RdmaError::NodeDead) => {}
+                Err(RdmaError::Timeout { .. }) => {
+                    safe = false;
+                    fence = true;
+                }
+                // Crashed / revoked: recovery owns this txn's state.
+                Err(_) => safe = false,
+            }
+        }
+        if fence {
+            self.co.ctx.resilience.note_self_fence();
+            self.co.injector().crash_now();
+        }
+        safe
+    }
+
+    /// Pre-apply error cleanup: truncate this txn's logs, then release
+    /// its locks — in that order, and only both-or-neither. If
+    /// truncation fails the locks are deliberately left in place (see
+    /// [`Txn::truncate_own_logs`]) and recovery resolves the logged
+    /// transaction atomically.
+    fn cleanup_pre_apply(&mut self) {
+        if self.truncate_own_logs() {
+            self.unlock_all();
         }
     }
 
@@ -1156,22 +1312,29 @@ impl<'c> Txn<'c> {
         // the coordinator logs the decision by truncating logs"). The
         // lost-decision / logging-without-locking bugs skip this — that
         // is precisely what makes them bugs.
-        if !bugs.lost_decision && !bugs.logging_without_locking {
-            self.truncate_own_logs();
-        }
-        let dead = self.co.ctx.dead_nodes();
-        for w in &self.write_set {
-            let release = w.locked || bugs.complicit_abort;
-            if !release {
-                continue;
-            }
-            if let Ok(primary) = self.co.primary_of(w.table, w.slot.bucket) {
-                if dead.contains(&primary) {
+        let truncated = if !bugs.lost_decision && !bugs.logging_without_locking {
+            self.truncate_own_logs()
+        } else {
+            true // the bug paths leave logs behind by design
+        };
+        if truncated {
+            let dead = self.co.ctx.dead_nodes();
+            for w in &self.write_set {
+                let release = w.locked || bugs.complicit_abort;
+                if !release {
                     continue;
                 }
-                let _ = self.co.qp(primary).write_u64(self.co.lock_addr(primary, w.slot), 0);
+                if let Ok(primary) = self.co.primary_of(w.table, w.slot.bucket) {
+                    if dead.contains(&primary) {
+                        continue;
+                    }
+                    self.release_lock_or_fence(primary, self.co.lock_addr(primary, w.slot));
+                }
             }
         }
+        // else: the undo entry could not be erased — keep the locks so
+        // recovery resolves the logged txn atomically (truncate_own_logs
+        // already fenced us if the failure was transient).
         if self.co.injector().is_crashed() {
             self.co.trace(crate::trace::TxnEvent::Crashed { txn_id: self.txn_id });
             self.co.note_crashed();

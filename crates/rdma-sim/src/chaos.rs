@@ -1,0 +1,401 @@
+//! Seeded network-chaos model: transient verb faults on a per-link basis.
+//!
+//! Real RNIC fabrics do not only crash-stop — completion queues time out,
+//! links flap, and switch failures partition a compute server from a subset
+//! of memory nodes for a bounded time ("gray failures"). The [`ChaosModel`]
+//! injects exactly those faults into the simulated fabric, deterministically
+//! from a seed, so any failing schedule replays bit-for-bit.
+//!
+//! Fault classes:
+//!
+//! * **Verb timeout** — a single verb fails with
+//!   [`RdmaError::Timeout`](crate::RdmaError::Timeout). With probability
+//!   `p_ambiguous` the timeout is *ambiguous*: the verb may have executed
+//!   remotely with only its completion lost, mirroring a real CQ timeout.
+//!   Otherwise the verb provably never reached memory.
+//! * **Link flap** — the link drops for a bounded number of subsequent
+//!   verbs (`flap_ops`); every verb issued while down times out
+//!   `NotApplied`. The verb that *hits* the flap is ambiguous (it raced the
+//!   link going down).
+//! * **Asymmetric partition** — [`ChaosModel::partition`] cuts one
+//!   (endpoint, node) link for a bounded number of ops while every other
+//!   link keeps working; the harness drives this explicitly.
+//! * **Latency spike** — the verb is delivered, but only after an extra
+//!   delay paced through the same spin-vs-sleep gate as the steady-state
+//!   [`LatencyModel`](crate::LatencyModel).
+//!
+//! Determinism: every decision is drawn from a per-link `StdRng` seeded
+//! from `(seed, endpoint, node)` and keyed to that link's verb count —
+//! never from wall-clock time — so a fixed seed yields the same fault
+//! schedule per link regardless of thread interleaving (each link is owned
+//! by exactly one coordinator thread).
+//!
+//! Delivered verbs execute synchronously as always, so RC ordering of the
+//! verbs that *do* complete is untouched.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::latency::pace;
+
+/// What the chaos model decides for one verb on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosVerdict {
+    /// Execute the verb normally.
+    Deliver,
+    /// Drop the verb; the caller learns it was definitely not applied.
+    DropNotApplied,
+    /// Drop the verb, but report an *ambiguous* timeout: the caller cannot
+    /// tell that it was dropped.
+    DropAmbiguous,
+    /// Execute the verb against memory, then report an ambiguous timeout:
+    /// the completion was lost, the effect was not.
+    LandAmbiguous,
+}
+
+/// Chaos fault probabilities and magnitudes. All probabilities are per
+/// verb, per link.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic per-link fault schedule.
+    pub seed: u64,
+    /// Probability a verb times out in isolation.
+    pub p_timeout: f64,
+    /// Given a timeout (or a flap onset), probability it is ambiguous
+    /// rather than provably not-applied.
+    pub p_ambiguous: f64,
+    /// Probability a verb starts a link flap.
+    pub p_flap: f64,
+    /// Flap duration, in verbs attempted on the link, drawn uniformly
+    /// from this inclusive range. Keep the upper bound below the retry
+    /// budget of `RetryPolicy` so flaps are survivable without an abort.
+    pub flap_ops: (u64, u64),
+    /// Probability a delivered verb suffers an extra latency spike.
+    pub p_delay_spike: f64,
+    /// Base magnitude of a latency spike (jittered ×[0.5, 1.5)).
+    pub delay_spike: Duration,
+}
+
+impl ChaosConfig {
+    /// Mild background chaos: rare timeouts and flaps, suitable for long
+    /// soaks where forward progress should dominate.
+    pub fn light(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            p_timeout: 0.002,
+            p_ambiguous: 0.3,
+            p_flap: 0.0005,
+            flap_ops: (4, 16),
+            p_delay_spike: 0.001,
+            delay_spike: Duration::from_micros(300),
+        }
+    }
+
+    /// Aggressive chaos: every transaction is likely to see at least one
+    /// transient fault. Used by the soak harness's fault storms.
+    pub fn heavy(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            p_timeout: 0.01,
+            p_ambiguous: 0.4,
+            p_flap: 0.002,
+            flap_ops: (4, 16),
+            p_delay_spike: 0.004,
+            delay_spike: Duration::from_micros(500),
+        }
+    }
+
+    /// Parse a named profile (`light` / `heavy`) as exposed by the CLI's
+    /// `--chaos-profile` flag.
+    pub fn profile(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "light" => Some(Self::light(seed)),
+            "heavy" => Some(Self::heavy(seed)),
+            _ => None,
+        }
+    }
+}
+
+/// Global counters of injected faults, exported to the metrics registry.
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    pub timeouts_ambiguous: AtomicU64,
+    pub timeouts_not_applied: AtomicU64,
+    pub verbs_dropped_in_flap: AtomicU64,
+    pub flaps_started: AtomicU64,
+    pub partitions_started: AtomicU64,
+    pub delay_spikes: AtomicU64,
+}
+
+/// Plain-data snapshot of [`ChaosCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStatsSnapshot {
+    pub timeouts_ambiguous: u64,
+    pub timeouts_not_applied: u64,
+    pub verbs_dropped_in_flap: u64,
+    pub flaps_started: u64,
+    pub partitions_started: u64,
+    pub delay_spikes: u64,
+}
+
+impl ChaosStatsSnapshot {
+    /// Total injected transient failures (every verb that returned
+    /// `Timeout` instead of executing normally).
+    pub fn total_faults(&self) -> u64 {
+        self.timeouts_ambiguous + self.timeouts_not_applied + self.verbs_dropped_in_flap
+    }
+}
+
+/// Per-link mutable state: its RNG and how many more verbs the link
+/// stays down for (flap or partition).
+struct LinkState {
+    rng: StdRng,
+    down_ops: u64,
+}
+
+/// The fabric-wide chaos model. Install one on a
+/// [`Fabric`](crate::Fabric) via `install_chaos`; every *subsequently
+/// created* queue pair picks up a per-link handle. Disabled models cost
+/// one atomic load per verb; absent models cost nothing.
+/// Per-link fault schedules, keyed by `(endpoint, node)`.
+type LinkMap = HashMap<(u32, u16), Arc<Mutex<LinkState>>>;
+
+pub struct ChaosModel {
+    config: ChaosConfig,
+    enabled: AtomicBool,
+    counters: ChaosCounters,
+    links: Mutex<LinkMap>,
+}
+
+/// splitmix64 finalizer — decorrelates per-link seeds.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ChaosModel {
+    /// Build a model from `config`, initially **disabled** — enable it
+    /// after experiment setup (bulk loads) so loading never sees faults.
+    pub fn new(config: ChaosConfig) -> Arc<Self> {
+        Arc::new(ChaosModel {
+            config,
+            enabled: AtomicBool::new(false),
+            counters: ChaosCounters::default(),
+            links: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn config(&self) -> ChaosConfig {
+        self.config
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    pub fn stats(&self) -> ChaosStatsSnapshot {
+        let c = &self.counters;
+        ChaosStatsSnapshot {
+            timeouts_ambiguous: c.timeouts_ambiguous.load(Ordering::Acquire),
+            timeouts_not_applied: c.timeouts_not_applied.load(Ordering::Acquire),
+            verbs_dropped_in_flap: c.verbs_dropped_in_flap.load(Ordering::Acquire),
+            flaps_started: c.flaps_started.load(Ordering::Acquire),
+            partitions_started: c.partitions_started.load(Ordering::Acquire),
+            delay_spikes: c.delay_spikes.load(Ordering::Acquire),
+        }
+    }
+
+    fn link_state(&self, endpoint: u32, node: u16) -> Arc<Mutex<LinkState>> {
+        let mut links = self.links.lock();
+        Arc::clone(links.entry((endpoint, node)).or_insert_with(|| {
+            let seed = mix(self.config.seed ^ mix(((endpoint as u64) << 16) | node as u64));
+            Arc::new(Mutex::new(LinkState { rng: StdRng::seed_from_u64(seed), down_ops: 0 }))
+        }))
+    }
+
+    /// Handle for the (endpoint, node) link, held by each queue pair.
+    pub(crate) fn link(self: &Arc<Self>, endpoint: u32, node: u16) -> ChaosLink {
+        ChaosLink { model: Arc::clone(self), state: self.link_state(endpoint, node) }
+    }
+
+    /// Asymmetrically partition the (endpoint, node) link for the next
+    /// `ops` verbs attempted on it. Other endpoints still reach `node`,
+    /// and `endpoint` still reaches other nodes — exactly the one-way
+    /// switch failure the paper's crash-stop model cannot express.
+    /// Healing is counted in verbs (not wall time) for determinism.
+    pub fn partition(&self, endpoint: u32, node: u16, ops: u64) {
+        let state = self.link_state(endpoint, node);
+        let mut s = state.lock();
+        s.down_ops = s.down_ops.max(ops);
+        self.counters.partitions_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decide the fate of one verb on a link. Called with the per-link
+    /// state lock held by the owning QP.
+    fn on_verb(&self, state: &mut LinkState) -> ChaosVerdict {
+        let c = &self.config;
+        if state.down_ops > 0 {
+            state.down_ops -= 1;
+            self.counters.verbs_dropped_in_flap.fetch_add(1, Ordering::Relaxed);
+            return ChaosVerdict::DropNotApplied;
+        }
+        // One uniform draw routes to at most one fault class per verb.
+        let roll: f64 = state.rng.random();
+        if roll < c.p_flap {
+            state.down_ops = state.rng.random_range(c.flap_ops.0..=c.flap_ops.1);
+            self.counters.flaps_started.fetch_add(1, Ordering::Relaxed);
+            // The verb racing the flap onset is ambiguous: it may have
+            // landed just before the link went down.
+            return if state.rng.random_bool(0.5) {
+                self.counters.timeouts_ambiguous.fetch_add(1, Ordering::Relaxed);
+                ChaosVerdict::LandAmbiguous
+            } else {
+                self.counters.timeouts_ambiguous.fetch_add(1, Ordering::Relaxed);
+                ChaosVerdict::DropAmbiguous
+            };
+        }
+        if roll < c.p_flap + c.p_timeout {
+            return if state.rng.random_bool(c.p_ambiguous) {
+                self.counters.timeouts_ambiguous.fetch_add(1, Ordering::Relaxed);
+                if state.rng.random_bool(0.5) {
+                    ChaosVerdict::LandAmbiguous
+                } else {
+                    ChaosVerdict::DropAmbiguous
+                }
+            } else {
+                self.counters.timeouts_not_applied.fetch_add(1, Ordering::Relaxed);
+                ChaosVerdict::DropNotApplied
+            };
+        }
+        if roll < c.p_flap + c.p_timeout + c.p_delay_spike {
+            self.counters.delay_spikes.fetch_add(1, Ordering::Relaxed);
+            let frac = 0.5 + state.rng.random::<f64>();
+            pace(Duration::from_nanos((c.delay_spike.as_nanos() as f64 * frac) as u64));
+        }
+        ChaosVerdict::Deliver
+    }
+}
+
+/// A queue pair's handle onto the chaos model: the shared model plus this
+/// link's private state. One QP = one link = one owning thread, so the
+/// state lock is uncontended (the harness's explicit `partition` calls are
+/// the only cross-thread touch).
+pub struct ChaosLink {
+    model: Arc<ChaosModel>,
+    state: Arc<Mutex<LinkState>>,
+}
+
+impl ChaosLink {
+    /// Verdict for the next verb on this link. One atomic load when the
+    /// model is disabled.
+    #[inline]
+    pub(crate) fn on_verb(&self) -> ChaosVerdict {
+        if !self.model.is_enabled() {
+            return ChaosVerdict::Deliver;
+        }
+        self.model.on_verb(&mut self.state.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(model: &Arc<ChaosModel>, endpoint: u32, node: u16, n: usize) -> Vec<ChaosVerdict> {
+        let link = model.link(endpoint, node);
+        (0..n).map(|_| link.on_verb()).collect()
+    }
+
+    #[test]
+    fn disabled_model_always_delivers() {
+        let model = ChaosModel::new(ChaosConfig::heavy(1));
+        assert!(drain(&model, 0, 0, 500).iter().all(|v| *v == ChaosVerdict::Deliver));
+        assert_eq!(model.stats(), ChaosStatsSnapshot::default());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChaosModel::new(ChaosConfig::heavy(42));
+        let b = ChaosModel::new(ChaosConfig::heavy(42));
+        a.set_enabled(true);
+        b.set_enabled(true);
+        assert_eq!(drain(&a, 3, 1, 2000), drain(&b, 3, 1, 2000));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_links_get_different_schedules() {
+        let model = ChaosModel::new(ChaosConfig::heavy(7));
+        model.set_enabled(true);
+        let a = drain(&model, 0, 0, 2000);
+        let b = drain(&model, 1, 0, 2000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn heavy_profile_injects_all_fault_classes() {
+        let model = ChaosModel::new(ChaosConfig::heavy(11));
+        model.set_enabled(true);
+        drain(&model, 9, 2, 20_000);
+        let s = model.stats();
+        assert!(s.timeouts_ambiguous > 0, "no ambiguous timeouts in 20k verbs");
+        assert!(s.timeouts_not_applied > 0, "no not-applied timeouts in 20k verbs");
+        assert!(s.flaps_started > 0, "no flaps in 20k verbs");
+        assert!(s.verbs_dropped_in_flap > 0);
+        assert!(s.delay_spikes > 0, "no delay spikes in 20k verbs");
+    }
+
+    #[test]
+    fn partition_drops_exactly_n_verbs_on_one_link_only() {
+        let mut cfg = ChaosConfig::light(5);
+        // Disable probabilistic faults so only the partition acts.
+        cfg.p_timeout = 0.0;
+        cfg.p_flap = 0.0;
+        cfg.p_delay_spike = 0.0;
+        let model = ChaosModel::new(cfg);
+        model.set_enabled(true);
+        model.partition(4, 0, 10);
+        let cut = drain(&model, 4, 0, 12);
+        assert!(cut[..10].iter().all(|v| *v == ChaosVerdict::DropNotApplied));
+        assert!(cut[10..].iter().all(|v| *v == ChaosVerdict::Deliver));
+        // The same endpoint still reaches another node, and another
+        // endpoint still reaches the same node: the cut is asymmetric.
+        assert!(drain(&model, 4, 1, 5).iter().all(|v| *v == ChaosVerdict::Deliver));
+        assert!(drain(&model, 5, 0, 5).iter().all(|v| *v == ChaosVerdict::Deliver));
+        assert_eq!(model.stats().partitions_started, 1);
+    }
+
+    #[test]
+    fn flap_length_respects_configured_bounds() {
+        let cfg = ChaosConfig { p_timeout: 0.0, p_delay_spike: 0.0, ..ChaosConfig::heavy(13) };
+        let model = ChaosModel::new(cfg);
+        model.set_enabled(true);
+        let verdicts = drain(&model, 1, 1, 50_000);
+        let mut run = 0u64;
+        let mut max_run = 0u64;
+        for v in verdicts {
+            if v == ChaosVerdict::DropNotApplied {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let (lo, hi) = cfg.flap_ops;
+        assert!(max_run >= lo.min(1), "flaps too short");
+        // Back-to-back flaps could chain, but a single flap never exceeds
+        // the bound; allow one chained pair.
+        assert!(max_run <= hi * 2, "flap ran {max_run} ops, bound {hi}");
+    }
+}

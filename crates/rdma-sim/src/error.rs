@@ -5,10 +5,29 @@ use std::fmt;
 /// In a real deployment these map to completion-queue error states
 /// (`IBV_WC_*`) or transport teardown; the protocol layer treats most of
 /// them as "the remote side is unreachable" and aborts or retries.
+/// Whether a timed-out verb reached remote memory.
+///
+/// A completion-queue timeout tells the issuer *nothing* about whether the
+/// work request executed on the target — the request may have been dropped
+/// on the wire (`NotApplied`) or executed with only the completion lost
+/// (`Ambiguous`). Callers that must know (e.g. a lock CAS) have to re-read
+/// the remote word to disambiguate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutApplied {
+    /// The verb may or may not have executed remotely.
+    Ambiguous,
+    /// The verb definitely did not reach remote memory.
+    NotApplied,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RdmaError {
     /// The target memory node has crashed (crash-stop).
     NodeDead,
+    /// The verb timed out at the (simulated) completion queue: a transient
+    /// fault injected by the chaos model (link flap, partition, lost
+    /// completion). `applied` records whether the verb reached memory.
+    Timeout { applied: TimeoutApplied },
     /// This endpoint's access rights were revoked by active-link
     /// termination; the verb was dropped at the (simulated) NIC.
     AccessRevoked,
@@ -30,6 +49,12 @@ impl fmt::Display for RdmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RdmaError::NodeDead => write!(f, "memory node is dead"),
+            RdmaError::Timeout { applied: TimeoutApplied::Ambiguous } => {
+                write!(f, "verb timed out (may have been applied)")
+            }
+            RdmaError::Timeout { applied: TimeoutApplied::NotApplied } => {
+                write!(f, "verb timed out (not applied)")
+            }
             RdmaError::AccessRevoked => write!(f, "endpoint access rights revoked"),
             RdmaError::Crashed => write!(f, "compute context crashed by fault injector"),
             RdmaError::OutOfBounds { addr, len, capacity } => {
@@ -39,6 +64,23 @@ impl fmt::Display for RdmaError {
             RdmaError::NodeUnknown(id) => write!(f, "unknown memory node {id}"),
             RdmaError::Control(msg) => write!(f, "control-path error: {msg}"),
         }
+    }
+}
+
+impl RdmaError {
+    /// Transient failures: the same operation may succeed if the
+    /// transaction is retried later (after the link heals or the cluster
+    /// reconfigures around a dead node). The shared classification used by
+    /// every caller — verb-level retry loops, the workload runner's
+    /// back-off path, and the soak harness.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RdmaError::Timeout { .. } | RdmaError::NodeDead)
+    }
+
+    /// Fatal for the issuing coordinator (or a programming error): no
+    /// amount of retrying the same verb can help.
+    pub fn is_fatal(&self) -> bool {
+        !self.is_transient()
     }
 }
 

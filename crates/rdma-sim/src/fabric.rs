@@ -1,6 +1,9 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
+use crate::chaos::ChaosModel;
 use crate::error::{RdmaError, RdmaResult};
 use crate::fault::FaultInjector;
 use crate::latency::LatencyModel;
@@ -45,6 +48,10 @@ pub struct Fabric {
     node_counters: Vec<Arc<OpCounters>>,
     next_endpoint: AtomicU32,
     latency: LatencyModel,
+    /// Optional chaos model; when absent, queue pairs carry no chaos
+    /// handle and verbs pay zero overhead. Installed before the QPs that
+    /// should see it are created.
+    chaos: RwLock<Option<Arc<ChaosModel>>>,
 }
 
 impl Fabric {
@@ -65,7 +72,20 @@ impl Fabric {
             node_counters,
             next_endpoint: AtomicU32::new(0),
             latency: config.latency,
+            chaos: RwLock::new(None),
         })
+    }
+
+    /// Install a chaos model. Queue pairs created *after* this call pick
+    /// up per-link chaos handles; pre-existing QPs (and `qp_admin` QPs)
+    /// are unaffected.
+    pub fn install_chaos(&self, model: Arc<ChaosModel>) {
+        *self.chaos.write() = Some(model);
+    }
+
+    /// The installed chaos model, if any.
+    pub fn chaos(&self) -> Option<Arc<ChaosModel>> {
+        self.chaos.read().clone()
     }
 
     pub fn num_nodes(&self) -> u16 {
@@ -112,7 +132,22 @@ impl Fabric {
     ) -> RdmaResult<QueuePair> {
         let node = Arc::clone(self.node(node)?);
         let counters = Arc::clone(&self.node_counters[node.id().0 as usize]);
-        Ok(QueuePair::new(node, endpoint, injector, latency, counters))
+        let chaos = self.chaos.read().as_ref().map(|m| m.link(endpoint.0, node.id().0));
+        Ok(QueuePair::new(node, endpoint, injector, latency, counters, chaos))
+    }
+
+    /// Administrative queue pair: zero latency and **no chaos**, for
+    /// setup and inspection paths (bulk loads, raw-slot audits) that must
+    /// not be perturbed by the fault model under test.
+    pub fn qp_admin(
+        &self,
+        endpoint: EndpointId,
+        node: NodeId,
+        injector: Arc<FaultInjector>,
+    ) -> RdmaResult<QueuePair> {
+        let node = Arc::clone(self.node(node)?);
+        let counters = Arc::clone(&self.node_counters[node.id().0 as usize]);
+        Ok(QueuePair::new(node, endpoint, injector, LatencyModel::zero(), counters, None))
     }
 
     /// Aggregate verb counters for all traffic that ever targeted `node`,

@@ -23,6 +23,26 @@ pub struct LatencyModel {
 
 const SPIN_THRESHOLD: Duration = Duration::from_micros(100);
 
+/// Delay the calling thread by `d`, spinning below [`SPIN_THRESHOLD`]
+/// (sleeps cannot resolve single-digit microseconds) and sleeping above it.
+/// Both the steady-state latency model and chaos-injected delay spikes go
+/// through this one gate, so fault-induced spikes never busy-burn a
+/// 1-core CI machine.
+#[inline]
+pub(crate) fn pace(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d >= SPIN_THRESHOLD {
+        std::thread::sleep(d);
+    } else {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 impl LatencyModel {
     /// No injected delay (the default for functional tests and
     /// throughput-shape experiments).
@@ -55,18 +75,7 @@ impl LatencyModel {
         if self.is_zero() {
             return;
         }
-        let d = self.delay_for(bytes);
-        if d.is_zero() {
-            return;
-        }
-        if d >= SPIN_THRESHOLD {
-            std::thread::sleep(d);
-        } else {
-            let end = Instant::now() + d;
-            while Instant::now() < end {
-                std::hint::spin_loop();
-            }
-        }
+        pace(self.delay_for(bytes));
     }
 }
 

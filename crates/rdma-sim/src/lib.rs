@@ -38,7 +38,14 @@
 //! therefore models the post-transport view: a verb either completes, or the
 //! link is revoked/dead. An optional [`LatencyModel`] injects round-trip and
 //! bandwidth delays for latency-sensitive experiments.
+//!
+//! That clean post-transport view is deliberately broken by the optional
+//! [`ChaosModel`]: a seeded, per-link fault schedule of verb timeouts
+//! (ambiguous or provably not applied), bounded link flaps, asymmetric
+//! compute↔memory partitions, and latency spikes — the gray-failure regime
+//! real RC transports leak when retransmission gives up.
 
+mod chaos;
 mod error;
 mod fabric;
 mod fault;
@@ -47,7 +54,8 @@ mod mem;
 mod qp;
 mod rpc;
 
-pub use error::{RdmaError, RdmaResult};
+pub use chaos::{ChaosConfig, ChaosModel, ChaosStatsSnapshot, ChaosVerdict};
+pub use error::{RdmaError, RdmaResult, TimeoutApplied};
 pub use fabric::{EndpointId, Fabric, FabricConfig, NodeId};
 pub use fault::{CrashMode, CrashPlan, FaultInjector};
 pub use latency::LatencyModel;

@@ -1,7 +1,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::error::{RdmaError, RdmaResult};
+use crate::chaos::{ChaosLink, ChaosVerdict};
+use crate::error::{RdmaError, RdmaResult, TimeoutApplied};
 use crate::fabric::EndpointId;
 use crate::fault::{CrashAction, FaultInjector};
 use crate::latency::LatencyModel;
@@ -89,6 +90,8 @@ pub struct QueuePair {
     /// Fabric-owned per-node aggregate, shared by every QP to this node
     /// (see `Fabric::node_counters`).
     node_counters: Arc<OpCounters>,
+    /// Per-link chaos handle; `None` (the default) costs nothing.
+    chaos: Option<ChaosLink>,
 }
 
 impl QueuePair {
@@ -98,6 +101,7 @@ impl QueuePair {
         injector: Arc<FaultInjector>,
         latency: LatencyModel,
         node_counters: Arc<OpCounters>,
+        chaos: Option<ChaosLink>,
     ) -> Self {
         QueuePair {
             node,
@@ -106,6 +110,7 @@ impl QueuePair {
             latency,
             counters: Arc::new(OpCounters::default()),
             node_counters,
+            chaos,
         }
     }
 
@@ -142,8 +147,12 @@ impl QueuePair {
         }
     }
 
+    /// Pre-verb gate: crash injector, node liveness, revocation, latency,
+    /// then the chaos model. Crash faults take precedence over chaos (a
+    /// power-cut coordinator dies whatever the network does), so the
+    /// verdict is only consulted on a plain `Proceed`.
     #[inline]
-    fn gate(&self, bytes: usize) -> RdmaResult<CrashAction> {
+    fn gate(&self, bytes: usize) -> RdmaResult<(CrashAction, ChaosVerdict)> {
         let action = self.injector.on_op()?;
         if !self.node.is_alive() {
             return Err(RdmaError::NodeDead);
@@ -152,19 +161,51 @@ impl QueuePair {
             return Err(RdmaError::AccessRevoked);
         }
         self.latency.charge(bytes);
-        Ok(action)
+        let verdict = match &self.chaos {
+            Some(link) if action == CrashAction::Proceed => link.on_verb(),
+            _ => ChaosVerdict::Deliver,
+        };
+        Ok((action, verdict))
+    }
+
+    /// Convert a drop verdict into its timeout error before the verb
+    /// touches memory.
+    #[inline]
+    fn chaos_pre(verdict: ChaosVerdict) -> RdmaResult<()> {
+        match verdict {
+            ChaosVerdict::DropNotApplied => {
+                Err(RdmaError::Timeout { applied: TimeoutApplied::NotApplied })
+            }
+            ChaosVerdict::DropAmbiguous => {
+                Err(RdmaError::Timeout { applied: TimeoutApplied::Ambiguous })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// After the verb executed: a lost completion surfaces as an
+    /// ambiguous timeout even though the effect is in memory.
+    #[inline]
+    fn chaos_post(verdict: ChaosVerdict) -> RdmaResult<()> {
+        if verdict == ChaosVerdict::LandAmbiguous {
+            Err(RdmaError::Timeout { applied: TimeoutApplied::Ambiguous })
+        } else {
+            Ok(())
+        }
     }
 
     /// One-sided READ of `buf.len()` bytes at `addr`.
     #[inline]
     pub fn read(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
-        let action = self.gate(buf.len())?;
+        let (action, verdict) = self.gate(buf.len())?;
         if action == CrashAction::TearWrite {
             // MidWrite on a READ: nothing reaches memory; plain crash.
             return Err(RdmaError::Crashed);
         }
+        Self::chaos_pre(verdict)?;
         self.node.copy_out(addr, buf)?;
         self.count_read(buf.len() as u64);
+        Self::chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -182,7 +223,7 @@ impl QueuePair {
     /// One-sided WRITE of `data` at `addr`.
     #[inline]
     pub fn write(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
-        let action = self.gate(data.len())?;
+        let (action, verdict) = self.gate(data.len())?;
         if action == CrashAction::TearWrite {
             // Torn write: only the first (word-aligned) half of the
             // payload reaches memory before the sender dies.
@@ -192,8 +233,10 @@ impl QueuePair {
             }
             return Err(RdmaError::Crashed);
         }
+        Self::chaos_pre(verdict)?;
         self.node.copy_in_revocable(addr, data, self.endpoint.0)?;
         self.count_write(data.len() as u64);
+        Self::chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -216,7 +259,7 @@ impl QueuePair {
     /// half of the entry it tears in).
     pub fn write_batch(&self, writes: &[(u64, &[u8])]) -> RdmaResult<()> {
         let total: usize = writes.iter().map(|(_, d)| d.len()).sum();
-        let action = self.gate(total)?;
+        let (action, verdict) = self.gate(total)?;
         if action == CrashAction::TearWrite {
             let keep = writes.len() / 2;
             for (addr, data) in &writes[..keep] {
@@ -230,10 +273,14 @@ impl QueuePair {
             }
             return Err(RdmaError::Crashed);
         }
+        // A doorbell chain drops or lands atomically here: either the
+        // whole chain was posted before the fault or none of it was.
+        Self::chaos_pre(verdict)?;
         for (addr, data) in writes {
             self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
         }
         self.count_write(total as u64);
+        Self::chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -245,13 +292,18 @@ impl QueuePair {
     /// `expected` to learn whether the swap happened.
     #[inline]
     pub fn cas(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<u64> {
-        let action = self.gate(8)?;
+        let (action, verdict) = self.gate(8)?;
         if action == CrashAction::TearWrite {
             return Err(RdmaError::Crashed); // atomics cannot tear
         }
+        Self::chaos_pre(verdict)?;
         let prev = self.node.cas(addr, expected, new)?;
         self.counters.cas.fetch_add(1, Ordering::Relaxed);
         self.node_counters.cas.fetch_add(1, Ordering::Relaxed);
+        // An ambiguous CAS is the nastiest RDMA failure: the swap may
+        // have happened, but the previous value never arrives. Callers
+        // must re-read the word to find out (see core's `cas_resolved`).
+        Self::chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -266,14 +318,16 @@ impl QueuePair {
     /// the flush tax.
     #[inline]
     pub fn flush(&self, addr: u64) -> RdmaResult<()> {
-        let action = self.gate(8)?;
+        let (action, verdict) = self.gate(8)?;
         if action == CrashAction::TearWrite {
             return Err(RdmaError::Crashed);
         }
+        Self::chaos_pre(verdict)?;
         // The read-back that implements the flush.
         self.node.copy_out(addr & !7, &mut [0u8; 8])?;
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
         self.node_counters.flushes.fetch_add(1, Ordering::Relaxed);
+        Self::chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -284,13 +338,15 @@ impl QueuePair {
     /// previous value.
     #[inline]
     pub fn faa(&self, addr: u64, add: u64) -> RdmaResult<u64> {
-        let action = self.gate(8)?;
+        let (action, verdict) = self.gate(8)?;
         if action == CrashAction::TearWrite {
             return Err(RdmaError::Crashed); // atomics cannot tear
         }
+        Self::chaos_pre(verdict)?;
         let prev = self.node.faa(addr, add)?;
         self.counters.faa.fetch_add(1, Ordering::Relaxed);
         self.node_counters.faa.fetch_add(1, Ordering::Relaxed);
+        Self::chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -379,6 +435,75 @@ mod tests {
         let ep2 = f.register_endpoint();
         let qp2 = f.qp(ep2, NodeId(0), FaultInjector::new()).unwrap();
         assert_eq!(qp2.read_u64(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn chaos_disabled_is_invisible_to_counters() {
+        use crate::chaos::{ChaosConfig, ChaosModel};
+        let f = Fabric::new(FabricConfig::default());
+        f.install_chaos(ChaosModel::new(ChaosConfig::heavy(99)));
+        let ep = f.register_endpoint();
+        let qp = f.qp(ep, NodeId(0), FaultInjector::new()).unwrap();
+        for i in 0..200u64 {
+            qp.write_u64(i * 8, i).unwrap();
+            assert_eq!(qp.read_u64(i * 8).unwrap(), i);
+        }
+        let s = qp.counters().snapshot();
+        assert_eq!((s.reads, s.writes), (200, 200));
+        assert_eq!(f.chaos().unwrap().stats().total_faults(), 0);
+    }
+
+    #[test]
+    fn chaos_injects_timeouts_and_ambiguous_verbs_may_land() {
+        use crate::chaos::{ChaosConfig, ChaosModel};
+        use crate::error::TimeoutApplied;
+        let f = Fabric::new(FabricConfig::default());
+        let model = ChaosModel::new(ChaosConfig::heavy(3));
+        f.install_chaos(Arc::clone(&model));
+        model.set_enabled(true);
+        let ep = f.register_endpoint();
+        let qp = f.qp(ep, NodeId(0), FaultInjector::new()).unwrap();
+        // Clean observer QP on a different endpoint (its own link).
+        let obs = f.qp_admin(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+
+        let mut timeouts = 0;
+        let mut ambiguous_landed = 0;
+        for i in 1..=5_000u64 {
+            let addr = (i % 64) * 8;
+            match qp.write_u64(addr, i) {
+                Ok(()) => assert_eq!(obs.read_u64(addr).unwrap(), i),
+                Err(RdmaError::Timeout { applied }) => {
+                    timeouts += 1;
+                    let seen = obs.read_u64(addr).unwrap();
+                    match applied {
+                        // Provably dropped: the old value must survive.
+                        TimeoutApplied::NotApplied => assert_ne!(seen, i),
+                        TimeoutApplied::Ambiguous => {
+                            if seen == i {
+                                ambiguous_landed += 1;
+                            }
+                        }
+                    }
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(timeouts > 0, "heavy chaos injected nothing in 5k verbs");
+        assert!(ambiguous_landed > 0, "no ambiguous verb ever landed");
+        assert_eq!(model.stats().total_faults(), timeouts);
+    }
+
+    #[test]
+    fn admin_qp_bypasses_chaos() {
+        use crate::chaos::{ChaosConfig, ChaosModel};
+        let f = Fabric::new(FabricConfig::default());
+        let model = ChaosModel::new(ChaosConfig::heavy(5));
+        f.install_chaos(Arc::clone(&model));
+        model.set_enabled(true);
+        let qp = f.qp_admin(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+        for i in 0..2_000u64 {
+            qp.write_u64((i % 32) * 8, i).unwrap();
+        }
     }
 
     #[test]

@@ -2,14 +2,14 @@
 //! cluster, collects throughput, and supports fault injection — the
 //! shared engine behind every fail-over figure of the evaluation.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pandora::{
-    CoordStats, LatencyHistogram, MetricsRegistry, PhaseStats, SimCluster, ThroughputProbe,
-    TxnError,
+    CoordStats, Coordinator, CoordinatorLease, LatencyHistogram, MetricsRegistry, PhaseStats,
+    SimCluster, ThroughputProbe, TxnError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +37,9 @@ impl Default for RunnerConfig {
 
 struct WorkerSlot {
     injector: Arc<FaultInjector>,
-    coord_id: u16,
+    /// Shared with the worker thread: updated in place when a falsely
+    /// suspected worker survives by re-registering under a fresh id.
+    coord_id: Arc<AtomicU16>,
     handle: Option<JoinHandle<WorkerExit>>,
 }
 
@@ -98,14 +100,17 @@ impl<W: Workload> WorkloadRunner<W> {
         }
         co.warm_addr_cache(warm_cache);
         let injector = co.injector();
-        let coord_id = lease.coord_id;
+        let coord_id = Arc::new(AtomicU16::new(lease.coord_id));
+        let shared_id = Arc::clone(&coord_id);
+        let cluster = Arc::clone(&self.cluster);
         let workload = Arc::clone(&self.workload);
         let stop = Arc::clone(&self.stop);
         let latency = Arc::clone(&self.latency);
         let handle = std::thread::Builder::new()
-            .name(format!("worker-{coord_id}"))
+            .name(format!("worker-{}", lease.coord_id))
             .spawn(move || {
                 use rand::RngExt;
+                let mut lease = lease;
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut consecutive_aborts = 0u32;
                 while !stop.load(Ordering::Acquire) {
@@ -120,6 +125,9 @@ impl<W: Workload> WorkloadRunner<W> {
                             // Randomized exponential backoff tames abort
                             // storms on contended rows (standard OCC
                             // practice, as in FORD's client library).
+                            // NetworkTimeout aborts (exhausted verb retry
+                            // budgets under chaos) land here too and get
+                            // the same treatment.
                             consecutive_aborts = (consecutive_aborts + 1).min(6);
                             let ceil = 1u64 << consecutive_aborts;
                             let us = rng.random_range(0..ceil * 8);
@@ -129,18 +137,36 @@ impl<W: Workload> WorkloadRunner<W> {
                         }
                         Err(TxnError::Crashed) => break,
                         Err(TxnError::Rdma(rdma_sim::RdmaError::AccessRevoked)) => {
-                            // Fenced by active-link termination (possibly a
-                            // false positive on a shared endpoint). Retrying
-                            // forever would keep the heartbeat alive and the
-                            // coordinator's stray state unrecoverable; die so
-                            // the FD declares and recovers us.
-                            break;
+                            // Fenced by active-link termination. Under PILL
+                            // a live coordinator survives false suspicion:
+                            // wait for recovery of the old id to finish,
+                            // then re-register under a fresh id and resume.
+                            // Otherwise die so the FD recovers our state.
+                            match survive_false_suspicion(&cluster, &mut co, &stop) {
+                                Some(new_lease) => {
+                                    shared_id.store(new_lease.coord_id, Ordering::Release);
+                                    lease = new_lease;
+                                    consecutive_aborts = 0;
+                                }
+                                None => break,
+                            }
                         }
-                        Err(TxnError::Rdma(_)) => {
-                            // Transient (racing a memory-node death before
-                            // the reconfiguration pause): back off briefly.
+                        Err(TxnError::Rdma(e)) if e.is_transient() => {
+                            // A transient fault leaked past the verb retry
+                            // budget outside the abort machinery: back off
+                            // like an abort and try again.
+                            consecutive_aborts = (consecutive_aborts + 1).min(6);
+                            let ceil = 1u64 << consecutive_aborts;
+                            let us = rng.random_range(0..ceil * 8);
+                            std::thread::sleep(Duration::from_micros(us.max(1)));
+                        }
+                        Err(TxnError::Rdma(rdma_sim::RdmaError::NodeDead)) => {
+                            // Racing a memory-node death before the
+                            // reconfiguration pause: back off briefly and
+                            // retry under the new placement.
                             std::thread::sleep(Duration::from_micros(200));
                         }
+                        Err(TxnError::Rdma(_)) => break,
                     }
                 }
                 WorkerExit { stats: co.stats, addr_cache: co.export_addr_cache() }
@@ -166,15 +192,21 @@ impl<W: Workload> WorkloadRunner<W> {
 
     /// A metrics registry wired to everything this runner observes:
     /// throughput probe, per-phase stats, end-to-end latency histogram,
-    /// and the cluster's fabric counters. Snapshot it any time — also
+    /// the cluster's fabric counters, resilience counters, and (when the
+    /// cluster has one) chaos-injection counters. Snapshot it any time — also
     /// after `stop_and_join`, since the shared atomics outlive the
     /// workers.
     pub fn metrics(&self) -> MetricsRegistry {
-        MetricsRegistry::new()
+        let mut registry = MetricsRegistry::new()
             .with_probe(Arc::clone(&self.probe))
             .with_phases(Arc::clone(&self.phases))
             .with_txn_latency(Arc::clone(&self.latency))
             .with_fabric(Arc::clone(&self.cluster.ctx.fabric))
+            .with_resilience(Arc::clone(&self.cluster.ctx.resilience));
+        if let Some(chaos) = &self.cluster.chaos {
+            registry = registry.with_chaos(Arc::clone(chaos));
+        }
+        registry
     }
 
     pub fn cluster(&self) -> &Arc<SimCluster> {
@@ -192,14 +224,14 @@ impl<W: Workload> WorkloadRunner<W> {
 
     /// Coordinator-ids currently held by worker slots.
     pub fn coord_ids(&self) -> Vec<u16> {
-        self.slots.iter().map(|s| s.coord_id).collect()
+        self.slots.iter().map(|s| s.coord_id.load(Ordering::Acquire)).collect()
     }
 
     /// Crash worker `idx` (power-cut). Returns its coordinator-id.
     pub fn crash_worker(&self, idx: usize) -> u16 {
         let slot = &self.slots[idx];
         slot.injector.crash_now();
-        slot.coord_id
+        slot.coord_id.load(Ordering::Acquire)
     }
 
     /// Crash the first `n` workers; returns their coordinator-ids.
@@ -248,6 +280,33 @@ impl<W: Workload> WorkloadRunner<W> {
         }
         stats
     }
+}
+
+/// Ride out a false suspicion (paper §3.3.2, Cor. 4): a live coordinator
+/// whose links the FD revoked re-registers under a fresh id and resumes,
+/// its strays stolen or released by the recovery of the old id. Only
+/// sound under PILL — anonymous locks would let the survivor race its own
+/// recovery — so under FORD/Traditional this returns `None` (the caller
+/// dies, as before). Waits for the old id's recovery to complete (the
+/// failed bit is published last) before re-registering, so the fresh
+/// incarnation can never overtake the cleanup of its own strays.
+fn survive_false_suspicion(
+    cluster: &SimCluster,
+    co: &mut Coordinator,
+    stop: &AtomicBool,
+) -> Option<CoordinatorLease> {
+    if !cluster.ctx.config.pill_active() {
+        return None;
+    }
+    let old_id = co.coord_id();
+    let deadline = std::time::Instant::now() + Duration::from_secs(1);
+    while !cluster.ctx.failed.contains(old_id) {
+        if stop.load(Ordering::Acquire) || std::time::Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    co.reincarnate(&cluster.fd).ok()
 }
 
 #[cfg(test)]

@@ -1,0 +1,77 @@
+//! Deterministic false-suspicion survival (paper §3.3.2, Cor. 4): the
+//! FD declares a *live* coordinator failed mid-transaction. The victim
+//! observes `AccessRevoked` on its next verb, its stray write-lock is
+//! left in place (nothing was logged, so recovery has nothing to roll
+//! back and PILL defers stray release to stealing), and the survivor
+//! re-registers under a fresh id and steals its own former lock exactly
+//! once.
+
+use dkvs::{TableDef, TableId};
+use pandora::{ProtocolKind, SimCluster, TxnError};
+use rdma_sim::RdmaError;
+
+const TABLE: TableId = TableId(0);
+
+fn value(x: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[0..8].copy_from_slice(&x.to_le_bytes());
+    v
+}
+
+#[test]
+fn live_coordinator_survives_false_suspicion() {
+    let cluster = SimCluster::builder(ProtocolKind::Pandora)
+        .memory_nodes(2)
+        .replication(2)
+        .table(TableDef::sized_for(0, "t", 16, 64))
+        .build()
+        .unwrap();
+    cluster.bulk_load(TABLE, [(0u64, value(10)), (1u64, value(20))]).unwrap();
+
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    let old_id = lease.coord_id;
+
+    // Mid-transaction: the eager write-lock on key 0 is held when the FD
+    // falsely declares us. Recovery finds no undo log (logging happens at
+    // commit), so the lock survives as a stray owned by the old id.
+    {
+        let mut txn = co.begin();
+        txn.write(TABLE, 0, &value(11)).unwrap();
+        let report = cluster.fd.declare_failed(old_id).expect("declared");
+        assert!(report.completed, "recovery of the falsely suspected id must complete");
+        // The victim observes the revocation on its next verb.
+        match txn.write(TABLE, 1, &value(21)) {
+            Err(TxnError::Rdma(RdmaError::AccessRevoked)) => {}
+            other => panic!("expected AccessRevoked mid-transaction, got {other:?}"),
+        }
+    } // txn drop: revoked links mean cleanup is recovery's job — lock stays.
+
+    let primary = cluster.primary_node(TABLE, 0);
+    let (lock, _, _) = cluster.raw_slot(TABLE, 0, primary).expect("slot");
+    assert!(lock.is_locked(), "stray lock should survive recovery (PILL defers to stealing)");
+    assert_eq!(lock.owner(), old_id, "stray is owned by the suspected incarnation");
+
+    // Survive: re-register under a fresh id and resume on the same
+    // coordinator (address cache, stats and all).
+    let new_lease = co.reincarnate(&cluster.fd).expect("reincarnate");
+    assert_ne!(new_lease.coord_id, old_id, "fresh incarnation gets a fresh id");
+    assert_eq!(cluster.ctx.resilience.snapshot().false_suspicion_survivals, 1);
+
+    // First post-survival write to key 0 steals the former self's stray —
+    // exactly once; the second write finds a clean lock.
+    co.run(|txn| txn.write(TABLE, 0, &value(12))).unwrap();
+    assert_eq!(co.stats.locks_stolen, 1, "stray stolen exactly once");
+    co.run(|txn| txn.write(TABLE, 0, &value(13))).unwrap();
+    assert_eq!(co.stats.locks_stolen, 1, "no second steal on a released lock");
+
+    // State is whole: the aborted transaction left no trace, the
+    // post-survival writes landed, and id recycling converges.
+    assert_eq!(cluster.peek(TABLE, 0), Some(value(13)));
+    assert_eq!(cluster.peek(TABLE, 1), Some(value(20)));
+    let (lock, _, _) = cluster.raw_slot(TABLE, 0, primary).expect("slot");
+    assert!(!lock.is_locked(), "no residual lock after commit");
+    let (released, recycled) = cluster.fd.recovery().recycle_failed_ids();
+    assert_eq!(released, 0, "the steal already freed the stray; nothing left to release");
+    assert!(recycled >= 1, "old id is recyclable once its strays are gone");
+    assert_eq!(cluster.ctx.failed.population(), 0);
+}
