@@ -32,6 +32,7 @@ COMMANDS
   run        run a workload, optionally injecting a fault
   recovery   freeze N coordinators mid-transaction and time their recovery
   litmus     run the litmus validation suite (optionally with a FORD bug re-enabled)
+  trace-check  validate a Chrome trace-event file (CI smoke check)
   info       list protocols, workloads, bugs
   help       this text
 
@@ -53,8 +54,13 @@ RUN FLAGS
   --doorbell            coalesce commit writes per node (doorbell batching)
   --write-ratio R       micro only                     (default 0.5)
   --hot-keys N          micro only: contention hot set
-  --metrics-json PATH   write a machine-readable metrics snapshot (JSON)
+  --metrics-json PATH   write a machine-readable metrics snapshot (JSON);
+                        includes a `timeline` array of throughput/abort/
+                        recovery samples
   --no-phase-metrics    skip per-phase commit-path timers
+  --trace-out PATH      attach the flight recorder and write a Chrome
+                        trace-event JSON file (open in ui.perfetto.dev)
+  --flight-capacity N   retained spans per track              (default 8192)
 
 RECOVERY FLAGS
   --workload ... --protocol ...   as above
@@ -66,6 +72,10 @@ LITMUS FLAGS
   --bug NAME            complicit-abort|missing-actions|covert-locks|
                         relaxed-locks|lost-decision|logging-without-locking
   --iterations N        random iterations per test (default 20)
+
+TRACE-CHECK FLAGS
+  --path PATH           Chrome trace-event file to validate (bare array or
+                        an object with `traceEvents`, e.g. a flight dump)
 ";
 
 fn main() -> ExitCode {
@@ -90,6 +100,7 @@ fn run(argv: Vec<String>) -> Result<(), ParseError> {
         "run" => cmd_run(&args),
         "recovery" => cmd_recovery(&args),
         "litmus" => cmd_litmus(&args),
+        "trace-check" => cmd_trace_check(&args),
         "info" => {
             cmd_info();
             Ok(())
@@ -181,6 +192,7 @@ fn build_cluster(
     config: SystemConfig,
     latency: LatencyModel,
     chaos: Option<ChaosConfig>,
+    flight_capacity: Option<usize>,
 ) -> Arc<SimCluster> {
     let segments: u64 = workload.tables().iter().map(|t| t.segment_bytes()).sum();
     let capacity = (segments + (96 << 20)).next_power_of_two();
@@ -196,6 +208,9 @@ fn build_cluster(
     );
     if let Some(cfg) = chaos {
         builder = builder.chaos(cfg);
+    }
+    if let Some(cap) = flight_capacity {
+        builder = builder.flight(cap);
     }
     let cluster = builder.build().expect("build cluster");
     workload.load(&cluster);
@@ -240,12 +255,21 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
     }
 
     let chaos_cfg = parse_chaos(args)?;
+    let trace_out = args.get("trace-out").map(str::to_string);
+    // The flight recorder rides along whenever a trace is requested (or
+    // a capacity is given explicitly); otherwise the run pays only the
+    // `None` check per hook.
+    let flight_capacity = if trace_out.is_some() || args.has("flight-capacity") {
+        Some(args.get_u64("flight-capacity", 8192)? as usize)
+    } else {
+        None
+    };
     println!(
         "workload={} protocol={:?} coordinators={coordinators} duration={duration:?} fault={fault:?}",
         workload.name(),
         config.protocol
     );
-    let cluster = build_cluster(workload.as_ref(), config, latency, chaos_cfg);
+    let cluster = build_cluster(workload.as_ref(), config, latency, chaos_cfg, flight_capacity);
     if let Some(chaos) = &cluster.chaos {
         // Dataset is loaded; everything from here on runs under fire.
         chaos.set_enabled(true);
@@ -253,6 +277,10 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
             "chaos enabled: seed={} (replay with the same --chaos-seed)",
             chaos_cfg.unwrap().seed
         );
+        if let Some(rec) = &cluster.flight {
+            // Dumps and traces name the schedule they ran under.
+            rec.set_chaos_seed(chaos_cfg.unwrap().seed);
+        }
     }
     let mut runner = WorkloadRunner::spawn(
         Arc::clone(&cluster),
@@ -264,6 +292,10 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
         },
     );
     let sampler = Sampler::start(runner.probe(), Duration::from_millis(100));
+    // Fine-grained time series for the metrics JSON: committed/aborted
+    // deltas plus in-flight recoveries, dense enough (25ms) to resolve
+    // a fail-over dip.
+    let timeline = runner.timeline_sampler(Duration::from_millis(25));
     let t0 = Instant::now();
 
     if let Some(fault) = fault {
@@ -314,6 +346,7 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
 
     std::thread::sleep(duration.saturating_sub(t0.elapsed()));
     let samples = sampler.finish();
+    let timeline_points = timeline.finish();
     let latency_hist = runner.latency();
     let probe = runner.probe();
     let registry = runner.metrics();
@@ -354,9 +387,19 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
     }
     if let Some(path) = args.get("metrics-json") {
         registry.add_reports(&cluster.fd.reports());
+        registry.add_timeline(&timeline_points);
         std::fs::write(path, registry.snapshot().to_json())
             .map_err(|e| ParseError(format!("cannot write {path}: {e}")))?;
         println!("metrics written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        let rec = cluster.flight.as_ref().expect("recorder attached when --trace-out is set");
+        rec.write_chrome_trace(path)
+            .map_err(|e| ParseError(format!("cannot write {path}: {e}")))?;
+        println!(
+            "trace written to {path} ({} spans recorded; open in ui.perfetto.dev)",
+            rec.recorded()
+        );
     }
     Ok(())
 }
@@ -367,7 +410,7 @@ fn cmd_recovery(args: &Args) -> Result<(), ParseError> {
     let frozen_n = args.get_u64("frozen", 8)? as usize;
     println!("workload={} protocol={:?} frozen={frozen_n}", workload.name(), config.protocol);
     let protocol = config.protocol;
-    let cluster = build_cluster(workload.as_ref(), config, LatencyModel::zero(), None);
+    let cluster = build_cluster(workload.as_ref(), config, LatencyModel::zero(), None, None);
 
     let mut rng = StdRng::seed_from_u64(args.get_u64("seed", 7)?);
     let mut frozen = Vec::new();
@@ -490,6 +533,47 @@ fn cmd_litmus(args: &Args) -> Result<(), ParseError> {
     if failed > 0 {
         return Err(ParseError(format!("{failed} litmus test(s) violated")));
     }
+    Ok(())
+}
+
+/// Validate a Chrome trace-event file (`--trace-out` output or a flight
+/// dump): CI's smoke check that a run leaves a loadable trace behind.
+fn cmd_trace_check(args: &Args) -> Result<(), ParseError> {
+    use pandora::obs::json;
+
+    let path = args
+        .get("path")
+        .ok_or_else(|| ParseError("trace-check requires --path <trace.json>".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseError(format!("cannot read {path}: {e}")))?;
+    let doc = json::parse(&text).map_err(|e| ParseError(format!("{path}: invalid JSON: {e}")))?;
+    // Accept both export shapes: the bare array (`--trace-out`) and the
+    // dump object wrapping it in `traceEvents` (auto-dumps).
+    let events = doc
+        .as_array()
+        .or_else(|| doc.get("traceEvents").and_then(|t| t.as_array()))
+        .ok_or_else(|| {
+            ParseError(format!("{path}: expected a JSON array or an object with `traceEvents`"))
+        })?;
+    if events.is_empty() {
+        return Err(ParseError(format!("{path}: trace contains no events")));
+    }
+    let mut tracks = std::collections::BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let bad = |field: &str| {
+            ParseError(format!("{path}: event {i} is missing or mistypes required key {field:?}"))
+        };
+        ev.get("ph").and_then(|v| v.as_str()).ok_or_else(|| bad("ph"))?;
+        ev.get("ts").and_then(|v| v.as_f64()).ok_or_else(|| bad("ts"))?;
+        ev.get("pid").and_then(|v| v.as_u64()).ok_or_else(|| bad("pid"))?;
+        let tid = ev.get("tid").and_then(|v| v.as_u64()).ok_or_else(|| bad("tid"))?;
+        ev.get("name").and_then(|v| v.as_str()).ok_or_else(|| bad("name"))?;
+        tracks.insert(tid);
+    }
+    if let Some(seed) = doc.get("chaos_seed").and_then(|s| s.as_str()) {
+        println!("chaos seed {seed}");
+    }
+    println!("{path}: OK — {} events across {} tracks", events.len(), tracks.len());
     Ok(())
 }
 

@@ -10,6 +10,7 @@ use rdma_sim::{Fabric, NodeId};
 
 use crate::config::SystemConfig;
 use crate::failed_ids::FailedIds;
+use crate::flight::FlightRecorder;
 use crate::pause::WorldPause;
 use crate::retry::ResilienceStats;
 
@@ -29,6 +30,11 @@ pub struct SharedContext {
     pub config: SystemConfig,
     /// Cluster-wide retry/survival counters (transient-fault telemetry).
     pub resilience: Arc<ResilienceStats>,
+    /// Recoveries currently being executed by the failure detector —
+    /// the gauge the metrics timeline samples to reconstruct the
+    /// paper's fail-over availability curve.
+    pub recoveries_in_flight: AtomicU64,
+    flight: RwLock<Option<Arc<FlightRecorder>>>,
     dead_nodes: RwLock<Vec<NodeId>>,
     dead_epoch: AtomicU64,
 }
@@ -46,9 +52,32 @@ impl SharedContext {
             pause: WorldPause::new(),
             config,
             resilience: ResilienceStats::new(),
+            recoveries_in_flight: AtomicU64::new(0),
+            flight: RwLock::new(None),
             dead_nodes: RwLock::new(Vec::new()),
             dead_epoch: AtomicU64::new(0),
         })
+    }
+
+    /// Install the cluster's flight recorder: registers it as the
+    /// fabric's verb sink (QPs created afterwards carry a tap) and
+    /// makes it discoverable to coordinators, the failure detector,
+    /// and the self-fence sites. Call before any coordinator connects.
+    pub fn install_flight(&self, rec: Arc<FlightRecorder>) {
+        self.fabric.install_flight(Arc::clone(&rec) as Arc<dyn rdma_sim::VerbSink>);
+        *self.flight.write() = Some(rec);
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.read().clone()
+    }
+
+    /// Auto-dump the flight recorder (self-fence, recovery trigger,
+    /// harness assertion failure). Returns the dump path when a
+    /// recorder is installed *and* a dump directory is configured.
+    pub fn flight_dump(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.flight.read().as_ref().and_then(|rec| rec.auto_dump(reason))
     }
 
     /// Snapshot of the known-dead memory nodes (placement input).

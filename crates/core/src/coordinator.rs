@@ -12,6 +12,7 @@ use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
 
 use crate::context::SharedContext;
 use crate::fd::{CoordinatorLease, FailureDetector};
+use crate::flight::FlightHandle;
 use crate::metrics::ThroughputProbe;
 use crate::obs::{PhaseStats, TxnPhase};
 use crate::pause::CoordGate;
@@ -42,6 +43,9 @@ pub struct Coordinator {
     pub(crate) probe: Option<Arc<ThroughputProbe>>,
     pub(crate) tracer: Option<Arc<crate::trace::Tracer>>,
     pub(crate) phase_stats: Option<Arc<PhaseStats>>,
+    /// Flight-recorder emission handle, auto-attached at connect time
+    /// when the cluster has a recorder installed (see [`crate::flight`]).
+    pub(crate) flight: Option<FlightHandle>,
     pub stats: CoordStats,
 }
 
@@ -86,6 +90,7 @@ impl Coordinator {
             qps.push(ctx.fabric.qp(endpoint, n, Arc::clone(&injector))?);
         }
         let gate = ctx.pause.register();
+        let flight = ctx.flight().map(|rec| rec.handle(coord_id));
         Ok(Coordinator {
             ctx,
             coord_id,
@@ -98,6 +103,7 @@ impl Coordinator {
             probe: None,
             tracer: None,
             phase_stats: None,
+            flight,
             stats: CoordStats::default(),
         })
     }
@@ -149,18 +155,46 @@ impl Coordinator {
         }
     }
 
-    /// Start a phase timer — `Some` only when phase stats are attached,
-    /// so untimed runs pay a single branch and no clock read.
+    /// True when a flight recorder is attached *and* currently enabled
+    /// (one atomic load; `false` costs an `Option` check).
     #[inline]
-    pub(crate) fn phase_start(&self) -> Option<Instant> {
-        self.phase_stats.as_ref().map(|_| Instant::now())
+    pub(crate) fn flight_on(&self) -> bool {
+        self.flight.as_ref().is_some_and(FlightHandle::enabled)
     }
 
-    /// Finish a phase timer started with [`Coordinator::phase_start`].
+    /// The id of the transaction currently being executed (valid
+    /// between `begin()` and commit/abort — the only window phase
+    /// timers run in).
+    #[inline]
+    pub(crate) fn current_txn_id(&self) -> u64 {
+        ((self.coord_id as u64) << 48) | self.txn_seq
+    }
+
+    /// Start a phase timer — `Some` when phase stats are attached *or*
+    /// the flight recorder is live, so untimed runs pay a branch and an
+    /// atomic load but no clock read.
+    #[inline]
+    pub(crate) fn phase_start(&self) -> Option<Instant> {
+        if self.phase_stats.is_some() || self.flight_on() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finish a phase timer started with [`Coordinator::phase_start`]:
+    /// feeds the latency histogram and emits a flight span on the
+    /// coordinator's track, attributed to the current transaction.
     #[inline]
     pub(crate) fn phase_end(&self, phase: TxnPhase, t0: Option<Instant>) {
-        if let (Some(stats), Some(t0)) = (&self.phase_stats, t0) {
+        let Some(t0) = t0 else { return };
+        if let Some(stats) = &self.phase_stats {
             stats.record(phase, t0.elapsed());
+        }
+        if let Some(f) = &self.flight {
+            if f.enabled() {
+                f.end_from_instant(phase.name(), self.current_txn_id(), t0, true);
+            }
         }
     }
 
@@ -169,6 +203,21 @@ impl Coordinator {
     pub(crate) fn record_phase(&self, phase: TxnPhase, d: Duration) {
         if let Some(stats) = &self.phase_stats {
             stats.record(phase, d);
+        }
+        if let Some(f) = &self.flight {
+            if f.enabled() {
+                let dur_ns = (d.as_nanos() as u64).max(1);
+                let end_ns = f.now_ns();
+                f.emit(
+                    phase.name(),
+                    self.current_txn_id(),
+                    end_ns.saturating_sub(dur_ns),
+                    dur_ns,
+                    0,
+                    0,
+                    true,
+                );
+            }
         }
     }
 
@@ -244,19 +293,59 @@ impl Coordinator {
     /// Run an **idempotent** verb under the configured retry policy
     /// (READs and same-bytes re-WRITEs survive transient timeouts).
     pub(crate) fn retry_verb<T>(&self, f: impl FnMut() -> RdmaResult<T>) -> RdmaResult<T> {
-        retry::retry_op(&self.ctx.config.retry, Some(&self.ctx.resilience), self.retry_salt(), f)
+        self.spanned_retry(&self.ctx.config.retry, f)
     }
 
     /// Escalated-budget retry for release paths (lock releases, log
     /// truncation): exhaustion here would strand remote state owned by a
     /// live coordinator, so the budget is much larger.
     pub(crate) fn retry_release<T>(&self, f: impl FnMut() -> RdmaResult<T>) -> RdmaResult<T> {
-        retry::retry_op(
-            &self.ctx.config.retry.escalated(),
-            Some(&self.ctx.resilience),
-            self.retry_salt(),
-            f,
-        )
+        self.spanned_retry(&self.ctx.config.retry.escalated(), f)
+    }
+
+    /// Retry under `policy`, emitting a "retry" flight span covering the
+    /// whole loop when a verb actually re-issued (attempts > 1). The
+    /// individual verbs are already spanned at the fabric layer; this
+    /// span is the causal envelope naming the attempt count (`detail`).
+    fn spanned_retry<T>(
+        &self,
+        policy: &retry::RetryPolicy,
+        f: impl FnMut() -> RdmaResult<T>,
+    ) -> RdmaResult<T> {
+        if !self.flight_on() {
+            return retry::retry_op(policy, Some(&self.ctx.resilience), self.retry_salt(), f);
+        }
+        let fl = self.flight.as_ref().expect("flight_on checked");
+        let start_ns = fl.now_ns();
+        let (res, attempts) =
+            retry::retry_op_counted(policy, Some(&self.ctx.resilience), self.retry_salt(), f);
+        if attempts > 1 {
+            let end_ns = fl.now_ns();
+            fl.emit(
+                "retry",
+                self.current_txn_id(),
+                start_ns,
+                end_ns.saturating_sub(start_ns).max(1),
+                attempts as u64,
+                0,
+                res.is_ok(),
+            );
+        }
+        res
+    }
+
+    /// Mark a self-fence on the flight timeline and auto-dump the
+    /// recorder: an instant on this coordinator's track naming the fence
+    /// site, then the last-N-spans post-mortem file (when a dump
+    /// directory is configured). Called *before* the injector crash so
+    /// the instant is the final event of this incarnation.
+    pub(crate) fn flight_fence(&self, reason: &'static str) {
+        if let Some(f) = &self.flight {
+            if f.enabled() {
+                f.instant(reason, self.current_txn_id(), 0);
+            }
+        }
+        self.ctx.flight_dump(reason);
     }
 
     /// CAS with ambiguity resolution (see [`retry::cas_resolved`]):
@@ -305,6 +394,13 @@ impl Coordinator {
         self.coord_id = lease.coord_id;
         self.endpoint = endpoint;
         self.qps = qps;
+        // Spans from here on belong to the new incarnation's track; the
+        // boundary instant makes false-suspicion survival visible on the
+        // fail-over timeline.
+        self.flight = self.ctx.flight().map(|rec| rec.handle(lease.coord_id));
+        if let Some(f) = &self.flight {
+            f.instant("reincarnated", (lease.coord_id as u64) << 48, 0);
+        }
         self.ctx.resilience.false_suspicion_survivals.fetch_add(1, Ordering::Relaxed);
         Ok(lease)
     }

@@ -198,8 +198,8 @@ impl FailureDetector {
             // the FD's view of detection latency.
             (m.endpoint, m.last_change.elapsed())
         };
-        let mut report = self.recover_with_retry(|rc| rc.recover_compute(coord_id, endpoint));
-        report.detection = detection;
+        let report = self
+            .recover_with_retry(coord_id, detection, |rc| rc.recover_compute(coord_id, endpoint));
         self.reports.lock().push(report.clone());
         Some(report)
     }
@@ -208,10 +208,25 @@ impl FailureDetector {
     /// crashes mid-way (paper §3.2.3: every step of the end-to-end
     /// algorithm is idempotent and re-executable "until the final
     /// acknowledgment is received from the recovery coordinator").
+    ///
+    /// Flight-recorder hooks bracket the run: the in-flight gauge the
+    /// metrics timeline samples, a pre-recovery auto-dump (the last-N
+    /// spans *leading up to* the failure are the post-mortem payload),
+    /// a trigger instant on the chaos track, and — once the report is
+    /// in — the four measured recovery steps laid back onto the failed
+    /// coordinator's track, ending at completion time.
     fn recover_with_retry(
         &self,
+        coord: u16,
+        detection: Duration,
         run: impl Fn(&RecoveryCoordinator) -> RecoveryReport,
     ) -> RecoveryReport {
+        let flight = self.ctx.flight();
+        if let Some(rec) = &flight {
+            rec.chaos_instant("recovery-trigger", coord as u64);
+            rec.auto_dump("recovery");
+        }
+        self.ctx.recoveries_in_flight.fetch_add(1, Ordering::AcqRel);
         let mut report = run(&self.rc);
         let mut attempts = 1;
         while !report.completed && attempts < 4 {
@@ -219,6 +234,25 @@ impl FailureDetector {
                 .expect("spawn replacement recovery coordinator");
             report = run(&fresh);
             attempts += 1;
+        }
+        report.detection = detection;
+        self.ctx.recoveries_in_flight.fetch_sub(1, Ordering::AcqRel);
+        if let Some(rec) = &flight {
+            let h = rec.handle(coord);
+            let mut end_ns = h.now_ns();
+            for (name, d) in report.steps().iter().rev() {
+                let dur_ns = (d.as_nanos() as u64).max(1);
+                h.emit(
+                    name,
+                    (coord as u64) << 48,
+                    end_ns.saturating_sub(dur_ns),
+                    dur_ns,
+                    0,
+                    0,
+                    report.completed,
+                );
+                end_ns = end_ns.saturating_sub(dur_ns);
+            }
         }
         report
     }
@@ -266,24 +300,28 @@ impl FailureDetector {
         match self.ctx.config.protocol {
             crate::config::ProtocolKind::Pandora => {
                 for (coord, ep, detection) in suspects {
-                    let mut r = self.recover_with_retry(|rc| rc.recover_pandora(coord, ep));
-                    r.detection = detection;
-                    reports.push(r);
+                    reports.push(
+                        self.recover_with_retry(coord, detection, |rc| {
+                            rc.recover_pandora(coord, ep)
+                        }),
+                    );
                 }
             }
             crate::config::ProtocolKind::Ford | crate::config::ProtocolKind::Traditional => {
                 let batch: Vec<(u16, EndpointId)> =
                     suspects.iter().map(|&(c, e, _)| (c, e)).collect();
                 // One batched recovery; its detection step is the worst
-                // staleness in the batch.
+                // staleness in the batch, and the flight spans land on
+                // the first suspect's track (the batch shares one run).
                 let detection = suspects.iter().map(|&(_, _, d)| d).max().unwrap_or_default();
-                let mut r = match self.ctx.config.protocol {
+                let lead = batch[0].0;
+                let r = match self.ctx.config.protocol {
                     crate::config::ProtocolKind::Ford => {
-                        self.recover_with_retry(|rc| rc.recover_baseline(&batch))
+                        self.recover_with_retry(lead, detection, |rc| rc.recover_baseline(&batch))
                     }
-                    _ => self.recover_with_retry(|rc| rc.recover_traditional(&batch)),
+                    _ => self
+                        .recover_with_retry(lead, detection, |rc| rc.recover_traditional(&batch)),
                 };
-                r.detection = detection;
                 reports.push(r);
             }
         }

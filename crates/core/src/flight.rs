@@ -1,0 +1,652 @@
+//! The causal flight recorder: always-on, cross-layer span tracing.
+//!
+//! The paper's evaluation is a story told in timelines — where commit
+//! time goes (Figs. 6–14) and what happens second-by-second during
+//! fail-over (Table 2). This module records that story as it happens:
+//! commit-path phases, recovery steps, retry escalations, and individual
+//! one-sided verbs all become spans on one shared time axis (the
+//! fabric's [`FabricClock`]), attributed to a *track* — one per
+//! coordinator, one per memory node, plus a chaos track for injected
+//! faults.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Always-on must cost (almost) nothing.** Every hook first loads
+//!    one atomic ([`FlightRecorder::is_enabled`]); a disabled recorder
+//!    does no clock reads, takes no locks, and allocates nothing. With
+//!    no recorder installed at all, the protocol pays a `None` check.
+//! 2. **Bounded memory.** Each track is a fixed-capacity ring holding
+//!    the newest N spans (the "flight recorder" discipline: you keep
+//!    the last minutes, not the whole flight). Sequence numbers are
+//!    allocated under the ring lock — the same slot-race rule as
+//!    [`crate::trace::Tracer`] — so the retained set is exactly the
+//!    newest spans per track.
+//! 3. **Post-mortem first.** On a self-fence, a recovery trigger, or a
+//!    failed chaos-soak assertion, [`FlightRecorder::auto_dump`] writes
+//!    the retained spans to a JSON file with the chaos seed embedded,
+//!    so a failure in CI replays locally and opens in `ui.perfetto.dev`.
+//!
+//! Export is hand-rolled Chrome trace-event JSON (see
+//! [`FlightRecorder::chrome_trace`]): `"X"` complete events for spans,
+//! `"i"` instants for faults, `"M"` metadata naming the tracks.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rdma_sim::{FabricClock, FaultEvent, VerbEvent, VerbSink};
+
+use crate::obs::json;
+
+/// A quoted JSON string literal.
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+/// Which timeline a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightTrack {
+    /// A transaction coordinator (compute side).
+    Coordinator(u16),
+    /// A memory node (verb spans land here, attributed to the issuing
+    /// endpoint via [`FlightSpan::aux`]).
+    MemoryNode(u16),
+    /// Injected faults and cluster-level chaos (crash storms,
+    /// partitions, false suspicions).
+    Chaos,
+}
+
+impl FlightTrack {
+    /// Stable thread-id for the Chrome trace export. Coordinators sort
+    /// first, then memory nodes, then the chaos track.
+    fn tid(self) -> u64 {
+        match self {
+            FlightTrack::Coordinator(c) => 10 + c as u64,
+            FlightTrack::MemoryNode(n) => 100_000 + n as u64,
+            FlightTrack::Chaos => 1,
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            FlightTrack::Coordinator(c) => format!("coordinator {c}"),
+            FlightTrack::MemoryNode(n) => format!("memory node {n}"),
+            FlightTrack::Chaos => "chaos".to_string(),
+        }
+    }
+}
+
+/// One recorded span (or instant, when `dur_ns == 0`).
+///
+/// `detail` and `aux` are span-kind-specific payloads: verb spans carry
+/// (bytes, endpoint), retry spans carry (attempts, 0), phase and
+/// recovery spans carry (0, 0).
+#[derive(Debug, Clone, Copy)]
+pub struct FlightSpan {
+    pub seq: u64,
+    pub track: FlightTrack,
+    pub name: &'static str,
+    /// Transaction id for commit-path spans, failed coordinator id for
+    /// recovery spans, 0 when unattributed.
+    pub trace_id: u64,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub detail: u64,
+    pub aux: u64,
+    pub ok: bool,
+}
+
+/// Fixed-capacity span ring for one track (newest-N retention).
+struct Ring {
+    track: FlightTrack,
+    inner: Mutex<RingInner>,
+}
+
+struct RingInner {
+    spans: Vec<FlightSpan>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+}
+
+impl Ring {
+    fn new(track: FlightTrack, capacity: usize) -> Ring {
+        Ring {
+            track,
+            inner: Mutex::new(RingInner { spans: Vec::with_capacity(capacity), next: 0 }),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<FlightSpan> {
+        self.inner.lock().spans.clone()
+    }
+}
+
+/// The cluster-wide flight recorder. One per [`crate::SimCluster`];
+/// implements [`rdma_sim::VerbSink`] so the fabric feeds it verb spans
+/// and chaos faults directly.
+pub struct FlightRecorder {
+    clock: FabricClock,
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    capacity: usize,
+    chaos: Ring,
+    nodes: Vec<Ring>,
+    coords: Mutex<Vec<Arc<Ring>>>,
+    chaos_seed: AtomicU64,
+    dump_dir: Mutex<Option<PathBuf>>,
+}
+
+impl FlightRecorder {
+    /// Create a recorder for a fabric with `memory_nodes` nodes, with
+    /// `capacity` retained spans per track. Starts **enabled**: the
+    /// flight recorder is meant to always be on; disable it explicitly
+    /// for overhead-sensitive measurement runs.
+    ///
+    /// If the `PANDORA_FLIGHT_DIR` environment variable is set, it
+    /// becomes the auto-dump directory (CI sets this so failed soak
+    /// runs leave artifacts behind).
+    pub fn new(clock: FabricClock, memory_nodes: u16, capacity: usize) -> Arc<FlightRecorder> {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        let dump_dir = std::env::var_os("PANDORA_FLIGHT_DIR").map(PathBuf::from);
+        Arc::new(FlightRecorder {
+            clock,
+            enabled: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            capacity,
+            chaos: Ring::new(FlightTrack::Chaos, capacity),
+            nodes: (0..memory_nodes)
+                .map(|n| Ring::new(FlightTrack::MemoryNode(n), capacity))
+                .collect(),
+            coords: Mutex::new(Vec::new()),
+            chaos_seed: AtomicU64::new(0),
+            dump_dir: Mutex::new(dump_dir),
+        })
+    }
+
+    /// The shared time axis all spans are stamped with.
+    pub fn clock(&self) -> FabricClock {
+        self.clock
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Embed the chaos seed in every dump, so a post-mortem names the
+    /// exact schedule to replay.
+    pub fn set_chaos_seed(&self, seed: u64) {
+        self.chaos_seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// Direct auto-dumps to `dir` (overrides `PANDORA_FLIGHT_DIR`).
+    pub fn set_dump_dir(&self, dir: impl Into<PathBuf>) {
+        *self.dump_dir.lock() = Some(dir.into());
+    }
+
+    /// Total spans ever recorded, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    fn push(&self, ring: &Ring, mut span: FlightSpan) {
+        let mut inner = ring.inner.lock();
+        // Seq allocated under the ring lock (slot-race rule — see
+        // crate::trace::Tracer::record): racing writers to one ring
+        // must map increasing seqs to increasing slots.
+        span.seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        if inner.spans.len() == self.capacity {
+            let next = inner.next;
+            inner.spans[next] = span;
+            inner.next = (next + 1) % self.capacity;
+        } else {
+            inner.spans.push(span);
+        }
+    }
+
+    /// The ring for coordinator `coord`, created on first use. Rings
+    /// survive coordinator-id recycling: a recycled id continues its
+    /// predecessor's track, which is exactly what a fail-over timeline
+    /// wants to show.
+    fn coord_ring(&self, coord: u16) -> Arc<Ring> {
+        let mut coords = self.coords.lock();
+        if let Some(ring) = coords.iter().find(|r| r.track == FlightTrack::Coordinator(coord)) {
+            return Arc::clone(ring);
+        }
+        let ring = Arc::new(Ring::new(FlightTrack::Coordinator(coord), self.capacity));
+        coords.push(Arc::clone(&ring));
+        ring
+    }
+
+    /// A cheap per-coordinator emission handle (caches the ring so the
+    /// hot path never searches).
+    pub fn handle(self: &Arc<Self>, coord: u16) -> FlightHandle {
+        FlightHandle { rec: Arc::clone(self), ring: self.coord_ring(coord) }
+    }
+
+    /// Record a cluster-level chaos event (crash storm step, partition,
+    /// false suspicion) as an instant on the chaos track.
+    pub fn chaos_instant(&self, name: &'static str, detail: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(
+            &self.chaos,
+            FlightSpan {
+                seq: 0,
+                track: FlightTrack::Chaos,
+                name,
+                trace_id: 0,
+                start_ns: self.clock.now_ns(),
+                dur_ns: 0,
+                detail,
+                aux: 0,
+                ok: true,
+            },
+        );
+    }
+
+    /// All retained spans across every track, in time order.
+    pub fn snapshot(&self) -> Vec<FlightSpan> {
+        let mut spans = self.chaos.snapshot();
+        for ring in &self.nodes {
+            spans.extend(ring.snapshot());
+        }
+        for ring in self.coords.lock().iter() {
+            spans.extend(ring.snapshot());
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.seq));
+        spans
+    }
+
+    /// The retained spans as a Chrome trace-event JSON **array** — the
+    /// format `ui.perfetto.dev` and `chrome://tracing` load directly.
+    /// Spans become `"X"` complete events, instants become `"i"`, and
+    /// every track gets an `"M"` thread-name metadata event.
+    pub fn chrome_trace(&self) -> String {
+        let spans = self.snapshot();
+        let mut out = String::with_capacity(spans.len() * 128 + 1024);
+        out.push('[');
+        let mut first = true;
+        let mut emit = |ev: String, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        emit(
+            r#"{"ph":"M","ts":0,"pid":1,"tid":1,"name":"process_name","args":{"name":"pandora"}}"#
+                .to_string(),
+            &mut out,
+        );
+        let mut tracks: Vec<FlightTrack> = vec![FlightTrack::Chaos];
+        tracks.extend((0..self.nodes.len() as u16).map(FlightTrack::MemoryNode));
+        tracks.extend(self.coords.lock().iter().map(|r| r.track));
+        for t in tracks {
+            emit(
+                format!(
+                    r#"{{"ph":"M","ts":0,"pid":1,"tid":{},"name":"thread_name","args":{{"name":{}}}}}"#,
+                    t.tid(),
+                    jstr(&t.label()),
+                ),
+                &mut out,
+            );
+        }
+        for s in &spans {
+            let ts = s.start_ns as f64 / 1000.0;
+            let args = format!(
+                r#"{{"trace_id":"{:#x}","detail":{},"aux":{},"ok":{}}}"#,
+                s.trace_id, s.detail, s.aux, s.ok
+            );
+            let ev = if s.dur_ns == 0 {
+                format!(
+                    r#"{{"ph":"i","ts":{ts:.3},"pid":1,"tid":{},"name":{},"s":"t","args":{args}}}"#,
+                    s.track.tid(),
+                    jstr(s.name),
+                )
+            } else {
+                format!(
+                    r#"{{"ph":"X","ts":{ts:.3},"dur":{:.3},"pid":1,"tid":{},"name":{},"args":{args}}}"#,
+                    s.dur_ns as f64 / 1000.0,
+                    s.track.tid(),
+                    jstr(s.name),
+                )
+            };
+            emit(ev, &mut out);
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Write the Chrome trace array to `path` (the `--trace-out` file).
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.chrome_trace().as_bytes())
+    }
+
+    /// A post-mortem dump: a JSON object wrapping the Chrome trace
+    /// array with the failure `reason` and the chaos seed. Perfetto
+    /// loads the object form (`traceEvents`) just like the bare array.
+    pub fn dump_json(&self, reason: &str) -> String {
+        format!(
+            "{{\"schema\":\"pandora-flight-v1\",\"reason\":{},\"chaos_seed\":\"{:#x}\",\"recorded\":{},\"traceEvents\":{}}}\n",
+            jstr(reason),
+            self.chaos_seed.load(Ordering::Relaxed),
+            self.recorded(),
+            self.chrome_trace(),
+        )
+    }
+
+    /// Dump the retained spans to `<dump-dir>/flight-<reason>.json`,
+    /// returning the path. No-op (returns `None`) when no dump dir is
+    /// configured. One file per reason, newest wins — a crash storm
+    /// triggering dozens of recoveries must not flood the disk.
+    pub fn auto_dump(&self, reason: &str) -> Option<PathBuf> {
+        let dir = self.dump_dir.lock().clone()?;
+        let safe: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("flight-{safe}.json"));
+        std::fs::create_dir_all(&dir).ok()?;
+        std::fs::write(&path, self.dump_json(reason)).ok()?;
+        Some(path)
+    }
+
+    /// Dump to an explicit path (test harness failure hooks).
+    pub fn dump_to(&self, path: impl AsRef<Path>, reason: &str) -> std::io::Result<PathBuf> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.dump_json(reason))?;
+        Ok(path.to_path_buf())
+    }
+}
+
+impl VerbSink for FlightRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn on_verb(&self, ev: &VerbEvent) {
+        let Some(ring) = self.nodes.get(ev.node as usize) else {
+            return;
+        };
+        self.push(
+            ring,
+            FlightSpan {
+                seq: 0,
+                track: ring.track,
+                name: ev.kind.name(),
+                trace_id: 0,
+                start_ns: ev.start_ns,
+                // Verbs are real work even when the clock can't tell
+                // them apart; clamp to 1ns so they render as spans.
+                dur_ns: ev.end_ns.saturating_sub(ev.start_ns).max(1),
+                detail: ev.bytes,
+                aux: ev.endpoint as u64,
+                ok: ev.ok,
+            },
+        );
+    }
+
+    fn on_fault(&self, ev: &FaultEvent) {
+        self.push(
+            &self.chaos,
+            FlightSpan {
+                seq: 0,
+                track: FlightTrack::Chaos,
+                name: ev.kind.name(),
+                trace_id: 0,
+                start_ns: ev.at_ns,
+                dur_ns: 0,
+                detail: ev.node as u64,
+                aux: ev.endpoint as u64,
+                ok: false,
+            },
+        );
+    }
+}
+
+/// Per-coordinator emission handle: one atomic load when disabled, ring
+/// cached so enabled emission is lock + copy.
+#[derive(Clone)]
+pub struct FlightHandle {
+    rec: Arc<FlightRecorder>,
+    ring: Arc<Ring>,
+}
+
+impl FlightHandle {
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Start timing: `None` (one atomic load) when disabled.
+    #[inline]
+    pub fn begin(&self) -> Option<u64> {
+        if self.rec.is_enabled() {
+            Some(self.rec.clock.now_ns())
+        } else {
+            None
+        }
+    }
+
+    /// Emit a span started at `start_ns` (from [`FlightHandle::begin`])
+    /// and ending now.
+    pub fn end(&self, name: &'static str, trace_id: u64, start_ns: u64, ok: bool) {
+        let end_ns = self.rec.clock.now_ns();
+        self.emit(name, trace_id, start_ns, end_ns.saturating_sub(start_ns).max(1), 0, 0, ok);
+    }
+
+    /// Emit a span whose duration was measured with a local
+    /// [`Instant`] (the phase-timer path shares one clock read with the
+    /// latency histograms).
+    pub fn end_from_instant(&self, name: &'static str, trace_id: u64, t0: Instant, ok: bool) {
+        let dur_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let end_ns = self.rec.clock.now_ns();
+        self.emit(name, trace_id, end_ns.saturating_sub(dur_ns), dur_ns, 0, 0, ok);
+    }
+
+    /// Emit an instant event on this coordinator's track.
+    pub fn instant(&self, name: &'static str, trace_id: u64, detail: u64) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let now = self.rec.clock.now_ns();
+        self.emit(name, trace_id, now, 0, detail, 0, true);
+    }
+
+    /// Raw emission with explicit timing — recovery lays its four steps
+    /// back onto the timeline from the measured step durations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit(
+        &self,
+        name: &'static str,
+        trace_id: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        detail: u64,
+        aux: u64,
+        ok: bool,
+    ) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        self.rec.push(
+            &self.ring,
+            FlightSpan {
+                seq: 0,
+                track: self.ring.track,
+                name,
+                trace_id,
+                start_ns,
+                dur_ns,
+                detail,
+                aux,
+                ok,
+            },
+        );
+    }
+
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.rec
+    }
+
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.rec.clock.now_ns()
+    }
+}
+
+/// Run `f`; if it panics and `rec` is set, dump the flight recorder and
+/// re-panic with the dump path appended to the message. This is how the
+/// chaos soak and litmus harnesses tie assertion failures back to a
+/// replayable trace file.
+pub fn dump_on_panic<T>(
+    rec: Option<&Arc<FlightRecorder>>,
+    label: &str,
+    f: impl FnOnce() -> T + std::panic::UnwindSafe,
+) -> T {
+    match std::panic::catch_unwind(f) {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("non-string panic payload");
+            if let Some(rec) = rec {
+                let path = rec.auto_dump(label).or_else(|| {
+                    // No dump dir configured: fall back to the target
+                    // temp dir so the failure always names a file.
+                    rec.set_dump_dir(std::env::temp_dir());
+                    rec.auto_dump(label)
+                });
+                match path {
+                    Some(p) => panic!("{msg}\nflight recorder dump: {}", p.display()),
+                    None => panic!("{msg}\nflight recorder dump failed (no writable dir)"),
+                }
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(cap: usize) -> Arc<FlightRecorder> {
+        let rec = FlightRecorder::new(FabricClock::new(), 2, cap);
+        // Tests must not inherit a dump dir from the environment.
+        *rec.dump_dir.lock() = None;
+        rec
+    }
+
+    #[test]
+    fn spans_interleave_across_tracks_in_time_order() {
+        let rec = recorder(64);
+        let h0 = rec.handle(0);
+        let h1 = rec.handle(1);
+        let t = h0.begin().expect("enabled");
+        h0.end("txn", 7, t, true);
+        let t = h1.begin().expect("enabled");
+        h1.end("txn", 8, t, false);
+        rec.chaos_instant("storm:crash", 3);
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(spans.iter().any(|s| s.track == FlightTrack::Chaos));
+    }
+
+    #[test]
+    fn ring_retains_newest_per_track() {
+        let rec = recorder(4);
+        let h = rec.handle(0);
+        for i in 0..10u64 {
+            h.instant("tick", i, 0);
+        }
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 4);
+        let ids: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        assert_eq!(rec.recorded(), 10);
+    }
+
+    #[test]
+    fn disabled_recorder_emits_nothing() {
+        let rec = recorder(16);
+        rec.set_enabled(false);
+        let h = rec.handle(0);
+        assert!(h.begin().is_none());
+        h.instant("tick", 1, 0);
+        rec.chaos_instant("storm", 0);
+        assert!(rec.snapshot().is_empty());
+        assert_eq!(rec.recorded(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_carries_required_keys() {
+        let rec = recorder(16);
+        let h = rec.handle(3);
+        let t = h.begin().unwrap();
+        h.end("txn", 42, t, true);
+        h.instant("self-fence", 42, 0);
+        rec.chaos_instant("chaos:partition", 1);
+        let trace = rec.chrome_trace();
+        let parsed = json::parse(&trace).expect("chrome trace parses");
+        let events = parsed.as_array().expect("top level is an array");
+        assert!(events.len() >= 5, "metadata + spans expected");
+        for ev in events {
+            for key in ["ph", "ts", "pid", "tid", "name"] {
+                assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+            }
+        }
+        // Span event present with µs timing and our track id.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                && e.get("tid").and_then(|v| v.as_u64()) == Some(13)
+        }));
+    }
+
+    #[test]
+    fn dump_embeds_reason_and_seed() {
+        let rec = recorder(8);
+        rec.set_chaos_seed(0xD15EA5E);
+        rec.handle(0).instant("tick", 1, 0);
+        let dump = rec.dump_json("soak-conservation");
+        let parsed = json::parse(&dump).expect("dump parses");
+        assert_eq!(parsed.get("reason").and_then(|v| v.as_str()), Some("soak-conservation"));
+        assert_eq!(parsed.get("chaos_seed").and_then(|v| v.as_str()), Some("0xd15ea5e"));
+        assert!(parsed.get("traceEvents").and_then(|v| v.as_array()).is_some());
+    }
+
+    #[test]
+    fn auto_dump_writes_file_with_sanitized_name() {
+        let dir = std::env::temp_dir().join(format!("pandora-flight-test-{}", std::process::id()));
+        let rec = recorder(8);
+        rec.set_dump_dir(&dir);
+        rec.handle(0).instant("tick", 1, 0);
+        let path = rec.auto_dump("self fence @qp").expect("dump dir set");
+        assert!(path.ends_with("flight-self-fence--qp.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(json::parse(&body).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -51,6 +51,7 @@ pub mod context;
 pub mod coordinator;
 pub mod failed_ids;
 pub mod fd;
+pub mod flight;
 pub mod memfail;
 pub mod metrics;
 pub mod obs;
@@ -67,8 +68,11 @@ pub use context::SharedContext;
 pub use coordinator::{CoordStats, Coordinator};
 pub use failed_ids::FailedIds;
 pub use fd::{CoordinatorLease, FailureDetector, FdMonitor, QuorumFd};
+pub use flight::{dump_on_panic, FlightHandle, FlightRecorder, FlightSpan, FlightTrack};
 pub use memfail::{MemFailReport, MemoryFailureHandler};
-pub use metrics::{mean_tps, LatencyHistogram, Sample, Sampler, ThroughputProbe};
+pub use metrics::{
+    mean_tps, LatencyHistogram, Sample, Sampler, ThroughputProbe, TimelinePoint, TimelineSampler,
+};
 pub use obs::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PhaseStats, RecoverySnapshot, TxnPhase,
 };

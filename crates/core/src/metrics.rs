@@ -128,6 +128,102 @@ impl Drop for Sampler {
     }
 }
 
+/// One point of the observability timeline: throughput, abort pressure,
+/// and the recovery gauge sampled together, so a fail-over window shows
+/// up as correlated dips/spikes in a single series (the `timeline`
+/// array of the `pandora-metrics-v1` JSON schema).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Milliseconds since sampling started.
+    pub at_ms: u64,
+    /// Committed transactions during this interval.
+    pub committed_delta: u64,
+    /// Aborted transactions during this interval.
+    pub aborted_delta: u64,
+    /// Committed transactions per second over this interval.
+    pub tps: f64,
+    /// Recoveries in flight at sample time (`SharedContext::recoveries_in_flight`).
+    pub recoveries_in_flight: u64,
+}
+
+/// Background sampler for [`TimelinePoint`]s: snapshots a
+/// [`ThroughputProbe`] plus an arbitrary gauge (in practice the shared
+/// context's in-flight-recoveries counter) every `interval`.
+pub struct TimelineSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<TimelinePoint>>>,
+}
+
+impl TimelineSampler {
+    /// Start sampling; `gauge` is read once per tick.
+    pub fn start(
+        probe: Arc<ThroughputProbe>,
+        gauge: impl Fn() -> u64 + Send + 'static,
+        interval: Duration,
+    ) -> TimelineSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("timeline-sampler".into())
+            .spawn(move || {
+                let t0 = Instant::now();
+                let mut last_c = probe.committed_total();
+                let mut last_a = probe.aborted_total();
+                let mut last_t = t0;
+                let mut out = Vec::new();
+                let mut take = |last_c: &mut u64, last_a: &mut u64, last_t: &mut Instant| {
+                    let now = Instant::now();
+                    let c = probe.committed_total();
+                    let a = probe.aborted_total();
+                    let dt = now.duration_since(*last_t).as_secs_f64().max(1e-9);
+                    out.push(TimelinePoint {
+                        at_ms: now.duration_since(t0).as_millis() as u64,
+                        committed_delta: c - *last_c,
+                        aborted_delta: a - *last_a,
+                        tps: (c - *last_c) as f64 / dt,
+                        recoveries_in_flight: gauge(),
+                    });
+                    *last_c = c;
+                    *last_a = a;
+                    *last_t = now;
+                };
+                loop {
+                    if stop2.load(Ordering::Acquire) {
+                        // Final partial interval (same rule as `Sampler`).
+                        if probe.committed_total() != last_c || probe.aborted_total() != last_a {
+                            take(&mut last_c, &mut last_a, &mut last_t);
+                        }
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                    take(&mut last_c, &mut last_a, &mut last_t);
+                }
+                out
+            })
+            .expect("spawn timeline sampler");
+        TimelineSampler { stop, handle: Some(handle) }
+    }
+
+    /// Stop sampling and collect the series.
+    pub fn finish(mut self) -> Vec<TimelinePoint> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("timeline sampler panicked")
+    }
+}
+
+impl Drop for TimelineSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Lock-free log₂-bucket latency histogram (nanosecond resolution,
 /// buckets 2⁰ ns … 2⁶³ ns). Coarse but allocation-free and shareable
 /// across coordinator threads; good to ~2× resolution per bucket, which

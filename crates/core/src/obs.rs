@@ -20,7 +20,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use rdma_sim::{ChaosModel, ChaosStatsSnapshot, Fabric, OpCountersSnapshot};
 
-use crate::metrics::{LatencyHistogram, ThroughputProbe};
+use crate::metrics::{LatencyHistogram, ThroughputProbe, TimelinePoint};
 use crate::recovery::RecoveryReport;
 use crate::retry::{ResilienceSnapshot, ResilienceStats};
 use crate::txn::AbortReason;
@@ -229,6 +229,7 @@ pub struct MetricsRegistry {
     resilience: Option<Arc<ResilienceStats>>,
     chaos: Option<Arc<ChaosModel>>,
     reports: Mutex<Vec<RecoveryReport>>,
+    timeline: Mutex<Vec<TimelinePoint>>,
 }
 
 impl MetricsRegistry {
@@ -271,6 +272,12 @@ impl MetricsRegistry {
         self.reports.lock().extend_from_slice(reports);
     }
 
+    /// Append timeline points (e.g. from
+    /// [`crate::metrics::TimelineSampler::finish`]).
+    pub fn add_timeline(&self, points: &[TimelinePoint]) {
+        self.timeline.lock().extend_from_slice(points);
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         let (committed, aborted, abort_rate) = match &self.probe {
             Some(p) => (p.committed_total(), p.aborted_total(), p.abort_rate()),
@@ -300,6 +307,7 @@ impl MetricsRegistry {
             resilience: self.resilience.as_ref().map(|r| r.snapshot()),
             chaos: self.chaos.as_ref().map(|c| c.stats()),
             recoveries: self.reports.lock().iter().map(RecoverySnapshot::from_report).collect(),
+            timeline: self.timeline.lock().clone(),
         }
     }
 }
@@ -329,6 +337,9 @@ pub struct MetricsSnapshot {
     pub chaos: Option<ChaosStatsSnapshot>,
     /// One entry per recovery performed during the run.
     pub recoveries: Vec<RecoverySnapshot>,
+    /// Sampled throughput/abort/recovery-gauge series (empty when no
+    /// [`crate::metrics::TimelineSampler`] ran).
+    pub timeline: Vec<TimelinePoint>,
 }
 
 fn ops_json(o: &OpCountersSnapshot) -> String {
@@ -414,6 +425,17 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             s.push_str(&r.to_json());
+        }
+        s.push_str("],\"timeline\":[");
+        for (i, p) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"at_ms\":{},\"committed_delta\":{},\"aborted_delta\":{},\
+                 \"tps\":{:.3},\"recoveries_in_flight\":{}}}",
+                p.at_ms, p.committed_delta, p.aborted_delta, p.tps, p.recoveries_in_flight
+            ));
         }
         s.push_str("]}");
         s
@@ -833,5 +855,88 @@ mod tests {
         let doc = format!("{{\"k\":\"{}\"}}", json::escape(original));
         let v = json::parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn timeline_points_appear_in_json() {
+        let registry = MetricsRegistry::new();
+        registry.add_timeline(&[
+            crate::metrics::TimelinePoint {
+                at_ms: 10,
+                committed_delta: 100,
+                aborted_delta: 3,
+                tps: 10_000.0,
+                recoveries_in_flight: 0,
+            },
+            crate::metrics::TimelinePoint {
+                at_ms: 20,
+                committed_delta: 40,
+                aborted_delta: 9,
+                tps: 4_000.0,
+                recoveries_in_flight: 1,
+            },
+        ]);
+        let text = registry.snapshot().to_json();
+        let v = json::parse(&text).expect("writer output must parse");
+        let tl = v.get("timeline").and_then(|t| t.as_array()).expect("timeline array");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].get("at_ms").and_then(|n| n.as_u64()), Some(10));
+        assert_eq!(tl[0].get("recoveries_in_flight").and_then(|n| n.as_u64()), Some(0));
+        assert_eq!(tl[1].get("committed_delta").and_then(|n| n.as_u64()), Some(40));
+        assert_eq!(tl[1].get("recoveries_in_flight").and_then(|n| n.as_u64()), Some(1));
+        assert!(tl[1].get("tps").and_then(|n| n.as_f64()).unwrap() > 3_999.0);
+    }
+
+    mod escape_props {
+        use super::super::json;
+        use proptest::prelude::*;
+
+        /// Strings biased toward the hazards of JSON embedding: quotes,
+        /// backslashes, every control character, plus non-ASCII scalars
+        /// from the BMP and the astral planes.
+        fn arb_hazard_string() -> impl Strategy<Value = String> {
+            let hazard_char = prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('/'),
+                (0u32..0x20).prop_map(|c| char::from_u32(c).expect("control range")),
+                (0x20u32..0x7f).prop_map(|c| char::from_u32(c).expect("ascii range")),
+                (0xa0u32..0xd800).prop_map(|c| char::from_u32(c).expect("below surrogates")),
+                (0x1_f300u32..0x1_f600).prop_map(|c| char::from_u32(c).expect("astral range")),
+            ];
+            proptest::collection::vec(hazard_char, 0..48)
+                .prop_map(|chars| chars.into_iter().collect())
+        }
+
+        proptest! {
+            #[test]
+            fn escape_round_trips_any_string(s in arb_hazard_string()) {
+                let doc = format!("{{\"k\":\"{}\"}}", json::escape(&s));
+                let parsed = json::parse(&doc);
+                prop_assert!(
+                    parsed.is_ok(),
+                    "escaped output must parse: {:?} (doc: {:?})",
+                    parsed.as_ref().err(),
+                    doc
+                );
+                let v = parsed.unwrap();
+                prop_assert_eq!(v.get("k").and_then(|k| k.as_str()), Some(s.as_str()));
+            }
+
+            #[test]
+            fn escape_output_contains_no_raw_hazards(s in arb_hazard_string()) {
+                let escaped = json::escape(&s);
+                prop_assert!(!escaped.contains('\u{0}'));
+                prop_assert!(escaped.chars().all(|c| c as u32 >= 0x20 || c == '\t'));
+                // An unescaped quote would terminate the enclosing JSON
+                // string: every " must sit behind a backslash.
+                let b: Vec<char> = escaped.chars().collect();
+                for (i, &c) in b.iter().enumerate() {
+                    if c == '"' {
+                        prop_assert!(i > 0 && b[i - 1] == '\\');
+                    }
+                }
+            }
+        }
     }
 }

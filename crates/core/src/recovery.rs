@@ -153,6 +153,10 @@ impl RecoveryCoordinator {
         let r = self.retry_verb(f);
         if matches!(r, Err(rdma_sim::RdmaError::Timeout { .. })) && !self.injector.is_crashed() {
             self.ctx.resilience.note_self_fence();
+            if let Some(rec) = self.ctx.flight() {
+                rec.chaos_instant("self-fence-recovery", 0);
+            }
+            self.ctx.flight_dump("self-fence-recovery");
             self.injector.crash_now();
         }
         r

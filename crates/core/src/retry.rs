@@ -184,19 +184,32 @@ pub fn retry_op<T>(
     policy: &RetryPolicy,
     stats: Option<&ResilienceStats>,
     salt: u64,
-    mut f: impl FnMut() -> RdmaResult<T>,
+    f: impl FnMut() -> RdmaResult<T>,
 ) -> RdmaResult<T> {
+    retry_op_counted(policy, stats, salt, f).0
+}
+
+/// [`retry_op`] that also reports how many attempts were issued
+/// (1 = first try succeeded / failed terminally). The flight recorder
+/// uses the count to emit a "retry" span only when a verb actually
+/// looped, keeping the happy path span-free above the fabric layer.
+pub fn retry_op_counted<T>(
+    policy: &RetryPolicy,
+    stats: Option<&ResilienceStats>,
+    salt: u64,
+    mut f: impl FnMut() -> RdmaResult<T>,
+) -> (RdmaResult<T>, u32) {
     let mut attempt = 0u32;
     loop {
         match f() {
-            Ok(v) => return Ok(v),
+            Ok(v) => return (Ok(v), attempt + 1),
             Err(e @ RdmaError::Timeout { .. }) => {
                 attempt += 1;
                 if attempt >= policy.max_attempts {
                     if let Some(s) = stats {
                         s.retries_exhausted.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Err(e);
+                    return (Err(e), attempt);
                 }
                 if let Some(s) = stats {
                     s.retries.fetch_add(1, Ordering::Relaxed);
@@ -206,7 +219,7 @@ pub fn retry_op<T>(
                     std::thread::sleep(d);
                 }
             }
-            Err(e) => return Err(e),
+            Err(e) => return (Err(e), attempt + 1),
         }
     }
 }

@@ -12,6 +12,7 @@ use crate::config::{BugFlags, ProtocolKind, SystemConfig};
 use crate::context::SharedContext;
 use crate::coordinator::Coordinator;
 use crate::fd::{CoordinatorLease, FailureDetector};
+use crate::flight::FlightRecorder;
 
 /// Builder for a full simulated DKVS: fabric + layout + shared context +
 /// failure detector.
@@ -23,6 +24,7 @@ pub struct SimClusterBuilder {
     config: SystemConfig,
     latency: LatencyModel,
     chaos: Option<ChaosConfig>,
+    flight_capacity: Option<usize>,
     max_coord_slots: u32,
 }
 
@@ -36,6 +38,7 @@ impl SimClusterBuilder {
             config: SystemConfig::new(protocol),
             latency: LatencyModel::zero(),
             chaos: None,
+            flight_capacity: None,
             max_coord_slots: 1024,
         }
     }
@@ -91,6 +94,18 @@ impl SimClusterBuilder {
         self
     }
 
+    /// Install a flight recorder (see [`crate::flight`]) retaining
+    /// `capacity` spans per track. Like chaos, installation happens
+    /// before any queue pair exists, so every protocol-path verb is
+    /// observed; admin paths ([`SimCluster::bulk_load`],
+    /// [`SimCluster::raw_slot`]) are never taped. The recorder starts
+    /// enabled — disable with `cluster.flight.set_enabled(false)` for
+    /// overhead-sensitive measurement runs.
+    pub fn flight(mut self, capacity: usize) -> Self {
+        self.flight_capacity = Some(capacity);
+        self
+    }
+
     pub fn build(self) -> RdmaResult<SimCluster> {
         let fabric = Fabric::new(FabricConfig {
             memory_nodes: self.memory_nodes,
@@ -110,8 +125,19 @@ impl SimClusterBuilder {
         }
         let map = mb.build(&fabric)?;
         let ctx = SharedContext::new(fabric, map, self.config);
+        // The flight recorder, like chaos, must exist before the first
+        // QP (the FD's recovery links are created next) so the whole
+        // cluster shares one taped fabric and one time axis.
+        let flight = self.flight_capacity.map(|cap| {
+            let rec = FlightRecorder::new(ctx.fabric.clock(), ctx.fabric.num_nodes(), cap);
+            if let Some(chaos) = &chaos {
+                rec.set_chaos_seed(chaos.config().seed);
+            }
+            ctx.install_flight(Arc::clone(&rec));
+            rec
+        });
         let fd = FailureDetector::new(Arc::clone(&ctx))?;
-        Ok(SimCluster { ctx, fd, chaos })
+        Ok(SimCluster { ctx, fd, chaos, flight })
     }
 }
 
@@ -121,6 +147,8 @@ pub struct SimCluster {
     pub fd: Arc<FailureDetector>,
     /// The installed chaos model, when the builder requested one.
     pub chaos: Option<Arc<ChaosModel>>,
+    /// The installed flight recorder, when the builder requested one.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl SimCluster {

@@ -8,10 +8,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 use dkvs::TableId;
 use parking_lot::Mutex;
+use rdma_sim::FabricClock;
 
 /// One protocol event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,12 +31,16 @@ pub enum TxnEvent {
     Crashed { txn_id: u64 },
 }
 
-/// A timestamped, coordinator-attributed event.
+/// A timestamped, coordinator-attributed event. The timestamp is a
+/// nanosecond offset from the tracer's clock epoch (the fabric epoch
+/// when built with [`Tracer::with_clock`]), so records from different
+/// coordinators — and from the flight recorder — serialize and
+/// interleave on one shared time axis.
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
     pub coord: u16,
     pub seq: u64,
-    pub at: Instant,
+    pub at_ns: u64,
     pub event: TxnEvent,
 }
 
@@ -43,18 +48,33 @@ pub struct TraceRecord {
 /// append to one tracer; `seq` totally orders records across them.
 pub struct Tracer {
     capacity: usize,
+    clock: FabricClock,
     seq: AtomicU64,
     ring: Mutex<Vec<TraceRecord>>,
 }
 
 impl Tracer {
+    /// A tracer on its own epoch (timestamps are offsets from this
+    /// call). Capacity is per-tracer and caller-chosen: the litmus
+    /// harness sizes it per iteration, the soak harness larger.
     pub fn new(capacity: usize) -> Arc<Tracer> {
+        Tracer::with_clock(capacity, FabricClock::new())
+    }
+
+    /// A tracer stamping records with a shared fabric clock, so its
+    /// records line up with flight-recorder spans from the same fabric.
+    pub fn with_clock(capacity: usize, clock: FabricClock) -> Arc<Tracer> {
         assert!(capacity > 0);
         Arc::new(Tracer {
             capacity,
+            clock,
             seq: AtomicU64::new(0),
             ring: Mutex::new(Vec::with_capacity(capacity)),
         })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Append an event for `coord`.
@@ -65,7 +85,7 @@ impl Tracer {
         // `seq % capacity` slot can land out of order, letting the older
         // record overwrite the newer one.
         let seq = self.seq.fetch_add(1, Ordering::AcqRel);
-        let rec = TraceRecord { coord, seq, at: Instant::now(), event };
+        let rec = TraceRecord { coord, seq, at_ns: self.clock.now_ns(), event };
         if ring.len() == self.capacity {
             let idx = (seq % self.capacity as u64) as usize;
             ring[idx] = rec;
@@ -90,9 +110,9 @@ impl Tracer {
     pub fn dump(&self) -> String {
         let records = self.snapshot();
         let mut out = String::with_capacity(records.len() * 48);
-        let t0 = records.first().map(|r| r.at);
+        let t0 = records.first().map(|r| r.at_ns).unwrap_or(0);
         for r in &records {
-            let dt = t0.map(|t| r.at.duration_since(t)).unwrap_or_default();
+            let dt = Duration::from_nanos(r.at_ns.saturating_sub(t0));
             out.push_str(&format!(
                 "[{:>10?}] seq={:<6} coord={:<4} {:?}\n",
                 dt, r.seq, r.coord, r.event
@@ -149,6 +169,52 @@ mod tests {
         assert!(dump.contains("stolen: true"));
         assert!(dump.contains("LockConflict"));
         assert_eq!(dump.lines().count(), 2);
+    }
+
+    #[test]
+    fn wraparound_keeps_seq_contiguous_without_duplicates_or_gaps() {
+        // Regression for ring capacity semantics: across any number of
+        // overwrite wraps — including counts that are not a multiple of
+        // the capacity — the retained set must be a contiguous,
+        // duplicate-free seq window ending at the newest record, and
+        // every slot must hold exactly one live record.
+        for capacity in [1usize, 3, 4, 7] {
+            for total in [1u64, 3, 4, 5, 9, 17, 100] {
+                let t = Tracer::new(capacity);
+                for i in 0..total {
+                    t.record(0, TxnEvent::Begin { txn_id: i });
+                }
+                assert_eq!(t.recorded(), total);
+                let snap = t.snapshot();
+                assert_eq!(snap.len(), capacity.min(total as usize), "no lost/extra slots");
+                let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+                let lo = total.saturating_sub(capacity as u64);
+                assert_eq!(
+                    seqs,
+                    (lo..total).collect::<Vec<u64>>(),
+                    "cap={capacity} total={total}: retained seqs must be the newest contiguous window"
+                );
+                // seq must agree with the event payload (no slot holds a
+                // stale body under a fresh seq).
+                for r in &snap {
+                    match r.event {
+                        TxnEvent::Begin { txn_id } => assert_eq!(txn_id, r.seq),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_offsets() {
+        let t = Tracer::new(8);
+        t.record(0, TxnEvent::Begin { txn_id: 0 });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.record(0, TxnEvent::Committed { txn_id: 0 });
+        let snap = t.snapshot();
+        assert!(snap[1].at_ns > snap[0].at_ns);
+        assert!(snap[1].at_ns - snap[0].at_ns >= 1_000_000, "2ms sleep must show up in ns offsets");
     }
 
     #[test]

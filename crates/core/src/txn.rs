@@ -226,6 +226,19 @@ impl<'c> Txn<'c> {
         v
     }
 
+    /// Emit the whole-transaction flight span (begin → commit/abort
+    /// ack). Consumes `started`, so the span fires exactly once no
+    /// matter which exit path (commit, abort, drop) runs last.
+    fn emit_txn_span(&mut self, ok: bool) {
+        if let Some(f) = &self.co.flight {
+            if f.enabled() {
+                if let Some(t0) = self.started.take() {
+                    f.end_from_instant("txn", self.txn_id, t0, ok);
+                }
+            }
+        }
+    }
+
     /// Map an exhausted-transient fabric error (`RdmaError::Timeout`
     /// after the retry budget ran out) into a clean [`NetworkTimeout`]
     /// abort — locks released, logs truncated, abort-ack delivered —
@@ -1072,6 +1085,7 @@ impl<'c> Txn<'c> {
             }
             Err(TxnError::Aborted(_)) => {}
         }
+        self.emit_txn_span(result.is_ok());
         self.done = true;
         self.co.ctx.pause.exit_txn(&self.co.gate);
         result
@@ -1201,6 +1215,7 @@ impl<'c> Txn<'c> {
                         // undo log — roll forward iff every live replica
                         // advanced, roll back otherwise.
                         self.co.ctx.resilience.note_self_fence();
+                        self.co.flight_fence("self-fence-apply");
                         self.co.injector().crash_now();
                         return Err(TxnError::Crashed);
                     }
@@ -1218,6 +1233,7 @@ impl<'c> Txn<'c> {
                     // Unflushed NVM mid-apply has the same shape as an
                     // unfinished apply: fail-stop and let recovery redo.
                     self.co.ctx.resilience.note_self_fence();
+                    self.co.flight_fence("self-fence-flush");
                     self.co.injector().crash_now();
                     return Err(TxnError::Crashed);
                 }
@@ -1239,6 +1255,7 @@ impl<'c> Txn<'c> {
             Ok(_) => {}
             Err(RdmaError::Timeout { .. }) => {
                 self.co.ctx.resilience.note_self_fence();
+                self.co.flight_fence("self-fence-unlock");
                 self.co.injector().crash_now();
             }
             // Crashed / AccessRevoked / NodeDead: recovery (or the dead
@@ -1288,6 +1305,7 @@ impl<'c> Txn<'c> {
         }
         if fence {
             self.co.ctx.resilience.note_self_fence();
+            self.co.flight_fence("self-fence-truncate");
             self.co.injector().crash_now();
         }
         safe
@@ -1338,6 +1356,7 @@ impl<'c> Txn<'c> {
         if self.co.injector().is_crashed() {
             self.co.trace(crate::trace::TxnEvent::Crashed { txn_id: self.txn_id });
             self.co.note_crashed();
+            self.emit_txn_span(false);
             self.done = true;
             self.co.ctx.pause.exit_txn(&self.co.gate);
             return TxnError::Crashed;
@@ -1349,6 +1368,7 @@ impl<'c> Txn<'c> {
         if let Some(p) = &self.co.probe {
             p.abort();
         }
+        self.emit_txn_span(false);
         self.done = true;
         self.co.ctx.pause.exit_txn(&self.co.gate);
         TxnError::Aborted(reason)

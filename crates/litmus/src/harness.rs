@@ -42,6 +42,10 @@ pub struct LitmusConfig {
     /// (hundreds of microseconds) force rich thread interleavings on
     /// small hosts, widening the schedule space the harness explores.
     pub latency: rdma_sim::LatencyModel,
+    /// Capacity of the shared protocol-event tracer each iteration
+    /// attaches (the "rich trace" dumped on a violation). Deep schedules
+    /// with many retries may need more than the default 4096.
+    pub trace_capacity: usize,
 }
 
 impl LitmusConfig {
@@ -54,6 +58,7 @@ impl LitmusConfig {
             seed: 0xA11CE,
             max_retries: 20,
             latency: rdma_sim::LatencyModel::zero(),
+            trace_capacity: 4096,
         }
     }
 }
@@ -216,8 +221,10 @@ pub fn run_random(test: &LitmusTest, config: &LitmusConfig) -> LitmusOutcome {
         };
 
         // One shared tracer: on a violation we dump the interleaved
-        // protocol events of every participant.
-        let tracer = pandora::Tracer::new(4096);
+        // protocol events of every participant. Stamping with the
+        // fabric clock puts trace records and flight-recorder spans on
+        // one time axis when both are attached.
+        let tracer = pandora::Tracer::with_clock(config.trace_capacity, cluster.ctx.fabric.clock());
         let mut handles = Vec::new();
         let mut crashed_coords = Vec::new();
         for (i, program) in test.txns.iter().enumerate() {
@@ -261,8 +268,16 @@ pub fn run_random(test: &LitmusTest, config: &LitmusConfig) -> LitmusOutcome {
 
         let state = observe(&cluster, &test.observed);
         if let Err(v) = (test.check)(&state) {
+            // When the cluster carries a flight recorder with a dump
+            // directory, the violation also leaves a span-level
+            // post-mortem file and the report names it.
+            let dump = cluster
+                .ctx
+                .flight_dump("litmus-violation")
+                .map(|p| format!("\n--- flight dump: {} ---", p.display()))
+                .unwrap_or_default();
             out.violations.push(format!(
-                "{}: iteration {iter} (crash txn {crash_txn:?} at op {crash_at_op} {crash_mode:?}): {v}\n--- protocol trace ---\n{}",
+                "{}: iteration {iter} (crash txn {crash_txn:?} at op {crash_at_op} {crash_mode:?}): {v}{dump}\n--- protocol trace ---\n{}",
                 test.name,
                 tracer.dump()
             ));

@@ -6,6 +6,7 @@ use parking_lot::RwLock;
 use crate::chaos::ChaosModel;
 use crate::error::{RdmaError, RdmaResult};
 use crate::fault::FaultInjector;
+use crate::flight::{FabricClock, FlightTap, VerbSink};
 use crate::latency::LatencyModel;
 use crate::mem::{MemoryNode, MAX_ENDPOINTS};
 use crate::qp::{OpCounters, OpCountersSnapshot, QueuePair};
@@ -52,6 +53,13 @@ pub struct Fabric {
     /// handle and verbs pay zero overhead. Installed before the QPs that
     /// should see it are created.
     chaos: RwLock<Option<Arc<ChaosModel>>>,
+    /// The fabric-wide monotonic clock every trace timestamp derives
+    /// from (ns offsets from fabric creation).
+    clock: FabricClock,
+    /// Optional verb sink (flight recorder); same install discipline as
+    /// chaos: QPs created after installation carry a tap, `qp_admin`
+    /// QPs never do.
+    flight: RwLock<Option<Arc<dyn VerbSink>>>,
 }
 
 impl Fabric {
@@ -73,7 +81,24 @@ impl Fabric {
             next_endpoint: AtomicU32::new(0),
             latency: config.latency,
             chaos: RwLock::new(None),
+            clock: FabricClock::new(),
+            flight: RwLock::new(None),
         })
+    }
+
+    /// The fabric's epoch clock. All flight-recorder timestamps are ns
+    /// offsets on this clock, so spans from different threads interleave
+    /// on one time axis.
+    pub fn clock(&self) -> FabricClock {
+        self.clock
+    }
+
+    /// Install a verb sink (flight recorder). Queue pairs created
+    /// *after* this call carry a per-link tap; pre-existing QPs and
+    /// `qp_admin` QPs are unaffected — admin traffic (bulk loads,
+    /// raw-slot audits) stays out of traces by construction.
+    pub fn install_flight(&self, sink: Arc<dyn VerbSink>) {
+        *self.flight.write() = Some(sink);
     }
 
     /// Install a chaos model. Queue pairs created *after* this call pick
@@ -133,7 +158,12 @@ impl Fabric {
         let node = Arc::clone(self.node(node)?);
         let counters = Arc::clone(&self.node_counters[node.id().0 as usize]);
         let chaos = self.chaos.read().as_ref().map(|m| m.link(endpoint.0, node.id().0));
-        Ok(QueuePair::new(node, endpoint, injector, latency, counters, chaos))
+        let flight = self
+            .flight
+            .read()
+            .as_ref()
+            .map(|s| FlightTap::new(Arc::clone(s), self.clock, endpoint.0, node.id().0));
+        Ok(QueuePair::new(node, endpoint, injector, latency, counters, chaos, flight))
     }
 
     /// Administrative queue pair: zero latency and **no chaos**, for
@@ -147,7 +177,7 @@ impl Fabric {
     ) -> RdmaResult<QueuePair> {
         let node = Arc::clone(self.node(node)?);
         let counters = Arc::clone(&self.node_counters[node.id().0 as usize]);
-        Ok(QueuePair::new(node, endpoint, injector, LatencyModel::zero(), counters, None))
+        Ok(QueuePair::new(node, endpoint, injector, LatencyModel::zero(), counters, None, None))
     }
 
     /// Aggregate verb counters for all traffic that ever targeted `node`,

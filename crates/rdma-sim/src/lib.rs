@@ -49,6 +49,7 @@ mod chaos;
 mod error;
 mod fabric;
 mod fault;
+mod flight;
 mod latency;
 mod mem;
 mod qp;
@@ -58,6 +59,7 @@ pub use chaos::{ChaosConfig, ChaosModel, ChaosStatsSnapshot, ChaosVerdict};
 pub use error::{RdmaError, RdmaResult, TimeoutApplied};
 pub use fabric::{EndpointId, Fabric, FabricConfig, NodeId};
 pub use fault::{CrashMode, CrashPlan, FaultInjector};
+pub use flight::{FabricClock, FaultEvent, FaultKind, VerbEvent, VerbKind, VerbSink};
 pub use latency::LatencyModel;
 pub use mem::MemoryNode;
 pub use qp::{OpCounters, OpCountersSnapshot, QueuePair};

@@ -5,6 +5,7 @@ use crate::chaos::{ChaosLink, ChaosVerdict};
 use crate::error::{RdmaError, RdmaResult, TimeoutApplied};
 use crate::fabric::EndpointId;
 use crate::fault::{CrashAction, FaultInjector};
+use crate::flight::{FaultKind, FlightTap, VerbKind};
 use crate::latency::LatencyModel;
 use crate::mem::MemoryNode;
 
@@ -92,6 +93,9 @@ pub struct QueuePair {
     node_counters: Arc<OpCounters>,
     /// Per-link chaos handle; `None` (the default) costs nothing.
     chaos: Option<ChaosLink>,
+    /// Per-link flight-recorder tap; `None` (the default) costs nothing,
+    /// a disabled sink costs one atomic load per verb.
+    flight: Option<FlightTap>,
 }
 
 impl QueuePair {
@@ -102,6 +106,7 @@ impl QueuePair {
         latency: LatencyModel,
         node_counters: Arc<OpCounters>,
         chaos: Option<ChaosLink>,
+        flight: Option<FlightTap>,
     ) -> Self {
         QueuePair {
             node,
@@ -111,6 +116,7 @@ impl QueuePair {
             counters: Arc::new(OpCounters::default()),
             node_counters,
             chaos,
+            flight,
         }
     }
 
@@ -169,14 +175,16 @@ impl QueuePair {
     }
 
     /// Convert a drop verdict into its timeout error before the verb
-    /// touches memory.
+    /// touches memory, reporting the injected fault to the flight tap.
     #[inline]
-    fn chaos_pre(verdict: ChaosVerdict) -> RdmaResult<()> {
+    fn chaos_pre(&self, verdict: ChaosVerdict) -> RdmaResult<()> {
         match verdict {
             ChaosVerdict::DropNotApplied => {
+                self.note_fault(FaultKind::TimeoutNotApplied);
                 Err(RdmaError::Timeout { applied: TimeoutApplied::NotApplied })
             }
             ChaosVerdict::DropAmbiguous => {
+                self.note_fault(FaultKind::TimeoutAmbiguous);
                 Err(RdmaError::Timeout { applied: TimeoutApplied::Ambiguous })
             }
             _ => Ok(()),
@@ -186,26 +194,61 @@ impl QueuePair {
     /// After the verb executed: a lost completion surfaces as an
     /// ambiguous timeout even though the effect is in memory.
     #[inline]
-    fn chaos_post(verdict: ChaosVerdict) -> RdmaResult<()> {
+    fn chaos_post(&self, verdict: ChaosVerdict) -> RdmaResult<()> {
         if verdict == ChaosVerdict::LandAmbiguous {
+            self.note_fault(FaultKind::LandedAmbiguous);
             Err(RdmaError::Timeout { applied: TimeoutApplied::Ambiguous })
         } else {
             Ok(())
         }
     }
 
+    /// Report an injected chaos fault (already on the cold path).
+    #[inline]
+    fn note_fault(&self, kind: FaultKind) {
+        if let Some(tap) = &self.flight {
+            tap.fault(kind);
+        }
+    }
+
+    /// Run `f` as a timed flight span of `kind`. Without a tap this is a
+    /// direct call; with a tap whose sink is disabled it costs one atomic
+    /// load; only an enabled sink pays the clock reads and dispatch.
+    #[inline]
+    fn spanned<T>(
+        &self,
+        kind: VerbKind,
+        bytes: u64,
+        f: impl FnOnce() -> RdmaResult<T>,
+    ) -> RdmaResult<T> {
+        match self.flight.as_ref().and_then(FlightTap::begin) {
+            None => f(),
+            Some(start) => {
+                let r = f();
+                let tap = self.flight.as_ref().expect("begin() returned Some");
+                tap.finish(kind, bytes, start, r.is_ok());
+                r
+            }
+        }
+    }
+
     /// One-sided READ of `buf.len()` bytes at `addr`.
     #[inline]
     pub fn read(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
+        let bytes = buf.len() as u64;
+        self.spanned(VerbKind::Read, bytes, || self.read_verb(addr, buf))
+    }
+
+    fn read_verb(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
         let (action, verdict) = self.gate(buf.len())?;
         if action == CrashAction::TearWrite {
             // MidWrite on a READ: nothing reaches memory; plain crash.
             return Err(RdmaError::Crashed);
         }
-        Self::chaos_pre(verdict)?;
+        self.chaos_pre(verdict)?;
         self.node.copy_out(addr, buf)?;
         self.count_read(buf.len() as u64);
-        Self::chaos_post(verdict)?;
+        self.chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -223,6 +266,10 @@ impl QueuePair {
     /// One-sided WRITE of `data` at `addr`.
     #[inline]
     pub fn write(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
+        self.spanned(VerbKind::Write, data.len() as u64, || self.write_verb(addr, data))
+    }
+
+    fn write_verb(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
         let (action, verdict) = self.gate(data.len())?;
         if action == CrashAction::TearWrite {
             // Torn write: only the first (word-aligned) half of the
@@ -233,10 +280,10 @@ impl QueuePair {
             }
             return Err(RdmaError::Crashed);
         }
-        Self::chaos_pre(verdict)?;
+        self.chaos_pre(verdict)?;
         self.node.copy_in_revocable(addr, data, self.endpoint.0)?;
         self.count_write(data.len() as u64);
-        Self::chaos_post(verdict)?;
+        self.chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -259,6 +306,10 @@ impl QueuePair {
     /// half of the entry it tears in).
     pub fn write_batch(&self, writes: &[(u64, &[u8])]) -> RdmaResult<()> {
         let total: usize = writes.iter().map(|(_, d)| d.len()).sum();
+        self.spanned(VerbKind::Write, total as u64, || self.write_batch_verb(writes, total))
+    }
+
+    fn write_batch_verb(&self, writes: &[(u64, &[u8])], total: usize) -> RdmaResult<()> {
         let (action, verdict) = self.gate(total)?;
         if action == CrashAction::TearWrite {
             let keep = writes.len() / 2;
@@ -275,12 +326,12 @@ impl QueuePair {
         }
         // A doorbell chain drops or lands atomically here: either the
         // whole chain was posted before the fault or none of it was.
-        Self::chaos_pre(verdict)?;
+        self.chaos_pre(verdict)?;
         for (addr, data) in writes {
             self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
         }
         self.count_write(total as u64);
-        Self::chaos_post(verdict)?;
+        self.chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -292,18 +343,22 @@ impl QueuePair {
     /// `expected` to learn whether the swap happened.
     #[inline]
     pub fn cas(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<u64> {
+        self.spanned(VerbKind::Cas, 8, || self.cas_verb(addr, expected, new))
+    }
+
+    fn cas_verb(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<u64> {
         let (action, verdict) = self.gate(8)?;
         if action == CrashAction::TearWrite {
             return Err(RdmaError::Crashed); // atomics cannot tear
         }
-        Self::chaos_pre(verdict)?;
+        self.chaos_pre(verdict)?;
         let prev = self.node.cas(addr, expected, new)?;
         self.counters.cas.fetch_add(1, Ordering::Relaxed);
         self.node_counters.cas.fetch_add(1, Ordering::Relaxed);
         // An ambiguous CAS is the nastiest RDMA failure: the swap may
         // have happened, but the previous value never arrives. Callers
         // must re-read the word to find out (see core's `cas_resolved`).
-        Self::chaos_post(verdict)?;
+        self.chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -318,16 +373,20 @@ impl QueuePair {
     /// the flush tax.
     #[inline]
     pub fn flush(&self, addr: u64) -> RdmaResult<()> {
+        self.spanned(VerbKind::Flush, 8, || self.flush_verb(addr))
+    }
+
+    fn flush_verb(&self, addr: u64) -> RdmaResult<()> {
         let (action, verdict) = self.gate(8)?;
         if action == CrashAction::TearWrite {
             return Err(RdmaError::Crashed);
         }
-        Self::chaos_pre(verdict)?;
+        self.chaos_pre(verdict)?;
         // The read-back that implements the flush.
         self.node.copy_out(addr & !7, &mut [0u8; 8])?;
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
         self.node_counters.flushes.fetch_add(1, Ordering::Relaxed);
-        Self::chaos_post(verdict)?;
+        self.chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }
@@ -338,15 +397,19 @@ impl QueuePair {
     /// previous value.
     #[inline]
     pub fn faa(&self, addr: u64, add: u64) -> RdmaResult<u64> {
+        self.spanned(VerbKind::Faa, 8, || self.faa_verb(addr, add))
+    }
+
+    fn faa_verb(&self, addr: u64, add: u64) -> RdmaResult<u64> {
         let (action, verdict) = self.gate(8)?;
         if action == CrashAction::TearWrite {
             return Err(RdmaError::Crashed); // atomics cannot tear
         }
-        Self::chaos_pre(verdict)?;
+        self.chaos_pre(verdict)?;
         let prev = self.node.faa(addr, add)?;
         self.counters.faa.fetch_add(1, Ordering::Relaxed);
         self.node_counters.faa.fetch_add(1, Ordering::Relaxed);
-        Self::chaos_post(verdict)?;
+        self.chaos_post(verdict)?;
         if action == CrashAction::CrashAfter {
             return Err(RdmaError::Crashed);
         }

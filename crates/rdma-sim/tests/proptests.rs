@@ -33,7 +33,7 @@ proptest! {
 
     #[test]
     fn unaligned_access_always_rejected(addr in any::<u64>(), len_words in 1usize..4) {
-        prop_assume!(addr % 8 != 0);
+        prop_assume!(!addr.is_multiple_of(8));
         let f = fabric();
         let qp = f.qp(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
         let mut buf = vec![0u8; len_words * 8];

@@ -209,6 +209,19 @@ impl<W: Workload> WorkloadRunner<W> {
         registry
     }
 
+    /// Start a timeline sampler wired to this runner's probe and the
+    /// cluster's in-flight-recoveries gauge. Feed its `finish()` output
+    /// to [`MetricsRegistry::add_timeline`] so the metrics JSON carries
+    /// the fail-over availability curve.
+    pub fn timeline_sampler(&self, interval: Duration) -> pandora::TimelineSampler {
+        let ctx = Arc::clone(&self.cluster.ctx);
+        pandora::TimelineSampler::start(
+            Arc::clone(&self.probe),
+            move || ctx.recoveries_in_flight.load(Ordering::Acquire),
+            interval,
+        )
+    }
+
     pub fn cluster(&self) -> &Arc<SimCluster> {
         &self.cluster
     }

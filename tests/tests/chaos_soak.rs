@@ -65,7 +65,7 @@ impl Workload for TransferBank {
     }
 }
 
-fn soak_cluster(chaos: Option<ChaosConfig>) -> Arc<SimCluster> {
+fn soak_cluster(chaos: Option<ChaosConfig>, flight: bool) -> Arc<SimCluster> {
     let mut b = SimCluster::builder(ProtocolKind::Pandora)
         .memory_nodes(3)
         .replication(2)
@@ -78,15 +78,30 @@ fn soak_cluster(chaos: Option<ChaosConfig>) -> Arc<SimCluster> {
     if let Some(cfg) = chaos {
         b = b.chaos(cfg);
     }
+    if flight {
+        b = b.flight(8192);
+    }
     let cluster = Arc::new(b.build().unwrap());
     TransferBank.load(&cluster);
     cluster
 }
 
 /// One soak run: load, enable chaos, run a fault storm over a worker
-/// fleet, quiesce, audit.
+/// fleet, quiesce, audit. An assertion failure dumps the flight
+/// recorder and re-panics with the dump path appended, so the report
+/// names both the seed to replay and the span-level post-mortem file.
 fn soak(seed: u64) {
-    let cluster = soak_cluster(Some(ChaosConfig::heavy(seed)));
+    let cluster = soak_cluster(Some(ChaosConfig::heavy(seed)), true);
+    let flight = cluster.flight.clone().expect("flight recorder installed");
+    flight.set_chaos_seed(seed);
+    pandora::dump_on_panic(
+        Some(&flight),
+        "chaos-soak",
+        std::panic::AssertUnwindSafe(|| storm_and_audit(&cluster, seed)),
+    );
+}
+
+fn storm_and_audit(cluster: &Arc<SimCluster>, seed: u64) {
     let chaos = cluster.chaos.clone().expect("chaos installed");
     chaos.set_enabled(true);
 
@@ -95,7 +110,7 @@ fn soak(seed: u64) {
     // latter are the organic false suspicions this layer must survive.
     let monitor = cluster.fd.start_monitor();
     let mut runner = WorkloadRunner::spawn(
-        Arc::clone(&cluster),
+        Arc::clone(cluster),
         Arc::new(TransferBank),
         RunnerConfig { coordinators: 4, seed, phase_metrics: false },
     );
@@ -243,8 +258,8 @@ fn disabled_chaos_is_invisible() {
         (cluster.ctx.fabric.total_counters(), finals)
     };
 
-    let plain = run(soak_cluster(None));
-    let armed = run(soak_cluster(Some(ChaosConfig::heavy(7))));
+    let plain = run(soak_cluster(None, false));
+    let armed = run(soak_cluster(Some(ChaosConfig::heavy(7)), false));
     assert_eq!(plain.0, armed.0, "verb counts diverge with chaos installed but disabled");
     assert_eq!(plain.1, armed.1, "final state diverges with chaos installed but disabled");
 }

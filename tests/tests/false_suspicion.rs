@@ -24,10 +24,21 @@ fn live_coordinator_survives_false_suspicion() {
         .memory_nodes(2)
         .replication(2)
         .table(TableDef::sized_for(0, "t", 16, 64))
+        // Flight recorder rides along: an assertion failure names a
+        // span-level dump of the suspicion/steal timeline.
+        .flight(1024)
         .build()
         .unwrap();
     cluster.bulk_load(TABLE, [(0u64, value(10)), (1u64, value(20))]).unwrap();
+    let flight = cluster.flight.clone().expect("flight recorder installed");
+    pandora::dump_on_panic(
+        Some(&flight),
+        "false-suspicion",
+        std::panic::AssertUnwindSafe(|| survive_false_suspicion(&cluster)),
+    );
+}
 
+fn survive_false_suspicion(cluster: &SimCluster) {
     let (mut co, lease) = cluster.coordinator().unwrap();
     let old_id = lease.coord_id;
 
