@@ -170,6 +170,8 @@ fn main() {
         } else {
             QuorumFd::new(Arc::clone(&cluster.fd), quorum)
                 .detect_and_recover(coord, Duration::from_millis(5))
+                .report()
+                .cloned()
         };
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let detail = report

@@ -16,7 +16,10 @@ use std::time::{Duration, Instant};
 
 use args::{Args, FaultSpec, ParseError};
 use pandora::config::PersistenceMode;
-use pandora::{BugFlags, MemoryFailureHandler, ProtocolKind, Sampler, SimCluster, SystemConfig};
+use pandora::{
+    BugFlags, MemoryFailureHandler, ProtocolKind, RecoveryCrashPlan, Sampler, SimCluster,
+    SystemConfig,
+};
 use pandora_workloads::{
     with_tables, MicroBench, RunnerConfig, SmallBank, Tatp, Tpcc, Workload, WorkloadRunner, Ycsb,
     YcsbMix,
@@ -44,6 +47,16 @@ RUN FLAGS
   --warmup SECS         excluded from the mean         (default 1)
   --fault SPEC          compute:<frac>@<secs> | memory:<node>@<secs>
   --respawn             respawn crashed coordinators after recovery
+  --kill-recoverer-at STEP[:VERB]
+                        with --fault compute: kill the recovering FD replica
+                        once recovery step STEP (detection|link-termination|
+                        log-recovery|stray-notification) has issued VERB
+                        verbs (default 0 = at step entry); a surviving
+                        replica takes over and re-runs recovery from scratch
+  --mem-fail-during-recovery N
+                        with --kill-recoverer-at: kill memory node N inside
+                        the takeover window (compound failure; the re-run
+                        recovers against the post-promotion placement)
   --latency-us N        per-verb RTT to inject         (default 0)
   --chaos-seed N        enable seeded transient-fault injection (verb
                         timeouts, link flaps, delay spikes); a given
@@ -254,6 +267,40 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
         }
     }
 
+    // Nested-failure flags: kill the recoverer mid-recovery, optionally
+    // compounded with a memory-node death inside the takeover window.
+    let kill_recoverer = args
+        .get("kill-recoverer-at")
+        .map(RecoveryCrashPlan::parse)
+        .transpose()
+        .map_err(ParseError)?;
+    let mem_fail_during = args
+        .get("mem-fail-during-recovery")
+        .map(|s| {
+            s.parse::<u16>()
+                .map_err(|_| ParseError(format!("bad --mem-fail-during-recovery node {s:?}")))
+        })
+        .transpose()?;
+    if kill_recoverer.is_some() && !matches!(fault, Some(FaultSpec::Compute { .. })) {
+        return Err(ParseError(
+            "--kill-recoverer-at requires --fault compute:<frac>@<secs> (nothing recovers otherwise)"
+                .into(),
+        ));
+    }
+    if mem_fail_during.is_some() && kill_recoverer.is_none() {
+        return Err(ParseError(
+            "--mem-fail-during-recovery requires --kill-recoverer-at (the node dies inside the takeover window)"
+                .into(),
+        ));
+    }
+    if let Some(node) = mem_fail_during {
+        if node >= 3 {
+            return Err(ParseError(format!(
+                "--mem-fail-during-recovery targets node {node}, but the cluster has nodes 0..2"
+            )));
+        }
+    }
+
     let chaos_cfg = parse_chaos(args)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     // The flight recorder rides along whenever a trace is requested (or
@@ -308,14 +355,23 @@ fn cmd_run(args: &Args) -> Result<(), ParseError> {
                 let n = ((coordinators as f64) * fraction).round() as usize;
                 let victims = runner.crash_first(n);
                 println!("t={:?}: crashed {} coordinators", t0.elapsed(), victims.len());
+                if let Some(plan) = kill_recoverer {
+                    cluster.fd.arm_recovery_crash(plan);
+                    println!("  armed recoverer kill at {}:{}", plan.step.name(), plan.at_verb);
+                }
+                if let Some(node) = mem_fail_during {
+                    cluster.fd.arm_nested_mem_fail(NodeId(node));
+                    println!("  armed memory node {node} to die during recovery");
+                }
                 std::thread::sleep(Duration::from_millis(5)); // detection
                 for v in &victims {
                     cluster.fd.declare_failed(*v);
                 }
                 for report in cluster.fd.reports() {
                     println!(
-                        "  recovered coord {}: logged={} fwd={} back={} log-recovery={:?}",
+                        "  recovered coord {}: attempts={} logged={} fwd={} back={} log-recovery={:?}",
                         report.coord,
+                        report.attempts,
                         report.logged_txns,
                         report.rolled_forward,
                         report.rolled_back,

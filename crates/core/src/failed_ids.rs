@@ -19,6 +19,11 @@ pub struct FailedIds {
     bits: Box<[AtomicU64; WORDS]>,
     epoch: AtomicU64,
     population: AtomicU64,
+    /// Single-holder claim serializing the recycling scan (see
+    /// `RecoveryCoordinator::recycle_failed_ids`): without it two
+    /// concurrent recyclers double-steal the same strays and clear the
+    /// same bits twice, double-bumping `epoch()`.
+    recycle_claim: AtomicU64,
 }
 
 impl Default for FailedIds {
@@ -34,7 +39,26 @@ impl FailedIds {
             .into_boxed_slice()
             .try_into()
             .unwrap_or_else(|_| unreachable!("fixed size"));
-        FailedIds { bits, epoch: AtomicU64::new(0), population: AtomicU64::new(0) }
+        FailedIds {
+            bits,
+            epoch: AtomicU64::new(0),
+            population: AtomicU64::new(0),
+            recycle_claim: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to become the (single) recycling scanner. Returns false if
+    /// another recycler already holds the claim; the loser must not
+    /// scan or clear bits. Pair with [`FailedIds::release_recycle`].
+    pub fn try_claim_recycle(&self) -> bool {
+        self.recycle_claim
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Release the recycling claim taken by [`FailedIds::try_claim_recycle`].
+    pub fn release_recycle(&self) {
+        self.recycle_claim.store(0, Ordering::Release);
     }
 
     /// O(1) membership check — the PILL hot path.
@@ -140,6 +164,35 @@ mod tests {
         assert!(f.contains(u16::MAX));
         assert!(f.contains(0));
         assert_eq!(f.iter_failed(), vec![0, u16::MAX]);
+    }
+
+    #[test]
+    fn recycle_claim_is_exclusive_and_reusable() {
+        let f = FailedIds::new();
+        assert!(f.try_claim_recycle());
+        assert!(!f.try_claim_recycle(), "second claimant must lose");
+        f.release_recycle();
+        assert!(f.try_claim_recycle(), "claim must be reusable after release");
+        f.release_recycle();
+    }
+
+    #[test]
+    fn concurrent_claimants_admit_exactly_one() {
+        use std::sync::Barrier;
+        let f = std::sync::Arc::new(FailedIds::new());
+        let barrier = std::sync::Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let f = std::sync::Arc::clone(&f);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    f.try_claim_recycle()
+                })
+            })
+            .collect();
+        let winners = handles.into_iter().map(|h| h.join().unwrap()).filter(|&won| won).count();
+        assert_eq!(winners, 1, "exactly one concurrent recycler may win the claim");
     }
 
     #[test]

@@ -26,10 +26,11 @@ use std::time::{Duration, Instant};
 
 use dkvs::MAX_COORDINATORS;
 use parking_lot::Mutex;
-use rdma_sim::{EndpointId, RdmaResult};
+use rdma_sim::{EndpointId, NodeId, RdmaResult};
 
 use crate::context::SharedContext;
-use crate::recovery::{RecoveryCoordinator, RecoveryReport};
+use crate::memfail::MemoryFailureHandler;
+use crate::recovery::{RecoveryCoordinator, RecoveryCrashPlan, RecoveryReport};
 
 /// Handle given to a compute server at registration: its coordinator-id
 /// and its heartbeat counter.
@@ -74,20 +75,34 @@ struct FdState {
 /// The standalone failure detector + coordinator-id authority.
 pub struct FailureDetector {
     ctx: Arc<SharedContext>,
-    rc: RecoveryCoordinator,
+    /// The resident RC. Behind a mutex because a crashed RC (self-fenced
+    /// or killed by an armed crash point) stays crashed forever — every
+    /// later verb fails closed — so [`FailureDetector::healthy_rc`]
+    /// replaces it wholesale instead of letting it poison all future
+    /// recoveries.
+    rc: Mutex<Arc<RecoveryCoordinator>>,
     state: Mutex<FdState>,
     /// Reports of completed recoveries (observability / experiments).
     reports: Mutex<Vec<RecoveryReport>>,
+    /// One-shot: the next recovery's *first* RC is killed per this plan
+    /// (tests/CLI arm it; the takeover machinery is what's under test).
+    recovery_crash: Mutex<Option<RecoveryCrashPlan>>,
+    /// One-shot: this memory node dies between the recoverer's death and
+    /// the takeover, so the re-run recovers against the post-promotion
+    /// placement (compound-failure scenario).
+    nested_mem_fail: Mutex<Option<NodeId>>,
 }
 
 impl FailureDetector {
     pub fn new(ctx: Arc<SharedContext>) -> RdmaResult<Arc<FailureDetector>> {
-        let rc = RecoveryCoordinator::new(Arc::clone(&ctx))?;
+        let rc = Arc::new(RecoveryCoordinator::new(Arc::clone(&ctx))?);
         Ok(Arc::new(FailureDetector {
             ctx,
-            rc,
+            rc: Mutex::new(rc),
             state: Mutex::new(FdState { members: Vec::new(), next_id: 0, free_ids: Vec::new() }),
             reports: Mutex::new(Vec::new()),
+            recovery_crash: Mutex::new(None),
+            nested_mem_fail: Mutex::new(None),
         }))
     }
 
@@ -95,8 +110,38 @@ impl FailureDetector {
         &self.ctx
     }
 
-    pub fn recovery(&self) -> &RecoveryCoordinator {
-        &self.rc
+    /// The resident recovery coordinator, respawned if a previous run
+    /// left it crashed.
+    pub fn recovery(&self) -> Arc<RecoveryCoordinator> {
+        self.healthy_rc()
+    }
+
+    fn healthy_rc(&self) -> Arc<RecoveryCoordinator> {
+        let mut rc = self.rc.lock();
+        if rc.injector().is_crashed() {
+            *rc = Arc::new(
+                RecoveryCoordinator::new(Arc::clone(&self.ctx))
+                    .expect("respawn recovery coordinator"),
+            );
+        }
+        Arc::clone(&rc)
+    }
+
+    /// Arm a one-shot kill of the next recovery's first recoverer at a
+    /// step/verb boundary (see [`RecoveryCrashPlan`]). The doomed RC is a
+    /// dedicated instance; the resident RC is never poisoned.
+    pub fn arm_recovery_crash(&self, plan: RecoveryCrashPlan) {
+        *self.recovery_crash.lock() = Some(plan);
+    }
+
+    /// Arm a one-shot memory-node death in the middle of the next
+    /// recovery that needs a takeover: the node is killed and the
+    /// reconfiguration run between the recoverer's death and the fresh
+    /// RC's re-run. Pair with [`FailureDetector::arm_recovery_crash`]
+    /// (without a dead recoverer there is no takeover boundary to
+    /// inject at).
+    pub fn arm_nested_mem_fail(&self, node: NodeId) {
+        *self.nested_mem_fail.lock() = Some(node);
     }
 
     /// Allocate a unique coordinator-id and register its heartbeat.
@@ -111,7 +156,7 @@ impl FailureDetector {
             // return those ids — plus cleanly-deregistered ones — to the
             // free pool.
             drop(st);
-            self.rc.recycle_failed_ids();
+            self.healthy_rc().recycle_failed_ids();
             st = self.state.lock();
             let mut pool = Vec::new();
             st.members.retain(|m| match m.state {
@@ -177,7 +222,7 @@ impl FailureDetector {
         if !is_member {
             return;
         }
-        self.rc.truncate_all_regions(coord_id);
+        self.healthy_rc().truncate_all_regions(coord_id);
         let mut st = self.state.lock();
         st.members.retain(|m| m.coord_id != coord_id);
         st.free_ids.push(coord_id);
@@ -227,14 +272,55 @@ impl FailureDetector {
             rec.auto_dump("recovery");
         }
         self.ctx.recoveries_in_flight.fetch_add(1, Ordering::AcqRel);
-        let mut report = run(&self.rc);
-        let mut attempts = 1;
+        // An armed kill plan dooms a *dedicated* RC: arming the resident
+        // one would leave its injector permanently crashed and poison
+        // every later recovery that reuses it.
+        let armed = self.recovery_crash.lock().take();
+        self.ctx.resilience.note_recovery_attempt();
+        let mut report = match armed {
+            Some(plan) => {
+                let doomed = RecoveryCoordinator::new(Arc::clone(&self.ctx))
+                    .expect("spawn recovery coordinator");
+                doomed.arm_recovery_crash(plan);
+                run(&doomed)
+            }
+            None => run(&self.healthy_rc()),
+        };
+        let mut attempts = 1u32;
         while !report.completed && attempts < 4 {
+            // The recoverer died mid-run. In the deployed system a
+            // surviving QuorumFd replica notices the silent recoverer;
+            // here the takeover is this re-execution — from scratch, on
+            // a fresh RC. Every recovery step is idempotent (§3.2.3), so
+            // re-running converges to the same end state no matter where
+            // the previous recoverer died.
+            self.ctx.resilience.note_recovery_takeover();
+            let t_takeover = flight.as_ref().map(|r| r.now_ns());
+            if let Some(rec) = &flight {
+                rec.chaos_instant("recovery-takeover", ((attempts as u64) << 16) | coord as u64);
+            }
+            // Compound failure: an armed memory-node death lands in the
+            // window between the recoverer's death and the takeover, so
+            // the re-run executes against the post-promotion placement.
+            if let Some(node) = self.nested_mem_fail.lock().take() {
+                if let Some(rec) = &flight {
+                    rec.chaos_instant("mem-fail-during-recovery", node.0 as u64);
+                }
+                let _ = self.ctx.fabric.kill_node(node);
+                if let Ok(handler) = MemoryFailureHandler::new(Arc::clone(&self.ctx)) {
+                    let _ = handler.handle_failure(node);
+                }
+            }
             let fresh = RecoveryCoordinator::new(Arc::clone(&self.ctx))
                 .expect("spawn replacement recovery coordinator");
+            self.ctx.resilience.note_recovery_attempt();
             report = run(&fresh);
             attempts += 1;
+            if let (Some(rec), Some(start)) = (&flight, t_takeover) {
+                rec.chaos_span("recovery-takeover-run", coord as u64, start);
+            }
         }
+        report.attempts = attempts;
         report.detection = detection;
         self.ctx.recoveries_in_flight.fetch_sub(1, Ordering::AcqRel);
         if let Some(rec) = &flight {
@@ -391,43 +477,113 @@ impl Drop for FdMonitor {
 // Distributed FD (paper §3.2.4, Figure 4b)
 // --------------------------------------------------------------------
 
+/// Outcome of one quorum detection round.
+#[derive(Debug, Clone)]
+pub enum FdOutcome {
+    /// A majority of live replica views voted stale and recovery ran —
+    /// possibly through takeovers; see [`RecoveryReport::attempts`].
+    Recovered(RecoveryReport),
+    /// No stale-vote majority (the coordinator was beating, unknown, or
+    /// already handled): nothing to recover.
+    NotFailed,
+    /// Too few live FD replicas to form a majority of the configured
+    /// replica set: detection is unavailable until replicas are revived,
+    /// and the caller learns that explicitly instead of hanging on dead
+    /// voters.
+    NoQuorum,
+}
+
+impl FdOutcome {
+    /// The recovery report, if the round recovered anything.
+    pub fn report(&self) -> Option<&RecoveryReport> {
+        match self {
+            FdOutcome::Recovered(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 /// Quorum-replicated failure detector: `n_replicas` independent views of
 /// the same heartbeats; a coordinator is declared failed only when a
 /// majority of views have seen no heartbeat for the timeout. The
 /// underlying standalone FD then performs the recovery.
+///
+/// Replica views can themselves die ([`QuorumFd::kill_replica`] —
+/// including implicitly, when a view acting as the recoverer crashes
+/// mid-recovery and a surviving view takes over). Dead views cast no
+/// vote and are never waited on; once a majority of the configured set
+/// is dead, detection degrades to an explicit
+/// [`FdOutcome::NoQuorum`] rather than wedging.
 pub struct QuorumFd {
     fd: Arc<FailureDetector>,
-    n_replicas: usize,
+    replicas: Vec<Arc<AtomicBool>>,
 }
 
 impl QuorumFd {
     pub fn new(fd: Arc<FailureDetector>, n_replicas: usize) -> QuorumFd {
         assert!(n_replicas >= 1 && n_replicas % 2 == 1, "use an odd replica count");
-        QuorumFd { fd, n_replicas }
+        QuorumFd {
+            fd,
+            replicas: (0..n_replicas).map(|_| Arc::new(AtomicBool::new(true))).collect(),
+        }
     }
 
     pub fn inner(&self) -> &Arc<FailureDetector> {
         &self.fd
     }
 
-    /// Run quorum detection for `coord`: each replica view samples the
-    /// heartbeat over `timeout` (with per-replica jitter) and votes; on a
-    /// majority of stale votes recovery runs. Returns the report if the
-    /// failure was confirmed. This is deliberately slower than the
-    /// standalone FD — the paper reports <20 ms with three ZooKeeper
-    /// replicas vs ~5 ms standalone.
-    pub fn detect_and_recover(&self, coord: u16, timeout: Duration) -> Option<RecoveryReport> {
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of currently-live replica views.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.load(Ordering::Acquire)).count()
+    }
+
+    /// Crash-stop replica view `i`: it stops voting and is never joined
+    /// on in later rounds.
+    pub fn kill_replica(&self, i: usize) {
+        self.replicas[i].store(false, Ordering::Release);
+    }
+
+    /// Revive replica view `i` (a replacement process taking the slot).
+    pub fn revive_replica(&self, i: usize) {
+        self.replicas[i].store(true, Ordering::Release);
+    }
+
+    /// Run quorum detection for `coord`: each *live* replica view samples
+    /// the heartbeat over `timeout` (with per-replica jitter) and votes;
+    /// on a majority of stale votes among the live views recovery runs.
+    /// This is deliberately slower than the standalone FD — the paper
+    /// reports <20 ms with three ZooKeeper replicas vs ~5 ms standalone.
+    ///
+    /// If the recovery needed takeovers, each takeover consumed one
+    /// recoverer — the view that died mid-recovery is marked dead here so
+    /// later rounds' quorum math sees the loss.
+    pub fn detect_and_recover(&self, coord: u16, timeout: Duration) -> FdOutcome {
+        let live: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].load(Ordering::Acquire))
+            .collect();
+        // Majority of the *configured* replica set: fewer live views than
+        // that could never outvote a revived rest, so the round refuses
+        // to decide instead of blocking on dead voters.
+        if live.len() * 2 <= self.replicas.len() {
+            return FdOutcome::NoQuorum;
+        }
         let heartbeat = {
             let st = self.fd.state.lock();
-            let m = st.members.iter().find(|m| m.coord_id == coord)?;
+            let Some(m) = st.members.iter().find(|m| m.coord_id == coord) else {
+                return FdOutcome::NotFailed;
+            };
             if m.state != MemberState::Alive {
-                return None;
+                return FdOutcome::NotFailed;
             }
             Arc::clone(&m.heartbeat)
         };
         let mut votes = 0usize;
         let mut handles = Vec::new();
-        for r in 0..self.n_replicas {
+        for &r in &live {
             let hb = Arc::clone(&heartbeat);
             // Per-replica jitter models independent network paths.
             let extra = Duration::from_micros(200 * r as u64);
@@ -442,10 +598,22 @@ impl QuorumFd {
                 votes += 1;
             }
         }
-        if votes * 2 > self.n_replicas {
-            self.fd.declare_failed(coord)
-        } else {
-            None
+        if votes * 2 <= live.len() {
+            return FdOutcome::NotFailed;
+        }
+        match self.fd.declare_failed(coord) {
+            Some(report) => {
+                // Each takeover means one recoverer view died mid-run;
+                // at least one view survived to finish, so at most
+                // live-1 can have been consumed.
+                let consumed =
+                    (report.attempts.saturating_sub(1) as usize).min(live.len().saturating_sub(1));
+                for &i in live.iter().take(consumed) {
+                    self.kill_replica(i);
+                }
+                FdOutcome::Recovered(report)
+            }
+            None => FdOutcome::NotFailed,
         }
     }
 }

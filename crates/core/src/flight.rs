@@ -231,6 +231,36 @@ impl FlightRecorder {
         FlightHandle { rec: Arc::clone(self), ring: self.coord_ring(coord) }
     }
 
+    /// The recorder's current timestamp (pair with
+    /// [`FlightRecorder::chaos_span`] to bracket a cluster-level event).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Record a cluster-level *span* on the chaos track (e.g. a takeover
+    /// re-run of a recovery), from `start_ns` (taken earlier via
+    /// [`FlightRecorder::now_ns`]) to now.
+    pub fn chaos_span(&self, name: &'static str, detail: u64, start_ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let end_ns = self.clock.now_ns();
+        self.push(
+            &self.chaos,
+            FlightSpan {
+                seq: 0,
+                track: FlightTrack::Chaos,
+                name,
+                trace_id: 0,
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns).max(1),
+                detail,
+                aux: 0,
+                ok: true,
+            },
+        );
+    }
+
     /// Record a cluster-level chaos event (crash storm step, partition,
     /// false suspicion) as an instant on the chaos track.
     pub fn chaos_instant(&self, name: &'static str, detail: u64) {

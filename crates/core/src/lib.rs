@@ -67,7 +67,7 @@ pub use config::{BugFlags, ProtocolKind, SystemConfig};
 pub use context::SharedContext;
 pub use coordinator::{CoordStats, Coordinator};
 pub use failed_ids::FailedIds;
-pub use fd::{CoordinatorLease, FailureDetector, FdMonitor, QuorumFd};
+pub use fd::{CoordinatorLease, FailureDetector, FdMonitor, FdOutcome, QuorumFd};
 pub use flight::{dump_on_panic, FlightHandle, FlightRecorder, FlightSpan, FlightTrack};
 pub use memfail::{MemFailReport, MemoryFailureHandler};
 pub use metrics::{
@@ -77,7 +77,7 @@ pub use obs::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PhaseStats, RecoverySnapshot, TxnPhase,
 };
 pub use pause::{CoordGate, WorldPause};
-pub use recovery::{RecoveryCoordinator, RecoveryReport};
+pub use recovery::{RecoveryCoordinator, RecoveryCrashPlan, RecoveryReport, RecoveryStep};
 pub use retry::{ResilienceSnapshot, ResilienceStats, RetryPolicy};
 pub use sim::{SimCluster, SimClusterBuilder};
 pub use trace::{TraceRecord, Tracer, TxnEvent};

@@ -84,6 +84,12 @@ impl MemoryFailureHandler {
                 }
             }
         }
+        // Promotion lands on the chaos track so a fail-over timeline
+        // shows *when* the placement flipped relative to any in-flight
+        // recovery (detail: promoted-bucket count over the node id).
+        if let Some(rec) = self.ctx.flight() {
+            rec.chaos_instant("mem-fail-promotion", (promoted << 16) | node.0 as u64);
+        }
         self.ctx.pause.resume();
         MemFailReport { node, promoted_buckets: promoted, lost_buckets: lost, total: t0.elapsed() }
     }

@@ -174,6 +174,7 @@ pub struct RecoverySnapshot {
     pub rolled_back: u64,
     pub locks_released: u64,
     pub completed: bool,
+    pub attempts: u64,
 }
 
 impl RecoverySnapshot {
@@ -191,6 +192,7 @@ impl RecoverySnapshot {
             rolled_back: r.rolled_back as u64,
             locks_released: r.locks_released as u64,
             completed: r.completed,
+            attempts: r.attempts as u64,
         }
     }
 
@@ -199,7 +201,7 @@ impl RecoverySnapshot {
             "{{\"coord\":{},\"detection_ns\":{},\"link_termination_ns\":{},\
              \"log_recovery_ns\":{},\"stray_notification_ns\":{},\"total_ns\":{},\
              \"end_to_end_ns\":{},\"logged_txns\":{},\"rolled_forward\":{},\
-             \"rolled_back\":{},\"locks_released\":{},\"completed\":{}}}",
+             \"rolled_back\":{},\"locks_released\":{},\"completed\":{},\"attempts\":{}}}",
             self.coord,
             self.detection_ns,
             self.link_termination_ns,
@@ -211,7 +213,8 @@ impl RecoverySnapshot {
             self.rolled_forward,
             self.rolled_back,
             self.locks_released,
-            self.completed
+            self.completed,
+            self.attempts
         )
     }
 }
@@ -395,12 +398,15 @@ impl MetricsSnapshot {
         match &self.resilience {
             Some(r) => s.push_str(&format!(
                 "{{\"retries\":{},\"retries_exhausted\":{},\"ambiguous_resolved\":{},\
-                 \"false_suspicion_survivals\":{},\"self_fenced\":{}}}",
+                 \"false_suspicion_survivals\":{},\"self_fenced\":{},\
+                 \"recovery_attempts\":{},\"recovery_takeovers\":{}}}",
                 r.retries,
                 r.retries_exhausted,
                 r.ambiguous_resolved,
                 r.false_suspicion_survivals,
-                r.self_fenced
+                r.self_fenced,
+                r.recovery_attempts,
+                r.recovery_takeovers
             )),
             None => s.push_str("null"),
         }

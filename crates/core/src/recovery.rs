@@ -26,11 +26,89 @@ use std::time::{Duration, Instant};
 
 use dkvs::hash::FxHashMap;
 use dkvs::{LockWord, LogEntry, SlotLayout, TableId, UndoRecord, LOG_REGION_BYTES};
-use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
+use parking_lot::Mutex;
+use rdma_sim::{CrashMode, CrashPlan, EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
 
 use crate::config::ProtocolKind;
 use crate::context::SharedContext;
 use crate::retry;
+
+/// The four recovery steps of the paper (§3.2, Figure 3), named so tests
+/// and the CLI can address a crash point inside any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryStep {
+    Detection,
+    LinkTermination,
+    LogRecovery,
+    StrayNotification,
+}
+
+impl RecoveryStep {
+    /// All steps in execution order (sweep grids iterate this).
+    pub const ALL: [RecoveryStep; 4] = [
+        RecoveryStep::Detection,
+        RecoveryStep::LinkTermination,
+        RecoveryStep::LogRecovery,
+        RecoveryStep::StrayNotification,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryStep::Detection => "detection",
+            RecoveryStep::LinkTermination => "link-termination",
+            RecoveryStep::LogRecovery => "log-recovery",
+            RecoveryStep::StrayNotification => "stray-notification",
+        }
+    }
+
+    /// Static span name for the crash-point instant on the chaos track.
+    fn crash_point_name(self) -> &'static str {
+        match self {
+            RecoveryStep::Detection => "crash-point-detection",
+            RecoveryStep::LinkTermination => "crash-point-link-termination",
+            RecoveryStep::LogRecovery => "crash-point-log-recovery",
+            RecoveryStep::StrayNotification => "crash-point-stray-notification",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RecoveryStep> {
+        RecoveryStep::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+/// Kill the recovering RC at a verb boundary inside one recovery step
+/// (the `PausePoint` analogue for the recovery path): `at_verb == 0`
+/// crashes at entry to the step, `at_verb == n` crashes after the step
+/// has issued `n` more one-sided verbs. A plan whose verb offset
+/// overshoots the step simply fires later in the run (still a valid
+/// "recoverer died mid-recovery" point) or never — both are legitimate
+/// sweep cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryCrashPlan {
+    pub step: RecoveryStep,
+    pub at_verb: u64,
+}
+
+impl RecoveryCrashPlan {
+    /// Parse the CLI form `step[:verb]`, e.g. `log-recovery:3`.
+    pub fn parse(s: &str) -> Result<RecoveryCrashPlan, String> {
+        let (step, verb) = match s.split_once(':') {
+            Some((st, v)) => {
+                let at_verb =
+                    v.parse().map_err(|_| format!("crash plan {s:?}: bad verb count {v:?}"))?;
+                (st, at_verb)
+            }
+            None => (s, 0),
+        };
+        let step = RecoveryStep::parse(step).ok_or_else(|| {
+            format!(
+                "crash plan {s:?}: unknown step {step:?} (expected one of {})",
+                RecoveryStep::ALL.map(RecoveryStep::name).join(", ")
+            )
+        })?;
+        Ok(RecoveryCrashPlan { step, at_verb: verb })
+    }
+}
 
 /// What one compute-failure recovery did.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +146,11 @@ pub struct RecoveryReport {
     /// "Pandora allows for the re-execution of the log-recovery step
     /// until the final acknowledgment is received").
     pub completed: bool,
+    /// How many RC executions this recovery took (1 = the first
+    /// recoverer survived; each extra attempt is a takeover by a fresh
+    /// RC after the previous one died mid-run). Zero only in
+    /// hand-constructed reports.
+    pub attempts: u32,
 }
 
 impl RecoveryReport {
@@ -100,6 +183,8 @@ pub struct RecoveryCoordinator {
     ctx: Arc<SharedContext>,
     qps: Vec<QueuePair>,
     injector: Arc<FaultInjector>,
+    /// Armed by tests/CLI to kill this RC at a step's verb boundary.
+    crash_plan: Mutex<Option<RecoveryCrashPlan>>,
 }
 
 impl RecoveryCoordinator {
@@ -118,12 +203,42 @@ impl RecoveryCoordinator {
         for n in ctx.fabric.node_ids() {
             qps.push(ctx.fabric.qp(endpoint, n, Arc::clone(&injector))?);
         }
-        Ok(RecoveryCoordinator { ctx, qps, injector })
+        Ok(RecoveryCoordinator { ctx, qps, injector, crash_plan: Mutex::new(None) })
     }
 
     /// This RC's fault injector.
     pub fn injector(&self) -> Arc<FaultInjector> {
         Arc::clone(&self.injector)
+    }
+
+    /// Arm a crash point: this RC will die at the given verb boundary of
+    /// the given recovery step (the failure detector then re-executes the
+    /// recovery on a fresh RC — the takeover path under test).
+    pub fn arm_recovery_crash(&self, plan: RecoveryCrashPlan) {
+        *self.crash_plan.lock() = Some(plan);
+    }
+
+    /// Crash-point hook at a step boundary. `at_verb == 0` kills the RC
+    /// here and now; otherwise the fault injector is armed to kill it
+    /// after that many further verbs (counted across this RC's QPs, so
+    /// the kill lands *inside* the step's one-sided traffic).
+    fn enter_step(&self, step: RecoveryStep) {
+        let plan = *self.crash_plan.lock();
+        let Some(plan) = plan else { return };
+        if plan.step != step || self.injector.is_crashed() {
+            return;
+        }
+        if let Some(rec) = self.ctx.flight() {
+            rec.chaos_instant(step.crash_point_name(), plan.at_verb);
+        }
+        if plan.at_verb == 0 {
+            self.injector.crash_now();
+        } else {
+            self.injector.arm(CrashPlan {
+                at_op: self.injector.ops_issued() + plan.at_verb,
+                mode: CrashMode::AfterOp,
+            });
+        }
     }
 
     fn qp(&self, node: NodeId) -> &QueuePair {
@@ -162,6 +277,38 @@ impl RecoveryCoordinator {
         r
     }
 
+    /// Release-CAS of a PILL lock word to zero, with ambiguous-timeout
+    /// resolution. Under PILL `expected` is the failed coordinator's raw
+    /// lock word — unique to one transaction of one incarnation — so a
+    /// re-read disambiguates: the word still reads `expected` iff our
+    /// release never landed (retry); anything else means the slot is no
+    /// longer ours to touch (our release landed, or a thief stole and
+    /// re-locked it) and the retried steal is a no-op either way. That
+    /// ownership argument is what makes a *retried* recovery CAS
+    /// idempotent. Exhaustion fences the RC like any other recovery
+    /// verb.
+    fn release_cas_resolved(&self, node: NodeId, addr: u64, expected: u64) -> RdmaResult<u64> {
+        let r = retry::cas_resolved(
+            &self.ctx.config.retry.escalated(),
+            Some(&self.ctx.resilience),
+            0x5ec0_7e57 ^ addr,
+            self.qp(node),
+            addr,
+            expected,
+            0,
+            true, // PILL word: value equality proves ownership
+        );
+        if matches!(r, Err(rdma_sim::RdmaError::Timeout { .. })) && !self.injector.is_crashed() {
+            self.ctx.resilience.note_self_fence();
+            if let Some(rec) = self.ctx.flight() {
+                rec.chaos_instant("self-fence-recovery", 0);
+            }
+            self.ctx.flight_dump("self-fence-recovery");
+            self.injector.crash_now();
+        }
+        r
+    }
+
     /// Full compute-failure recovery for one coordinator, dispatching on
     /// the configured protocol.
     pub fn recover_compute(&self, coord: u16, endpoint: EndpointId) -> RecoveryReport {
@@ -181,8 +328,16 @@ impl RecoveryCoordinator {
     /// wait (for at most the duration of log recovery).
     pub fn recover_pandora(&self, coord: u16, endpoint: EndpointId) -> RecoveryReport {
         let t0 = Instant::now();
-        // Step 2: active-link termination (Cor1).
-        self.ctx.fabric.revoke_everywhere(endpoint);
+        // Crash point "right after detection": the recoverer dies before
+        // doing anything at all.
+        self.enter_step(RecoveryStep::Detection);
+        // Step 2: active-link termination (Cor1). The revocation is a
+        // control-path RPC (it does not flow through this RC's QPs), so a
+        // dead RC skips it outright rather than half-executing it.
+        self.enter_step(RecoveryStep::LinkTermination);
+        if !self.injector.is_crashed() {
+            self.ctx.fabric.revoke_everywhere(endpoint);
+        }
         let link_termination = t0.elapsed();
 
         // Step 3: log recovery.
@@ -196,6 +351,7 @@ impl RecoveryCoordinator {
         // NOT notify: its log recovery may be partial, and notifying
         // would let thieves steal locks of unresolved Logged-Stray-Txs.
         let t_notify = Instant::now();
+        self.enter_step(RecoveryStep::StrayNotification);
         report.completed = !self.injector.is_crashed();
         if report.completed {
             self.ctx.failed.set(coord);
@@ -203,6 +359,7 @@ impl RecoveryCoordinator {
         report.stray_notification = t_notify.elapsed();
 
         report.coord = coord;
+        report.attempts = 1;
         report.total = t0.elapsed();
         report
     }
@@ -229,6 +386,7 @@ impl RecoveryCoordinator {
     ///   Keeping every lock held until the pre-images are restored and
     ///   the log is truncated makes re-execution safe at every step.
     fn log_recovery(&self, coord: u16, log_nodes: &[NodeId]) -> RecoveryReport {
+        self.enter_step(RecoveryStep::LogRecovery);
         let mut report = RecoveryReport::default();
         let dead = self.ctx.dead_nodes();
 
@@ -415,10 +573,10 @@ impl RecoveryCoordinator {
             if let Ok(raw) = self.verb_or_fence(|| self.qp(primary).read_u64(addr)) {
                 let observed = LockWord(raw);
                 if observed.is_locked() && observed.owner() == coord {
-                    // Re-issuing an ambiguously-timed-out unlock CAS is
-                    // harmless: if the first attempt landed, the retry
-                    // fails its compare against 0 and changes nothing.
-                    let _ = self.verb_or_fence(|| self.qp(primary).cas(addr, raw, 0));
+                    // Ambiguity-resolved: an unlock CAS whose completion
+                    // was lost is settled by re-reading the word (PILL
+                    // ownership — see `release_cas_resolved`).
+                    let _ = self.release_cas_resolved(primary, addr, raw);
                 }
             }
         } else {
@@ -438,8 +596,12 @@ impl RecoveryCoordinator {
     /// the paper measures (~5 s per million keys).
     pub fn recover_baseline(&self, failed: &[(u16, EndpointId)]) -> RecoveryReport {
         let t0 = Instant::now();
-        for &(_, ep) in failed {
-            self.ctx.fabric.revoke_everywhere(ep);
+        self.enter_step(RecoveryStep::Detection);
+        self.enter_step(RecoveryStep::LinkTermination);
+        if !self.injector.is_crashed() {
+            for &(_, ep) in failed {
+                self.ctx.fabric.revoke_everywhere(ep);
+            }
         }
         let link_termination = t0.elapsed();
         let quiesced = self.ctx.pause.pause_and_quiesce(Duration::from_secs(60));
@@ -459,6 +621,7 @@ impl RecoveryCoordinator {
         report.locks_released = self.scan_release_all_locks();
         report.log_recovery = t_log.elapsed();
 
+        self.enter_step(RecoveryStep::StrayNotification);
         report.completed = !self.injector.is_crashed();
         // Resume unconditionally (the pause is a counted lease and a
         // crashed RC must not orphan it). This is safe mid-recovery:
@@ -469,6 +632,7 @@ impl RecoveryCoordinator {
         self.ctx.pause.resume();
         report.stray_notification = t_notify.elapsed();
         report.coord = failed.first().map(|&(c, _)| c).unwrap_or(0);
+        report.attempts = 1;
         report.total = t0.elapsed();
         report
     }
@@ -521,8 +685,12 @@ impl RecoveryCoordinator {
     /// steady-state logging round trip per lock.
     pub fn recover_traditional(&self, failed: &[(u16, EndpointId)]) -> RecoveryReport {
         let t0 = Instant::now();
-        for &(_, ep) in failed {
-            self.ctx.fabric.revoke_everywhere(ep);
+        self.enter_step(RecoveryStep::Detection);
+        self.enter_step(RecoveryStep::LinkTermination);
+        if !self.injector.is_crashed() {
+            for &(_, ep) in failed {
+                self.ctx.fabric.revoke_everywhere(ep);
+            }
         }
         let link_termination = t0.elapsed();
         let quiesced = self.ctx.pause.pause_and_quiesce(Duration::from_secs(60));
@@ -539,11 +707,13 @@ impl RecoveryCoordinator {
             report.locks_released += self.replay_lock_intents(coord);
         }
         report.log_recovery = t_log.elapsed();
+        self.enter_step(RecoveryStep::StrayNotification);
         report.completed = !self.injector.is_crashed();
         let t_notify = Instant::now();
         self.ctx.pause.resume(); // counted lease; see recover_baseline
         report.stray_notification = t_notify.elapsed();
         report.coord = failed.first().map(|&(c, _)| c).unwrap_or(0);
+        report.attempts = 1;
         report.total = t0.elapsed();
         report
     }
@@ -618,6 +788,23 @@ impl RecoveryCoordinator {
         if failed.is_empty() {
             return (0, 0);
         }
+        // CAS-guarded claim: two recoverers (e.g. overlapping takeovers
+        // of the same coordinator, or the FD's 95% trigger racing a
+        // test's explicit call) must not run the scan concurrently —
+        // they would double-release/steal the same strays and clear the
+        // same failed bit twice, bumping `epoch()` twice for one
+        // recycling. The loser simply returns; the ids stay failed and a
+        // later pass picks them up.
+        if !self.ctx.failed.try_claim_recycle() {
+            return (0, 0);
+        }
+        let out = self.recycle_failed_ids_locked(&failed);
+        self.ctx.failed.release_recycle();
+        out
+    }
+
+    /// The recycling scan proper; caller holds the recycle claim.
+    fn recycle_failed_ids_locked(&self, failed: &[u16]) -> (usize, usize) {
         let dead = self.ctx.dead_nodes();
         let mut released = 0;
         // An incomplete scan must NOT clear the failed bits: a stray lock
@@ -647,12 +834,24 @@ impl RecoveryCoordinator {
                     ));
                     if lock.is_locked() && failed.contains(&lock.owner()) {
                         let la = addr + (i as u64) * layout.slot_bytes() + SlotLayout::LOCK_OFF;
-                        // Retried; if an ambiguous release already landed,
-                        // the retry's compare fails against the now-zero
-                        // word but still completes Ok — the lock is free
-                        // either way. Only an exhausted budget keeps the
-                        // failed bit set (scan_complete) for a later pass.
-                        if self.retry_verb(|| self.qp(primary).cas(la, lock.raw(), 0)).is_ok() {
+                        // Ambiguity-resolved steal (PILL: the observed
+                        // raw word is unique to the failed txn, so a
+                        // lost completion is settled by re-reading). A
+                        // release that already landed resolves Ok — the
+                        // lock is free either way. Only an exhausted
+                        // budget keeps the failed bit set (scan_complete)
+                        // for a later pass.
+                        let stolen = retry::cas_resolved(
+                            &self.ctx.config.retry.escalated(),
+                            Some(&self.ctx.resilience),
+                            0x5ec0_7e57 ^ la,
+                            self.qp(primary),
+                            la,
+                            lock.raw(),
+                            0,
+                            true,
+                        );
+                        if stolen.is_ok() {
                             released += 1;
                         } else {
                             scan_complete = false;
@@ -664,7 +863,7 @@ impl RecoveryCoordinator {
         if !scan_complete {
             return (released, 0); // ids stay failed; retry recycling later
         }
-        for id in &failed {
+        for id in failed {
             self.ctx.failed.clear(*id);
         }
         (released, failed.len())

@@ -139,6 +139,12 @@ pub struct ResilienceStats {
     /// Coordinators (or recovery coordinators) that crash-stopped
     /// themselves because they could no longer release remote state.
     pub self_fenced: AtomicU64,
+    /// Recovery runs started (first attempts and takeover re-runs both
+    /// count; a clean recovery contributes exactly one).
+    pub recovery_attempts: AtomicU64,
+    /// Takeovers: a recoverer died mid-run and a fresh RC re-executed
+    /// the recovery from scratch (paper §3.2.3 re-execution).
+    pub recovery_takeovers: AtomicU64,
 }
 
 impl ResilienceStats {
@@ -153,12 +159,24 @@ impl ResilienceStats {
             ambiguous_resolved: self.ambiguous_resolved.load(Ordering::Acquire),
             false_suspicion_survivals: self.false_suspicion_survivals.load(Ordering::Acquire),
             self_fenced: self.self_fenced.load(Ordering::Acquire),
+            recovery_attempts: self.recovery_attempts.load(Ordering::Acquire),
+            recovery_takeovers: self.recovery_takeovers.load(Ordering::Acquire),
         }
     }
 
     #[inline]
     pub(crate) fn note_self_fence(&self) {
         self.self_fenced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_recovery_attempt(&self) {
+        self.recovery_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn note_recovery_takeover(&self) {
+        self.recovery_takeovers.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -170,6 +188,8 @@ pub struct ResilienceSnapshot {
     pub ambiguous_resolved: u64,
     pub false_suspicion_survivals: u64,
     pub self_fenced: u64,
+    pub recovery_attempts: u64,
+    pub recovery_takeovers: u64,
 }
 
 /// Run an **idempotent** verb under `policy`, retrying only transient

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use common::{cluster_with_keys, value_for, KV};
-use pandora::{ProtocolKind, QuorumFd};
+use pandora::{FdOutcome, ProtocolKind, QuorumFd};
 use rdma_sim::{CrashMode, CrashPlan};
 
 #[test]
@@ -105,8 +105,56 @@ fn quorum_fd_confirms_real_failure() {
     co.injector().crash_now();
 
     let qfd = QuorumFd::new(Arc::clone(&cluster.fd), 3);
-    let report = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
-    assert!(report.is_some(), "a silent coordinator must be declared failed by the quorum");
+    let outcome = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    assert!(
+        matches!(outcome, FdOutcome::Recovered(_)),
+        "a silent coordinator must be declared failed by the quorum, got {outcome:?}"
+    );
+}
+
+#[test]
+fn quorum_fd_tolerates_a_dead_minority_replica() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    co.run(|txn| txn.read(KV, 3).map(|_| ())).unwrap();
+    co.injector().crash_now();
+
+    // One of three replica views is dead; the round must neither hang on
+    // it nor count it, and the remaining 2-of-3 majority still decides.
+    let qfd = QuorumFd::new(Arc::clone(&cluster.fd), 3);
+    qfd.kill_replica(1);
+    assert_eq!(qfd.live_replicas(), 2);
+    let outcome = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    assert!(
+        matches!(outcome, FdOutcome::Recovered(_)),
+        "a dead minority replica must not wedge detection, got {outcome:?}"
+    );
+}
+
+#[test]
+fn quorum_fd_loss_of_quorum_is_explicit() {
+    let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
+    let (mut co, lease) = cluster.coordinator().unwrap();
+    co.run(|txn| txn.read(KV, 3).map(|_| ())).unwrap();
+    co.injector().crash_now();
+
+    let qfd = QuorumFd::new(Arc::clone(&cluster.fd), 3);
+    qfd.kill_replica(0);
+    qfd.kill_replica(2);
+    let outcome = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    assert!(
+        matches!(outcome, FdOutcome::NoQuorum),
+        "a dead majority must surface NoQuorum, got {outcome:?}"
+    );
+    assert!(!cluster.ctx.failed.contains(lease.coord_id), "NoQuorum must not declare anyone");
+
+    // Reviving a replica restores the majority and the round decides.
+    qfd.revive_replica(0);
+    let outcome = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    assert!(
+        matches!(outcome, FdOutcome::Recovered(_)),
+        "restored quorum must decide, got {outcome:?}"
+    );
 }
 
 #[test]
@@ -127,10 +175,13 @@ fn quorum_fd_spares_live_coordinator() {
         })
     };
     let qfd = QuorumFd::new(Arc::clone(&cluster.fd), 3);
-    let report = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
+    let outcome = qfd.detect_and_recover(lease.coord_id, Duration::from_millis(5));
     stop.store(true, Ordering::Release);
     beater.join().unwrap();
-    assert!(report.is_none(), "a beating coordinator must never be declared failed");
+    assert!(
+        matches!(outcome, FdOutcome::NotFailed),
+        "a beating coordinator must never be declared failed, got {outcome:?}"
+    );
     assert!(!cluster.ctx.failed.contains(lease.coord_id));
 }
 
