@@ -65,6 +65,10 @@ RUN FLAGS
   --stalls              stall (not abort) on lock conflicts
   --persistence volatile|battery|nvm                   (default volatile)
   --doorbell            coalesce commit writes per node (doorbell batching)
+  --pipeline-depth N    posted verbs kept in flight per QP by the fan-out
+                        commit path                    (default 16)
+  --no-pipeline         issue every verb blocking (sequential baseline;
+                        same as --pipeline-depth 1)
   --write-ratio R       micro only                     (default 0.5)
   --hot-keys N          micro only: contention hot set
   --metrics-json PATH   write a machine-readable metrics snapshot (JSON);
@@ -175,6 +179,12 @@ fn parse_config(args: &Args) -> Result<SystemConfig, ParseError> {
         "nvm" => PersistenceMode::NvmFlush,
         other => return Err(ParseError(format!("unknown persistence mode {other:?}"))),
     };
+    if args.has("no-pipeline") {
+        config = config.without_pipeline();
+    } else if args.has("pipeline-depth") {
+        let depth = args.get_u64("pipeline-depth", 16)?;
+        config = config.with_pipeline_depth(depth.min(u32::MAX as u64) as u32);
+    }
     Ok(config)
 }
 

@@ -158,6 +158,14 @@ pub struct SystemConfig {
     /// (timeouts injected by the chaos model). Release paths and
     /// recovery escalate this budget; see [`RetryPolicy::escalated`].
     pub retry: RetryPolicy,
+    /// Maximum posted verbs kept in flight per queue pair by the
+    /// fan-out commit path (validation re-reads, undo-log writes,
+    /// replica apply writes, unlocks all post-and-barrier instead of
+    /// blocking per verb). `<= 1` disables posting entirely — every
+    /// verb is issued blocking, one round trip at a time, which is the
+    /// pre-pipelining behaviour and the sequential baseline the
+    /// latency-hiding bench compares against.
+    pub pipeline_depth: u32,
 }
 
 impl SystemConfig {
@@ -174,7 +182,27 @@ impl SystemConfig {
             fd_timeout: Duration::from_millis(5),
             fd_poll: Duration::from_millis(1),
             retry: RetryPolicy::verbs(),
+            pipeline_depth: 16,
         }
+    }
+
+    /// Cap the posted-verb window per queue pair (`n <= 1` falls back
+    /// to fully sequential verbs).
+    pub fn with_pipeline_depth(mut self, n: u32) -> SystemConfig {
+        self.pipeline_depth = n;
+        self
+    }
+
+    /// Disable the fan-out commit path: every verb blocks for its own
+    /// completion (one round trip each).
+    pub fn without_pipeline(mut self) -> SystemConfig {
+        self.pipeline_depth = 1;
+        self
+    }
+
+    /// Is the posted-verb fan-out path active?
+    pub fn pipelining_on(&self) -> bool {
+        self.pipeline_depth > 1
     }
 
     pub fn with_retry(mut self, retry: RetryPolicy) -> SystemConfig {
@@ -229,6 +257,15 @@ mod tests {
     fn lock_intents_only_for_traditional() {
         assert!(ProtocolKind::Traditional.uses_lock_intents());
         assert!(!ProtocolKind::Pandora.uses_lock_intents());
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_on_and_toggles() {
+        let c = SystemConfig::new(ProtocolKind::Pandora);
+        assert!(c.pipelining_on());
+        assert!(!c.without_pipeline().pipelining_on());
+        assert_eq!(c.with_pipeline_depth(4).pipeline_depth, 4);
+        assert!(!c.with_pipeline_depth(1).pipelining_on());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use dkvs::hash::FxHashMap;
 use dkvs::{ClusterMap, LockWord, SlotImage, SlotLayout, SlotRef, TableId};
-use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
+use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult, WorkId};
 
 use crate::context::SharedContext;
 use crate::fd::{CoordinatorLease, FailureDetector};
@@ -54,6 +54,43 @@ pub struct Coordinator {
 pub(crate) struct FullSlot {
     pub key: u64,
     pub image: SlotImage,
+}
+
+/// Per-item outcome of a [`Coordinator::fanout`] barrier.
+///
+/// `result` is the first failure among the item's verbs — a synchronous
+/// post error or a failed completion — and `Ok(())` only when every verb
+/// of the item completed successfully. `data` carries the payload of the
+/// item's READ completion, if the item posted one.
+#[derive(Debug)]
+pub(crate) struct FanoutOutcome {
+    pub result: RdmaResult<()>,
+    pub data: Option<Vec<u8>>,
+}
+
+/// Route completions back to their fan-out items (first error wins,
+/// READ payloads are kept).
+fn settle_completions(
+    outcomes: &mut [FanoutOutcome],
+    tags: &FxHashMap<(u16, WorkId), usize>,
+    node: NodeId,
+    comps: Vec<rdma_sim::Completion>,
+) {
+    for c in comps {
+        let Some(&i) = tags.get(&(node.0, c.work_id)) else { continue };
+        match c.result {
+            Ok(_) => {
+                if c.data.is_some() {
+                    outcomes[i].data = c.data;
+                }
+            }
+            Err(e) => {
+                if outcomes[i].result.is_ok() {
+                    outcomes[i].result = Err(e);
+                }
+            }
+        }
+    }
 }
 
 impl Coordinator {
@@ -281,6 +318,72 @@ impl Coordinator {
     #[inline]
     pub(crate) fn qp(&self, node: NodeId) -> &QueuePair {
         &self.qps[node.0 as usize]
+    }
+
+    /// Per-QP posted-verb window (`<= 1` means the fan-out path is off).
+    #[inline]
+    pub(crate) fn pipeline_depth(&self) -> usize {
+        self.ctx.config.pipeline_depth.max(1) as usize
+    }
+
+    /// Is the posted-verb fan-out path active?
+    #[inline]
+    pub(crate) fn pipelining_on(&self) -> bool {
+        self.ctx.config.pipelining_on()
+    }
+
+    /// Fan one phase's verbs out across memory nodes with a single
+    /// completion barrier.
+    ///
+    /// For each item, `post` issues its verb(s) on the given QP (chosen
+    /// by `node_of`) and pushes every returned [`WorkId`]; items whose
+    /// verbs all target one QP keep their intra-item order by RC
+    /// ordering. Posting is capped at the configured pipeline depth per
+    /// QP — an item's verbs always post together, the cap is enforced
+    /// between items. After all items have posted, every touched QP is
+    /// drained once (the barrier).
+    ///
+    /// Failures are *not* resolved here: a synchronous post error or a
+    /// failed completion lands in the item's [`FanoutOutcome`], and the
+    /// caller re-runs that item through its blocking retry logic (posted
+    /// verbs' effects execute eagerly, so a re-issued idempotent verb is
+    /// harmless; CAS ambiguity must go through `cas_resolved`).
+    pub(crate) fn fanout<I>(
+        &self,
+        items: &[I],
+        node_of: impl Fn(&I) -> NodeId,
+        post: impl Fn(&QueuePair, &I, &mut Vec<WorkId>) -> RdmaResult<()>,
+    ) -> Vec<FanoutOutcome> {
+        let depth = self.pipeline_depth();
+        let mut outcomes: Vec<FanoutOutcome> =
+            items.iter().map(|_| FanoutOutcome { result: Ok(()), data: None }).collect();
+        let mut tags: FxHashMap<(u16, WorkId), usize> = FxHashMap::default();
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut ids: Vec<WorkId> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let node = node_of(item);
+            let qp = self.qp(node);
+            ids.clear();
+            // A post error may leave the item's earlier verbs in flight;
+            // tag them anyway so the barrier accounts for them.
+            let posted = post(qp, item, &mut ids);
+            if !ids.is_empty() && !touched.contains(&node) {
+                touched.push(node);
+            }
+            for id in ids.drain(..) {
+                tags.insert((node.0, id), i);
+            }
+            if let Err(e) = posted {
+                outcomes[i].result = Err(e);
+            }
+            if qp.in_flight() >= depth {
+                settle_completions(&mut outcomes, &tags, node, qp.wait_all());
+            }
+        }
+        for node in touched {
+            settle_completions(&mut outcomes, &tags, node, self.qp(node).wait_all());
+        }
+        outcomes
     }
 
     /// Backoff-jitter salt: unique per coordinator incarnation and

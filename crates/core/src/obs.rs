@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use rdma_sim::{ChaosModel, ChaosStatsSnapshot, Fabric, OpCountersSnapshot};
+use rdma_sim::{ChaosModel, ChaosStatsSnapshot, Fabric, OpCountersSnapshot, VerbLatencySnapshot};
 
 use crate::metrics::{LatencyHistogram, ThroughputProbe, TimelinePoint};
 use crate::recovery::RecoveryReport;
@@ -307,6 +307,7 @@ impl MetricsRegistry {
                 .as_ref()
                 .map(|f| f.per_node_counters().into_iter().map(|(n, s)| (n.0, s)).collect())
                 .unwrap_or_default(),
+            verbs: self.fabric.as_ref().map(|f| f.verb_stats()),
             resilience: self.resilience.as_ref().map(|r| r.snapshot()),
             chaos: self.chaos.as_ref().map(|c| c.stats()),
             recoveries: self.reports.lock().iter().map(RecoverySnapshot::from_report).collect(),
@@ -333,6 +334,9 @@ pub struct MetricsSnapshot {
     pub fabric_total: Option<OpCountersSnapshot>,
     /// Per-memory-node verb counts, in node-id order.
     pub fabric_nodes: Vec<(u16, OpCountersSnapshot)>,
+    /// Per-verb-kind posted→completed latency distributions plus the
+    /// in-flight gauge — the posted-verb engine's view of the fabric.
+    pub verbs: Option<VerbLatencySnapshot>,
     /// Retry / false-suspicion-survival / self-fence counters, when the
     /// registry was wired to a [`ResilienceStats`].
     pub resilience: Option<ResilienceSnapshot>,
@@ -391,6 +395,32 @@ impl MetricsSnapshot {
                     s.push_str(&format!("{{\"node\":{node},\"ops\":{}}}", ops_json(ops)));
                 }
                 s.push_str("]}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"verbs\":");
+        match &self.verbs {
+            Some(v) => {
+                s.push_str(&format!(
+                    "{{\"in_flight\":{},\"in_flight_high_water\":{},\"kinds\":{{",
+                    v.verbs_in_flight, v.in_flight_high_water
+                ));
+                for (i, k) in v.kinds.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "\"{}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                         \"p95_ns\":{},\"p99_ns\":{}}}",
+                        k.kind.name(),
+                        k.count,
+                        k.mean_ns,
+                        k.p50_ns,
+                        k.p95_ns,
+                        k.p99_ns
+                    ));
+                }
+                s.push_str("}}");
             }
             None => s.push_str("null"),
         }
@@ -790,6 +820,7 @@ mod tests {
         }
         assert!(v.get("txn_latency").expect("key present").is_null());
         assert!(v.get("fabric").expect("key present").is_null());
+        assert!(v.get("verbs").expect("key present").is_null());
         assert!(v.get("resilience").expect("key present").is_null());
         assert!(v.get("chaos").expect("key present").is_null());
         let recs = v.get("recoveries").and_then(|r| r.as_array()).expect("array");
@@ -836,6 +867,32 @@ mod tests {
         let c = v.get("chaos").expect("key present");
         assert_eq!(c.get("timeouts_ambiguous").and_then(|n| n.as_u64()), Some(0));
         assert_eq!(c.get("delay_spikes").and_then(|n| n.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn verb_latency_stats_appear_in_json() {
+        let fabric = rdma_sim::Fabric::new(rdma_sim::FabricConfig {
+            memory_nodes: 1,
+            capacity_per_node: 4 << 10,
+            latency: rdma_sim::LatencyModel::zero(),
+        });
+        let qp = fabric
+            .qp(fabric.register_endpoint(), rdma_sim::NodeId(0), rdma_sim::FaultInjector::new())
+            .unwrap();
+        qp.write_u64(0, 7).unwrap();
+        qp.read_u64(0).unwrap();
+        qp.cas(0, 7, 9).unwrap();
+        let registry = MetricsRegistry::new().with_fabric(Arc::clone(&fabric));
+        let text = registry.snapshot().to_json();
+        let v = json::parse(&text).expect("writer output must parse");
+        let verbs = v.get("verbs").expect("key present");
+        assert_eq!(verbs.get("in_flight").and_then(|n| n.as_u64()), Some(0));
+        assert!(verbs.get("in_flight_high_water").and_then(|n| n.as_u64()).unwrap() >= 1);
+        let kinds = verbs.get("kinds").expect("kinds object");
+        for (kind, count) in [("WRITE", 1), ("READ", 1), ("CAS", 1), ("FAA", 0)] {
+            let k = kinds.get(kind).unwrap_or_else(|| panic!("missing kind {kind}"));
+            assert_eq!(k.get("count").and_then(|n| n.as_u64()), Some(count), "{kind}");
+        }
     }
 
     #[test]

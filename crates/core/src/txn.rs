@@ -20,13 +20,26 @@
 //!   DESIGN §4), ack the client, unlock primaries.
 //! * **Abort** — truncate any logs, unlock **only the locks actually
 //!   acquired** (complicit-aborts fix, §5.1), ack the client.
+//!
+//! When `SystemConfig::pipeline_depth > 1` (the default), each phase
+//! fans its verbs out across the memory nodes through the posted-verb
+//! engine and takes **one completion barrier per phase** instead of one
+//! round trip per verb: validation re-reads, undo-log writes (all f+1
+//! log servers at once), replica apply writes (primaries barriered
+//! before backups), unlocks and log truncation all overlap. The lock
+//! CAS additionally pipelines the under-lock re-read behind itself on
+//! the same QP. Items whose posted verbs fail fall back to the exact
+//! blocking retry/fencing logic, so the failure semantics are identical
+//! to the sequential path.
 
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use dkvs::hash::FxHashMap;
 use dkvs::{LockWord, LogEntry, SlotLayout, SlotRef, TableId, UndoRecord, VersionWord};
-use rdma_sim::{NodeId, RdmaError};
+use rdma_sim::{NodeId, QueuePair, RdmaError, RdmaResult, TimeoutApplied, WorkId};
 
-use crate::coordinator::Coordinator;
+use crate::coordinator::{parse_full_slot, Coordinator, FullSlot};
 use crate::obs::TxnPhase;
 
 /// Why a transaction aborted.
@@ -280,11 +293,24 @@ impl<'c> Txn<'c> {
         if let Some(r) = self.read_set.iter().find(|r| r.table == table && r.key == key) {
             return Ok(Some(r.value.clone()));
         }
-        let Some((slot, mut full)) = self.resolve(table, key)? else {
+        let Some((slot, full)) = self.resolve(table, key)? else {
             // Absent key: no read-set entry is recorded — like FORD, the
             // protocol offers no phantom protection for absent reads.
             return Ok(None);
         };
+        self.finish_read(table, key, slot, full)
+    }
+
+    /// Tail of a read once the slot image is in hand (from [`Txn::resolve`]
+    /// or a fanned-out range prefetch): wait out live locks, then record
+    /// the read-set entry.
+    fn finish_read(
+        &mut self,
+        table: TableId,
+        key: u64,
+        slot: SlotRef,
+        mut full: FullSlot,
+    ) -> Result<Option<Vec<u8>>, TxnError> {
         // Retry while locked by a live owner (a locked object is being
         // committed; its value may be mid-update).
         let mut tries = 0u32;
@@ -327,14 +353,69 @@ impl<'c> Txn<'c> {
     /// Client-side range read over a dense key range (the DKVS hash index
     /// has no order; ReadRange is provided as an API convenience for
     /// workloads with dense key spaces — see DESIGN.md).
+    ///
+    /// With pipelining on, every address-cached key's full-slot READ is
+    /// posted up front across the primaries and collected at one
+    /// completion barrier; keys that miss the cache — or whose
+    /// prefetched slot no longer holds them — take the ordinary blocking
+    /// [`Txn::read`] path one at a time.
     pub fn read_range(
         &mut self,
         table: TableId,
         keys: std::ops::Range<u64>,
     ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        let mut prefetched: FxHashMap<u64, (SlotRef, FullSlot)> = FxHashMap::default();
+        if self.co.pipelining_on() {
+            let mut items: Vec<(u64, SlotRef, NodeId)> = Vec::new();
+            for key in keys.clone() {
+                if key == u64::MAX
+                    || self.write_set.iter().any(|w| w.table == table && w.key == key)
+                    || self.read_set.iter().any(|r| r.table == table && r.key == key)
+                {
+                    continue; // served locally by read()
+                }
+                let Some(&slot) = self.co.addr_cache.get(&(table, key)) else { continue };
+                let Ok(primary) = self.co.primary_of(table, slot.bucket) else { continue };
+                items.push((key, slot, primary));
+            }
+            if items.len() > 1 {
+                let layout = self.co.map().layout(table);
+                let outcomes = self.co.fanout(
+                    &items,
+                    |&(_, _, node)| node,
+                    |qp, &(_, slot, node), ids| {
+                        let addr = self.co.map().slot_addr(node, table, slot.bucket, slot.slot);
+                        ids.push(qp.post_read(addr, layout.slot_bytes() as usize)?);
+                        Ok(())
+                    },
+                );
+                for (o, &(key, slot, _)) in outcomes.into_iter().zip(&items) {
+                    if o.result.is_ok() {
+                        if let Some(buf) = o.data {
+                            prefetched.insert(key, (slot, parse_full_slot(layout, &buf)));
+                        }
+                    }
+                }
+            }
+        }
         let mut out = Vec::new();
         for key in keys {
-            if let Some(v) = self.read(table, key)? {
+            let v = match prefetched.remove(&key) {
+                Some((slot, full)) if full.key == dkvs::layout::stored_key(key) => {
+                    self.check_pause()?;
+                    let r = self.finish_read(table, key, slot, full);
+                    self.surface_transient(r)?
+                }
+                Some(_) => {
+                    // The slot was reclaimed between caching and the
+                    // prefetch barrier; drop the stale mapping and take
+                    // the slow path (as the resolve() fast path would).
+                    self.co.addr_cache.remove(&(table, key));
+                    self.read(table, key)?
+                }
+                None => self.read(table, key)?,
+            };
+            if let Some(v) = v {
                 out.push((key, v));
             }
         }
@@ -438,6 +519,21 @@ impl<'c> Txn<'c> {
         if let Some(w) = self.write_set.iter_mut().find(|w| w.table == table && w.key == key) {
             w.new_value = new_value;
             return Ok(());
+        }
+        let mut new_value = new_value;
+        if self.lock_read_fast_path() {
+            if let Some(&slot) = self.co.addr_cache.get(&(table, key)) {
+                match self.stage_locked_write_cached(
+                    table,
+                    key,
+                    slot,
+                    new_value,
+                    WriteKind::Update,
+                )? {
+                    None => return Ok(()),
+                    Some(v) => new_value = v, // stale cache: fall through to resolve
+                }
+            }
         }
         let Some((slot, full)) = self.resolve(table, key)? else {
             return Err(self.abort_now(AbortReason::NotFound));
@@ -573,6 +669,18 @@ impl<'c> Txn<'c> {
             w.new_version = w.old_version.next_delete();
             return Ok(());
         }
+        if self.lock_read_fast_path() {
+            if let Some(&slot) = self.co.addr_cache.get(&(table, key)) {
+                // The staged delete value is the under-lock pre-image;
+                // the placeholder is never used.
+                if self
+                    .stage_locked_write_cached(table, key, slot, Vec::new(), WriteKind::Delete)?
+                    .is_none()
+                {
+                    return Ok(());
+                }
+            }
+        }
         let Some((slot, full)) = self.resolve(table, key)? else {
             return Err(self.abort_now(AbortReason::NotFound));
         };
@@ -685,7 +793,7 @@ impl<'c> Txn<'c> {
         }
 
         let t_lock = self.co.phase_start();
-        let mut locked = self.try_lock(slot, key)?;
+        let (mut locked, mut under_lock) = self.try_lock_read(slot, key)?;
         if !locked && self.co.ctx.config.stall_on_conflict {
             // Stall path (§6.4): wait for the lock instead of aborting —
             // a stray lock resolves only when recovery completes, which
@@ -711,9 +819,15 @@ impl<'c> Txn<'c> {
             }
             return Err(self.abort_now(AbortReason::LockConflict));
         }
-        // Re-read under the lock: this is the authoritative pre-image.
+        // The authoritative pre-image is the re-read under the lock —
+        // either the READ that rode the lock CAS's barrier, or a fresh
+        // blocking re-read when the pipelined path had none to offer.
         let primary = self.co.primary_of(table, slot.bucket)?;
-        let full = match self.co.read_full_slot(primary, slot) {
+        let full = match under_lock
+            .take()
+            .map(Ok)
+            .unwrap_or_else(|| self.co.read_full_slot(primary, slot))
+        {
             Ok(f) => f,
             Err(e) => {
                 // Leave the lock for recovery if we crashed; otherwise
@@ -727,13 +841,97 @@ impl<'c> Txn<'c> {
         // The slot must still belong to this key: a racing inserter's
         // duplicate-claim cleanup can clear a key word between our
         // resolve and our lock.
-        let key_ok = full.key == dkvs::layout::stored_key(key);
-        let entry_ok = key_ok
-            && match kind {
-                WriteKind::Update => full.image.version.is_present(),
-                WriteKind::Delete => full.image.version.is_present(),
-                WriteKind::Insert => !full.image.version.is_present(),
-            };
+        if full.key != dkvs::layout::stored_key(key) {
+            self.release_lock_or_fence(primary, self.co.lock_addr(primary, slot));
+            // Slot repurposed under us; retryable.
+            return Err(self.abort_now(AbortReason::LockConflict));
+        }
+        self.finish_locked_entry(table, key, slot, primary, full, new_value, kind)
+    }
+
+    /// Can a write skip the cache-validating resolve READ and let the
+    /// READ fused with the lock CAS authenticate the slot instead?
+    /// Requires the fan-out path, and none of the machinery that needs
+    /// a pre-lock slot image: bug reproductions, the traditional
+    /// scheme's lock-intent logging, and the stall loop all inspect or
+    /// stage from the resolve image before the lock lands.
+    fn lock_read_fast_path(&self) -> bool {
+        let c = &self.co.ctx.config;
+        self.co.pipelining_on()
+            && !c.bugs.any()
+            && !c.protocol.uses_lock_intents()
+            && !c.stall_on_conflict
+    }
+
+    /// Cached-address write fast path: lock the slot the address cache
+    /// names and let the under-lock image from the fused CAS+READ
+    /// barrier stand in for the resolve read — one round trip per
+    /// locked write instead of two. Returns the value back (`Some`)
+    /// when the cached slot no longer holds the key, so the caller can
+    /// re-resolve along the probe sequence; `None` means staged.
+    fn stage_locked_write_cached(
+        &mut self,
+        table: TableId,
+        key: u64,
+        slot: SlotRef,
+        new_value: Vec<u8>,
+        kind: WriteKind,
+    ) -> Result<Option<Vec<u8>>, TxnError> {
+        let t_lock = self.co.phase_start();
+        let (locked, mut under_lock) = self.try_lock_read(slot, key)?;
+        if let Some(t0) = t_lock {
+            self.lock_elapsed += t0.elapsed();
+        }
+        if !locked {
+            // Conflict on the cached slot: even if the slot was
+            // repurposed, LockConflict is the same retryable abort the
+            // post-resolve lock race surfaces.
+            return Err(self.abort_now(AbortReason::LockConflict));
+        }
+        let primary = self.co.primary_of(table, slot.bucket)?;
+        let full = match under_lock
+            .take()
+            .map(Ok)
+            .unwrap_or_else(|| self.co.read_full_slot(primary, slot))
+        {
+            Ok(f) => f,
+            Err(e) => {
+                if !matches!(e, TxnError::Crashed) {
+                    self.release_lock_or_fence(primary, self.co.lock_addr(primary, slot));
+                }
+                return Err(e);
+            }
+        };
+        if full.key != dkvs::layout::stored_key(key) {
+            // Stale cache entry: the slot belongs to someone else now.
+            // Release the (briefly held) lock and re-resolve.
+            self.release_lock_or_fence(primary, self.co.lock_addr(primary, slot));
+            self.co.addr_cache.remove(&(table, key));
+            return Ok(Some(new_value));
+        }
+        self.finish_locked_entry(table, key, slot, primary, full, new_value, kind)
+            .map(|()| None)
+    }
+
+    /// Post-lock staging shared by the resolve and cached-address
+    /// paths. The key word has already been verified under the lock;
+    /// check entry liveness and read-set continuity, then stage the
+    /// write-set entry.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_locked_entry(
+        &mut self,
+        table: TableId,
+        key: u64,
+        slot: SlotRef,
+        primary: NodeId,
+        full: crate::coordinator::FullSlot,
+        new_value: Vec<u8>,
+        kind: WriteKind,
+    ) -> Result<(), TxnError> {
+        let entry_ok = match kind {
+            WriteKind::Update | WriteKind::Delete => full.image.version.is_present(),
+            WriteKind::Insert => !full.image.version.is_present(),
+        };
         // Continuity with this txn's own earlier read of the same key.
         let read_version_ok = self
             .read_set
@@ -742,9 +940,7 @@ impl<'c> Txn<'c> {
             .is_none_or(|r| r.version == full.image.version);
         if !entry_ok || !read_version_ok {
             self.release_lock_or_fence(primary, self.co.lock_addr(primary, slot));
-            let reason = if !key_ok {
-                AbortReason::LockConflict // slot repurposed under us; retryable
-            } else if !read_version_ok {
+            let reason = if !read_version_ok {
                 AbortReason::ValidationVersion
             } else if kind == WriteKind::Insert {
                 AbortReason::AlreadyExists
@@ -772,7 +968,7 @@ impl<'c> Txn<'c> {
 
         // Bug: "Lost decision" — FORD logs during execution, before the
         // decision, and aborts leave the log behind (paper §3.1.3).
-        if bugs.lost_decision {
+        if self.co.ctx.config.bugs.lost_decision {
             self.write_undo_logs()?;
         }
         Ok(())
@@ -836,6 +1032,22 @@ impl<'c> Txn<'c> {
                 .trace(crate::trace::TxnEvent::Lock { table: slot.table, key, stolen: false });
             return Ok(true);
         }
+        self.lock_after_conflict(slot, key, primary, addr, prev, my, unique)
+    }
+
+    /// Shared tail of both lock paths once the lock CAS observed
+    /// `prev != 0`: steal a stray lock or report a conflict.
+    #[allow(clippy::too_many_arguments)]
+    fn lock_after_conflict(
+        &mut self,
+        slot: SlotRef,
+        key: u64,
+        primary: NodeId,
+        addr: u64,
+        prev: u64,
+        my: LockWord,
+        unique: bool,
+    ) -> Result<bool, TxnError> {
         let prev_lock = LockWord(prev);
         if self.lock_is_stray(prev_lock) && prev_lock != my {
             // Steal: one extra CAS, owner-checked so a concurrent thief
@@ -862,26 +1074,153 @@ impl<'c> Txn<'c> {
         Ok(false)
     }
 
+    /// Pipelined lock: post the lock CAS and the under-lock full-slot
+    /// READ back-to-back on the primary's QP and take one barrier. Verb
+    /// effects execute eagerly in post order, so the READ observes the
+    /// CAS's outcome — when the CAS cleanly wins, the READ payload *is*
+    /// the authoritative under-lock pre-image and the usual second
+    /// round trip disappears. Every other outcome (conflict, stray
+    /// steal, ambiguous timeout) resolves exactly as [`Txn::try_lock`]
+    /// would, and returns no image (the caller re-reads blocking).
+    fn try_lock_read(
+        &mut self,
+        slot: SlotRef,
+        key: u64,
+    ) -> Result<(bool, Option<FullSlot>), TxnError> {
+        if !self.co.pipelining_on() {
+            return Ok((self.try_lock(slot, key)?, None));
+        }
+        let primary = self.co.primary_of(slot.table, slot.bucket)?;
+        let addr = self.co.lock_addr(primary, slot);
+        let my = self.co.my_lock();
+        let unique = self.co.ctx.config.pill_active();
+        let layout = self.co.map().layout(slot.table);
+        let base = self.co.map().slot_addr(primary, slot.table, slot.bucket, slot.slot);
+        let qp = self.co.qp(primary);
+        let cas_id = qp.post_cas(addr, 0, my.raw()).map_err(TxnError::from_rdma)?;
+        // If the READ fails to post (e.g. a crash fired between the two
+        // posts), the CAS outcome still decides the lock; the image just
+        // falls back to the blocking re-read.
+        let read_id = qp.post_read(base, layout.slot_bytes() as usize).ok();
+        let comps = qp.wait_all();
+        let image = read_id.and_then(|id| {
+            comps
+                .iter()
+                .find(|c| c.work_id == id)
+                .filter(|c| c.result.is_ok())
+                .and_then(|c| c.data.clone())
+                .map(|buf| parse_full_slot(layout, &buf))
+        });
+        let Some(cas) = comps.iter().find(|c| c.work_id == cas_id) else {
+            // The barrier always delivers posted completions; defensive.
+            return Ok((self.try_lock(slot, key)?, None));
+        };
+        match cas.result.clone() {
+            Ok(0) => {
+                self.co.trace(crate::trace::TxnEvent::Lock {
+                    table: slot.table,
+                    key,
+                    stolen: false,
+                });
+                Ok((true, image))
+            }
+            Ok(prev) => {
+                Ok((self.lock_after_conflict(slot, key, primary, addr, prev, my, unique)?, None))
+            }
+            Err(RdmaError::Timeout { applied: TimeoutApplied::Ambiguous }) if unique => {
+                // Same disambiguation as `retry::cas_resolved`: the PILL
+                // word is unique to this (incarnation, txn), so a re-read
+                // of the lock word proves whether the CAS landed. Blindly
+                // re-CASing here would misread our own landed word as a
+                // foreign conflict and leak the lock.
+                let cur = self
+                    .co
+                    .retry_verb(|| self.co.qp(primary).read_u64(addr))
+                    .map_err(TxnError::from_rdma)?;
+                if cur == my.raw() {
+                    self.co.ctx.resilience.ambiguous_resolved.fetch_add(1, Ordering::Relaxed);
+                    self.co.trace(crate::trace::TxnEvent::Lock {
+                        table: slot.table,
+                        key,
+                        stolen: false,
+                    });
+                    Ok((true, None))
+                } else if cur != 0 {
+                    self.co.ctx.resilience.ambiguous_resolved.fetch_add(1, Ordering::Relaxed);
+                    Ok((self.lock_after_conflict(slot, key, primary, addr, cur, my, unique)?, None))
+                } else {
+                    // Provably never landed: an ordinary fresh attempt.
+                    Ok((self.try_lock(slot, key)?, None))
+                }
+            }
+            Err(RdmaError::Timeout { applied: TimeoutApplied::NotApplied }) => {
+                // The verb never executed; re-issue through the blocking
+                // path, which owns the bounded CAS retry loop.
+                Ok((self.try_lock(slot, key)?, None))
+            }
+            Err(e) => Err(TxnError::from_rdma(e)),
+        }
+    }
+
     // ---------------------------------------------------------------
     // Validation phase
     // ---------------------------------------------------------------
 
     fn validate(&mut self) -> Result<(), AbortReason> {
         let bugs = self.co.ctx.config.bugs;
+        // The re-read set: read-set entries not protected by our own
+        // write locks, each with its acting primary.
+        let mut checks: Vec<(usize, NodeId)> = Vec::new();
         for i in 0..self.read_set.len() {
-            let (table, key, slot, version) = {
+            let (table, key, slot) = {
                 let r = &self.read_set[i];
-                (r.table, r.key, r.slot, r.version)
+                (r.table, r.key, r.slot)
             };
             if self.write_set.iter().any(|w| w.table == table && w.key == key) {
                 continue; // protected by our own lock
             }
             let primary =
                 self.co.primary_of(table, slot.bucket).map_err(|_| AbortReason::MemoryFailure)?;
-            let (lock, cur_version) = self
-                .co
-                .read_lock_version(primary, slot)
-                .map_err(|_| AbortReason::ValidationVersion)?;
+            checks.push((i, primary));
+        }
+        // Fan every 16 B `[lock][version]` re-read out with one barrier;
+        // failed items fall back to the blocking retrying read below.
+        // Checking stays in read-set order so the abort reason a caller
+        // sees is the same one the sequential path would report.
+        let mut fanned: Vec<Option<(LockWord, VersionWord)>> = vec![None; checks.len()];
+        if self.co.pipelining_on() && checks.len() > 1 {
+            let outcomes = self.co.fanout(
+                &checks,
+                |&(_, node)| node,
+                |qp, &(i, node), ids| {
+                    let addr = self.co.lock_addr(node, self.read_set[i].slot);
+                    ids.push(qp.post_read(addr, 16)?);
+                    Ok(())
+                },
+            );
+            for (o, f) in outcomes.into_iter().zip(fanned.iter_mut()) {
+                if o.result.is_ok() {
+                    if let Some(buf) = o.data {
+                        *f = Some((
+                            LockWord(u64::from_le_bytes(buf[0..8].try_into().expect("8B"))),
+                            VersionWord(u64::from_le_bytes(buf[8..16].try_into().expect("8B"))),
+                        ));
+                    }
+                }
+            }
+        }
+        for (ci, &(i, primary)) in checks.iter().enumerate() {
+            let (slot, version) = {
+                let r = &self.read_set[i];
+                (r.slot, r.version)
+            };
+            let (lock, cur_version) = match fanned[ci].take() {
+                Some(pair) => pair,
+                None => self
+                    .co
+                    .read_lock_version(primary, slot)
+                    .map_err(|_| AbortReason::ValidationVersion)?,
+            };
             if !bugs.covert_locks {
                 // Covert-locks fix: a locked read-set object means a
                 // concurrent writer holds it — abort (stray locks of
@@ -963,23 +1302,18 @@ impl<'c> Txn<'c> {
                 writes: records.into_iter().map(|(_, r)| r).collect(),
             };
             let buf = entry.encode();
-            for node in self.co.map().log_servers(coord) {
-                if dead.contains(&node) {
-                    continue;
-                }
-                let region = self.co.map().log_region(node, coord);
-                self.co
-                    .retry_verb(|| self.co.qp(node).write(region.base, &buf))
-                    .map_err(TxnError::from_rdma)?;
-                if self.co.ctx.config.persistence.needs_flush() {
-                    // Selective flush (paper §7): persist the log before
-                    // the commit phase may act on it.
-                    self.co
-                        .retry_verb(|| self.co.qp(node).flush(region.base))
-                        .map_err(TxnError::from_rdma)?;
-                }
-                self.logged_nodes.push(node);
-            }
+            let targets: Vec<(NodeId, u64, Vec<u8>)> = self
+                .co
+                .map()
+                .log_servers(coord)
+                .into_iter()
+                .filter(|n| !dead.contains(n))
+                .map(|n| (n, self.co.map().log_region(n, coord).base, buf.clone()))
+                .collect();
+            // Selective flush (paper §7): persist the log before the
+            // commit phase may act on it.
+            let flush = self.co.ctx.config.persistence.needs_flush();
+            self.write_log_copies(&targets, flush, true)?;
         } else {
             // FORD scheme: each object logged on its own replica nodes.
             let mut per_node: std::collections::BTreeMap<NodeId, Vec<UndoRecord>> =
@@ -992,19 +1326,72 @@ impl<'c> Txn<'c> {
                     per_node.entry(node).or_default().push(r.clone());
                 }
             }
-            for (node, writes) in per_node {
-                let entry = LogEntry { txn_id: self.txn_id, coord, writes };
-                let region = self.co.map().log_region(node, coord);
-                let buf = entry.encode();
+            let targets: Vec<(NodeId, u64, Vec<u8>)> = per_node
+                .into_iter()
+                .map(|(node, writes)| {
+                    let entry = LogEntry { txn_id: self.txn_id, coord, writes };
+                    (node, self.co.map().log_region(node, coord).base, entry.encode())
+                })
+                .collect();
+            let flush = self.co.ctx.config.persistence.needs_flush();
+            self.write_log_copies(&targets, flush, true)?;
+        }
+        Ok(())
+    }
+
+    /// Write one log (or intent) copy per `(node, region base, bytes)`
+    /// target — fanned out behind a single completion barrier when
+    /// pipelining is on, blocking otherwise. The optional flush posts on
+    /// the same QP right behind its write, so RC ordering sequences it
+    /// without a second barrier.
+    ///
+    /// With `track` set, every *attempted* node is recorded in
+    /// `logged_nodes` before any failure is resolved: a posted WRITE may
+    /// have landed even when its completion failed, and truncating a
+    /// region that was never written is a harmless zero-write — the
+    /// conservative superset is exactly what abort-path truncation
+    /// needs.
+    fn write_log_copies(
+        &mut self,
+        targets: &[(NodeId, u64, Vec<u8>)],
+        flush: bool,
+        track: bool,
+    ) -> Result<(), TxnError> {
+        let outcomes = if self.co.pipelining_on() && targets.len() > 1 {
+            let o = self.co.fanout(
+                targets,
+                |t| t.0,
+                |qp, t, ids| {
+                    ids.push(qp.post_write(t.1, &t.2)?);
+                    if flush {
+                        ids.push(qp.post_flush(t.1)?);
+                    }
+                    Ok(())
+                },
+            );
+            if track {
+                self.logged_nodes.extend(targets.iter().map(|t| t.0));
+            }
+            Some(o)
+        } else {
+            None
+        };
+        for (k, (node, base, buf)) in targets.iter().enumerate() {
+            if outcomes.as_ref().is_some_and(|o| o[k].result.is_ok()) {
+                continue;
+            }
+            // Blocking (re-)issue: the WRITE is idempotent (same bytes,
+            // same address), so re-running a failed fanned item is safe.
+            self.co
+                .retry_verb(|| self.co.qp(*node).write(*base, buf))
+                .map_err(TxnError::from_rdma)?;
+            if flush {
                 self.co
-                    .retry_verb(|| self.co.qp(node).write(region.base, &buf))
+                    .retry_verb(|| self.co.qp(*node).flush(*base))
                     .map_err(TxnError::from_rdma)?;
-                if self.co.ctx.config.persistence.needs_flush() {
-                    self.co
-                        .retry_verb(|| self.co.qp(node).flush(region.base))
-                        .map_err(TxnError::from_rdma)?;
-                }
-                self.logged_nodes.push(node);
+            }
+            if track && outcomes.is_none() {
+                self.logged_nodes.push(*node);
             }
         }
         Ok(())
@@ -1023,16 +1410,17 @@ impl<'c> Txn<'c> {
             buf.extend_from_slice(&w.slot.bucket.to_le_bytes());
             buf.extend_from_slice(&(w.slot.slot as u64).to_le_bytes());
         }
-        for node in self.co.map().log_servers(coord) {
-            if dead.contains(&node) {
-                continue;
-            }
-            let region = self.co.map().intent_region(node, coord);
-            self.co
-                .retry_verb(|| self.co.qp(node).write(region.base, &buf))
-                .map_err(TxnError::from_rdma)?;
-        }
-        Ok(())
+        let targets: Vec<(NodeId, u64, Vec<u8>)> = self
+            .co
+            .map()
+            .log_servers(coord)
+            .into_iter()
+            .filter(|n| !dead.contains(n))
+            .map(|n| (n, self.co.map().intent_region(n, coord).base, buf.clone()))
+            .collect();
+        // Intents are never flushed (they are advisory even under NVM)
+        // and never truncated, so they don't join `logged_nodes`.
+        self.write_log_copies(&targets, false, false)
     }
 
     // ---------------------------------------------------------------
@@ -1147,86 +1535,195 @@ impl<'c> Txn<'c> {
     fn apply_updates(&mut self) -> Result<(), TxnError> {
         self.apply_started = !self.write_set.is_empty();
         let dead = self.co.ctx.dead_nodes();
-        // For NVM: the last-written address per node, flushed once after
-        // all of that node's updates (the *selective* flush scheme — one
-        // flush per touched node, not per write).
-        let mut flush_points: Vec<(NodeId, u64)> = Vec::new();
-        for w in &self.write_set {
-            let replicas = self.co.map().replicas(w.table, w.slot.bucket);
-            let mut any_live = false;
-            for node in replicas {
+        // Two tiers, two barriers: every entry's acting primary is
+        // written (and its completion collected) before any backup
+        // write posts — the primary-before-backup order the sequential
+        // path enforced per entry, kept globally across the fan-out.
+        let mut primaries: Vec<(usize, NodeId)> = Vec::new();
+        let mut backups: Vec<(usize, NodeId)> = Vec::new();
+        for (i, w) in self.write_set.iter().enumerate() {
+            let mut tier0 = true;
+            for node in self.co.map().replicas(w.table, w.slot.bucket) {
                 if dead.contains(&node) {
                     continue;
                 }
-                let base = self.co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
-                let key_word = dkvs::layout::stored_key(w.key).to_le_bytes();
-                let version_word = w.new_version.raw().to_le_bytes();
-                let apply = || -> Result<(), RdmaError> {
-                    // Value first, version second (batched or not): a
-                    // concurrent reader must never validate a torn value.
-                    if self.co.ctx.config.doorbell_batching {
-                        let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(3);
-                        if w.kind == WriteKind::Insert {
-                            batch.push((base + SlotLayout::KEY_OFF, &key_word));
-                        }
-                        if w.kind != WriteKind::Delete {
-                            batch.push((base + SlotLayout::VALUE_OFF, &w.new_value));
-                        }
-                        batch.push((base + SlotLayout::VERSION_OFF, &version_word));
-                        self.co.qp(node).write_batch(&batch)?;
-                        return Ok(());
-                    }
-                    if w.kind == WriteKind::Insert {
-                        self.co.qp(node).write(base + SlotLayout::KEY_OFF, &key_word)?;
-                    }
-                    if w.kind != WriteKind::Delete {
-                        self.co.qp(node).write(base + SlotLayout::VALUE_OFF, &w.new_value)?;
-                    }
-                    self.co.qp(node).write(base + SlotLayout::VERSION_OFF, &version_word)?;
-                    Ok(())
-                };
-                // The apply writes are idempotent (same bytes, same
-                // addresses), so transient timeouts are retried in place.
-                match self.co.retry_verb(apply) {
-                    Ok(()) => {
-                        any_live = true;
-                        if self.co.ctx.config.persistence.needs_flush() {
-                            match flush_points.iter_mut().find(|(n, _)| *n == node) {
-                                Some(fp) => fp.1 = base,
-                                None => flush_points.push((node, base)),
-                            }
-                        }
-                    }
-                    Err(RdmaError::NodeDead) => {
-                        // Raced a memory-server death: the memory-failure
-                        // rule commits iff all *live* replicas are updated
-                        // (paper §3.2.5), so a confirmed-dead replica is
-                        // skipped.
-                        if self.co.ctx.fabric.node(node).map(|n| n.is_alive()).unwrap_or(false) {
-                            return Err(TxnError::Rdma(RdmaError::NodeDead));
-                        }
-                    }
-                    Err(RdmaError::Timeout { .. }) => {
-                        // Retry budget exhausted mid-apply: some replicas
-                        // may already hold the new value, and a live
-                        // coordinator can neither finish nor undo from
-                        // here atomically. Fail-stop (self-fence) so the
-                        // FD's recovery resolves the transaction from its
-                        // undo log — roll forward iff every live replica
-                        // advanced, roll back otherwise.
-                        self.co.ctx.resilience.note_self_fence();
-                        self.co.flight_fence("self-fence-apply");
-                        self.co.injector().crash_now();
-                        return Err(TxnError::Crashed);
-                    }
-                    Err(e) => return Err(TxnError::from_rdma(e)),
+                if tier0 {
+                    primaries.push((i, node));
+                    tier0 = false;
+                } else {
+                    backups.push((i, node));
                 }
             }
-            if !any_live {
+        }
+        let mut landed: Vec<(usize, NodeId)> = Vec::new();
+        self.apply_stage(&primaries, &mut landed)?;
+        self.apply_stage(&backups, &mut landed)?;
+        // Memory-failure rule (paper §3.2.5): commit iff every entry
+        // reached at least one live replica.
+        for i in 0..self.write_set.len() {
+            if !landed.iter().any(|&(j, _)| j == i) {
                 return Err(TxnError::Aborted(AbortReason::MemoryFailure));
             }
         }
-        for (node, addr) in flush_points {
+        if !self.co.ctx.config.persistence.needs_flush() {
+            return Ok(());
+        }
+        // For NVM: the last-written address per node, flushed once after
+        // all of that node's updates (the *selective* flush scheme — one
+        // flush per touched node, not per write). Walk the landed writes
+        // in the sequential path's entry-major order so each node's
+        // flush point is its last write.
+        let mut flush_points: Vec<(NodeId, u64)> = Vec::new();
+        for (i, w) in self.write_set.iter().enumerate() {
+            for node in self.co.map().replicas(w.table, w.slot.bucket) {
+                if !landed.contains(&(i, node)) {
+                    continue;
+                }
+                let base = self.co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
+                match flush_points.iter_mut().find(|(n, _)| *n == node) {
+                    Some(fp) => fp.1 = base,
+                    None => flush_points.push((node, base)),
+                }
+            }
+        }
+        self.flush_stage(&flush_points)
+    }
+
+    /// Post one write-set entry's key/value/version WRITEs for `qp`'s
+    /// node. Value first, version second (batched or not): same-QP RC
+    /// ordering keeps a concurrent reader from ever validating a torn
+    /// value, exactly as in the blocking path.
+    fn post_apply_writes(&self, qp: &QueuePair, i: usize, ids: &mut Vec<WorkId>) -> RdmaResult<()> {
+        let w = &self.write_set[i];
+        let base = self.co.map().slot_addr(qp.node_id(), w.table, w.slot.bucket, w.slot.slot);
+        let key_word = dkvs::layout::stored_key(w.key).to_le_bytes();
+        let version_word = w.new_version.raw().to_le_bytes();
+        if self.co.ctx.config.doorbell_batching {
+            let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(3);
+            if w.kind == WriteKind::Insert {
+                batch.push((base + SlotLayout::KEY_OFF, &key_word));
+            }
+            if w.kind != WriteKind::Delete {
+                batch.push((base + SlotLayout::VALUE_OFF, &w.new_value));
+            }
+            batch.push((base + SlotLayout::VERSION_OFF, &version_word));
+            ids.push(qp.post_write_batch(&batch)?);
+            return Ok(());
+        }
+        if w.kind == WriteKind::Insert {
+            ids.push(qp.post_write(base + SlotLayout::KEY_OFF, &key_word)?);
+        }
+        if w.kind != WriteKind::Delete {
+            ids.push(qp.post_write(base + SlotLayout::VALUE_OFF, &w.new_value)?);
+        }
+        ids.push(qp.post_write(base + SlotLayout::VERSION_OFF, &version_word)?);
+        Ok(())
+    }
+
+    /// Blocking twin of [`Txn::post_apply_writes`] — the fallback for
+    /// failed fanned items and the whole path when pipelining is off.
+    fn apply_writes_blocking(&self, i: usize, node: NodeId) -> Result<(), RdmaError> {
+        let w = &self.write_set[i];
+        let base = self.co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
+        let key_word = dkvs::layout::stored_key(w.key).to_le_bytes();
+        let version_word = w.new_version.raw().to_le_bytes();
+        if self.co.ctx.config.doorbell_batching {
+            let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(3);
+            if w.kind == WriteKind::Insert {
+                batch.push((base + SlotLayout::KEY_OFF, &key_word));
+            }
+            if w.kind != WriteKind::Delete {
+                batch.push((base + SlotLayout::VALUE_OFF, &w.new_value));
+            }
+            batch.push((base + SlotLayout::VERSION_OFF, &version_word));
+            self.co.qp(node).write_batch(&batch)?;
+            return Ok(());
+        }
+        if w.kind == WriteKind::Insert {
+            self.co.qp(node).write(base + SlotLayout::KEY_OFF, &key_word)?;
+        }
+        if w.kind != WriteKind::Delete {
+            self.co.qp(node).write(base + SlotLayout::VALUE_OFF, &w.new_value)?;
+        }
+        self.co.qp(node).write(base + SlotLayout::VERSION_OFF, &version_word)?;
+        Ok(())
+    }
+
+    /// Apply one replica tier (all primaries, or all backups) behind a
+    /// single barrier; items whose posted verbs failed re-run through
+    /// the blocking path with its full error ladder. Successful
+    /// `(write-set index, node)` pairs are appended to `landed`.
+    fn apply_stage(
+        &self,
+        items: &[(usize, NodeId)],
+        landed: &mut Vec<(usize, NodeId)>,
+    ) -> Result<(), TxnError> {
+        let outcomes = if self.co.pipelining_on() && items.len() > 1 {
+            Some(self.co.fanout(
+                items,
+                |&(_, n)| n,
+                |qp, &(i, _), ids| self.post_apply_writes(qp, i, ids),
+            ))
+        } else {
+            None
+        };
+        for (k, &(i, node)) in items.iter().enumerate() {
+            if outcomes.as_ref().is_some_and(|o| o[k].result.is_ok()) {
+                landed.push((i, node));
+                continue;
+            }
+            // The apply writes are idempotent (same bytes, same
+            // addresses), so transient timeouts — and failed fanned
+            // items — are retried in place.
+            match self.co.retry_verb(|| self.apply_writes_blocking(i, node)) {
+                Ok(()) => landed.push((i, node)),
+                Err(RdmaError::NodeDead) => {
+                    // Raced a memory-server death: the memory-failure
+                    // rule commits iff all *live* replicas are updated
+                    // (paper §3.2.5), so a confirmed-dead replica is
+                    // skipped.
+                    if self.co.ctx.fabric.node(node).map(|n| n.is_alive()).unwrap_or(false) {
+                        return Err(TxnError::Rdma(RdmaError::NodeDead));
+                    }
+                }
+                Err(RdmaError::Timeout { .. }) => {
+                    // Retry budget exhausted mid-apply: some replicas
+                    // may already hold the new value, and a live
+                    // coordinator can neither finish nor undo from
+                    // here atomically. Fail-stop (self-fence) so the
+                    // FD's recovery resolves the transaction from its
+                    // undo log — roll forward iff every live replica
+                    // advanced, roll back otherwise.
+                    self.co.ctx.resilience.note_self_fence();
+                    self.co.flight_fence("self-fence-apply");
+                    self.co.injector().crash_now();
+                    return Err(TxnError::Crashed);
+                }
+                Err(e) => return Err(TxnError::from_rdma(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Issue the per-node selective flushes behind one barrier; failed
+    /// items fall back to the blocking flush and its self-fence ladder.
+    fn flush_stage(&self, points: &[(NodeId, u64)]) -> Result<(), TxnError> {
+        let outcomes = if self.co.pipelining_on() && points.len() > 1 {
+            Some(self.co.fanout(
+                points,
+                |&(n, _)| n,
+                |qp, &(_, addr), ids| {
+                    ids.push(qp.post_flush(addr)?);
+                    Ok(())
+                },
+            ))
+        } else {
+            None
+        };
+        for (k, &(node, addr)) in points.iter().enumerate() {
+            if outcomes.as_ref().is_some_and(|o| o[k].result.is_ok()) {
+                continue;
+            }
             match self.co.retry_verb(|| self.co.qp(node).flush(addr)) {
                 Ok(()) => {}
                 Err(RdmaError::Timeout { .. }) => {
@@ -1265,9 +1762,12 @@ impl<'c> Txn<'c> {
     }
 
     /// Release all locks this txn actually acquired (post-ack; errors are
-    /// recovery's business).
+    /// recovery's business). With pipelining on, every release WRITE
+    /// posts up front and one barrier collects them; failures fall back
+    /// to the blocking release-or-fence path.
     fn unlock_all(&mut self) {
         let dead = self.co.ctx.dead_nodes();
+        let mut locks: Vec<(NodeId, u64)> = Vec::new();
         for w in &self.write_set {
             if !w.locked {
                 continue;
@@ -1276,8 +1776,26 @@ impl<'c> Txn<'c> {
                 if dead.contains(&primary) {
                     continue;
                 }
-                self.release_lock_or_fence(primary, self.co.lock_addr(primary, w.slot));
+                locks.push((primary, self.co.lock_addr(primary, w.slot)));
             }
+        }
+        let outcomes = if self.co.pipelining_on() && locks.len() > 1 {
+            Some(self.co.fanout(
+                &locks,
+                |&(n, _)| n,
+                |qp, &(_, addr), ids| {
+                    ids.push(qp.post_write(addr, &0u64.to_le_bytes())?);
+                    Ok(())
+                },
+            ))
+        } else {
+            None
+        };
+        for (k, &(node, addr)) in locks.iter().enumerate() {
+            if outcomes.as_ref().is_some_and(|o| o[k].result.is_ok()) {
+                continue;
+            }
+            self.release_lock_or_fence(node, addr);
         }
     }
 
@@ -1287,11 +1805,30 @@ impl<'c> Txn<'c> {
     /// transactions commit into slots that a re-executed recovery might
     /// then roll back, so the caller must keep the locks and fence.
     fn truncate_own_logs(&mut self) -> bool {
+        let coord = self.co.coord_id;
+        let targets: Vec<(NodeId, u64)> = std::mem::take(&mut self.logged_nodes)
+            .into_iter()
+            .map(|node| (node, self.co.map().log_region(node, coord).base))
+            .collect();
+        let outcomes = if self.co.pipelining_on() && targets.len() > 1 {
+            Some(self.co.fanout(
+                &targets,
+                |&(n, _)| n,
+                |qp, &(_, base), ids| {
+                    ids.push(qp.post_write(base, &0u64.to_le_bytes())?);
+                    Ok(())
+                },
+            ))
+        } else {
+            None
+        };
         let mut safe = true;
         let mut fence = false;
-        for node in std::mem::take(&mut self.logged_nodes) {
-            let region = self.co.map().log_region(node, self.co.coord_id);
-            match self.co.retry_release(|| self.co.qp(node).write_u64(region.base, 0)) {
+        for (k, &(node, base)) in targets.iter().enumerate() {
+            if outcomes.as_ref().is_some_and(|o| o[k].result.is_ok()) {
+                continue;
+            }
+            match self.co.retry_release(|| self.co.qp(node).write_u64(base, 0)) {
                 Ok(_) => {}
                 // A dead node's log copy is invisible to recovery too.
                 Err(RdmaError::NodeDead) => {}

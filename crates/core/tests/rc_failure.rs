@@ -13,9 +13,9 @@ fn freeze_midcommit(cluster: &pandora::SimCluster) -> (pandora::CoordinatorLease
     let (mut co, lease) = cluster.coordinator().unwrap();
     co.run(|txn| txn.read(KV, 9).map(|_| ())).unwrap(); // warm cache
     let base = co.injector().ops_issued();
-    // Single-write txn op layout (see tests/recovery.rs): op 7 = replica 1
+    // Single-write txn op layout (see tests/recovery.rs): op 6 = replica 1
     // fully updated, replica 2 untouched.
-    co.injector().arm(CrashPlan { at_op: base + 7, mode: CrashMode::AfterOp });
+    co.injector().arm(CrashPlan { at_op: base + 6, mode: CrashMode::AfterOp });
     let mut txn = co.begin();
     let err = txn.write(KV, 9, &value_for(9, 1)).and_then(|()| txn.commit()).unwrap_err();
     assert_eq!(err, TxnError::Crashed);

@@ -3,12 +3,14 @@
 //! termination, and the Baseline/Traditional recovery paths.
 //!
 //! Crash points are op-indexed. For a single-write transaction with a
-//! warm address cache the verb sequence is:
+//! warm address cache the verb sequence is (the fused lock CAS+READ
+//! authenticates the cached slot, so there is no resolve read — see
+//! DESIGN.md §10):
 //!
 //! ```text
-//! 1 resolve READ   2 lock CAS   3 re-read under lock
-//! commit: 4..5 log WRITEs (f+1=2)   6..9 value+version per replica
-//! 10 unlock WRITE
+//! 1 lock CAS   2 re-read under lock (fused with the CAS)
+//! commit: 3..4 log WRITEs (f+1=2)   5..8 value+version per replica
+//! 9 unlock WRITE
 //! ```
 
 mod common;
@@ -46,7 +48,8 @@ fn notlogged_stray_lock_is_stolen_after_notification() {
     let (mut co1, l1) = cluster.coordinator().unwrap();
     let (mut co2, _l2) = cluster.coordinator().unwrap();
 
-    // Crash right after the lock CAS lands: a NotLogged-Stray-Tx.
+    // Crash right after the lock phase (CAS + fused re-read) lands: a
+    // NotLogged-Stray-Tx.
     let err = crash_single_write(&cluster, &mut co1, 5, 2, CrashMode::AfterOp).unwrap_err();
     assert_eq!(err, TxnError::Crashed);
     let primary = cluster.primary_node(KV, 5);
@@ -91,8 +94,8 @@ fn midcommit_crash_rolls_back_partial_updates() {
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
     // Crash after replica 1 is fully updated (value+version) but before
-    // replica 2: op 7.
-    let err = crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+    // replica 2: op 6.
+    let err = crash_single_write(&cluster, &mut co1, 9, 6, CrashMode::AfterOp).unwrap_err();
     assert_eq!(err, TxnError::Crashed);
 
     // One replica new, one old — inconsistent until recovery.
@@ -120,9 +123,9 @@ fn midcommit_crash_rolls_back_partial_updates() {
 fn fully_applied_crash_rolls_forward() {
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    // Crash at the unlock (BeforeOp op 10): every replica updated, the
+    // Crash at the unlock (BeforeOp op 9): every replica updated, the
     // client ack was sent — commit() returns Ok despite the crash.
-    let res = crash_single_write(&cluster, &mut co1, 11, 10, CrashMode::BeforeOp);
+    let res = crash_single_write(&cluster, &mut co1, 11, 9, CrashMode::BeforeOp);
     assert!(res.is_ok(), "post-ack crash must still report commit: {res:?}");
 
     let primary = cluster.primary_node(KV, 11);
@@ -144,9 +147,9 @@ fn fully_applied_crash_rolls_forward() {
 fn crash_between_log_writes_rolls_back() {
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    // Crash after the first of two log writes (op 4): the txn is Logged
+    // Crash after the first of two log writes (op 3): the txn is Logged
     // (one valid copy exists) but never started its commit phase.
-    crash_single_write(&cluster, &mut co1, 13, 4, CrashMode::AfterOp).unwrap_err();
+    crash_single_write(&cluster, &mut co1, 13, 3, CrashMode::AfterOp).unwrap_err();
 
     let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
     assert_eq!(report.logged_txns, 1);
@@ -158,13 +161,13 @@ fn crash_between_log_writes_rolls_back() {
 
 #[test]
 fn torn_log_write_is_treated_as_not_logged() {
-    // MidWrite crash on the FIRST log write (op 4): the region holds a
+    // MidWrite crash on the FIRST log write (op 3): the region holds a
     // half-written entry whose checksum canary fails. Recovery must
     // treat the txn as NotLogged — safe, because a torn log write means
     // the commit phase never started (no updates anywhere).
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    let err = crash_single_write(&cluster, &mut co1, 17, 4, CrashMode::MidWrite).unwrap_err();
+    let err = crash_single_write(&cluster, &mut co1, 17, 3, CrashMode::MidWrite).unwrap_err();
     assert_eq!(err, TxnError::Crashed);
 
     let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
@@ -179,13 +182,13 @@ fn torn_log_write_is_treated_as_not_logged() {
 
 #[test]
 fn torn_value_write_is_rolled_back() {
-    // MidWrite crash on a commit-phase value write (op 6): half the new
+    // MidWrite crash on a commit-phase value write (op 5): half the new
     // value landed on replica 1 with the version still old. The txn is
     // logged, so recovery rolls it back, rewriting the full pre-image
     // over the torn bytes.
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    crash_single_write(&cluster, &mut co1, 18, 6, CrashMode::MidWrite).unwrap_err();
+    crash_single_write(&cluster, &mut co1, 18, 5, CrashMode::MidWrite).unwrap_err();
 
     let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
     assert_eq!(report.logged_txns, 1);
@@ -212,10 +215,10 @@ fn stale_committed_log_entry_is_ignored_by_recovery() {
     co1.run(|txn| txn.write(KV, 21, &value_for(21, 1))).unwrap();
 
     // Txn N+1 writes key 21 again and crashes after the FIRST of its
-    // two log writes: server 0 holds N+1's entry, server 1 still holds
-    // N's committed entry.
+    // two log writes (op 3): server 0 holds N+1's entry, server 1 still
+    // holds N's committed entry.
     let base = co1.injector().ops_issued();
-    co1.injector().arm(CrashPlan { at_op: base + 4, mode: CrashMode::AfterOp });
+    co1.injector().arm(CrashPlan { at_op: base + 3, mode: CrashMode::AfterOp });
     {
         let mut txn = co1.begin();
         let err = txn.write(KV, 21, &value_for(21, 2)).and_then(|()| txn.commit()).unwrap_err();
@@ -237,7 +240,7 @@ fn stale_committed_log_entry_is_ignored_by_recovery() {
 fn recovery_is_idempotent() {
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+    crash_single_write(&cluster, &mut co1, 9, 6, CrashMode::AfterOp).unwrap_err();
 
     let rc = cluster.fd.recovery();
     let r1 = rc.recover_pandora(l1.coord_id, l1.endpoint);
@@ -272,7 +275,7 @@ fn logged_stray_locks_are_not_stolen_only_resolved() {
     // window where a thief could observe the bit and steal a logged lock.
     let cluster = cluster_with_keys(ProtocolKind::Pandora, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+    crash_single_write(&cluster, &mut co1, 9, 6, CrashMode::AfterOp).unwrap_err();
 
     // The bit is unset before recovery; a conflicting writer aborts.
     let (mut co2, _l2) = cluster.coordinator().unwrap();
@@ -310,7 +313,7 @@ fn baseline_recovery_scans_and_releases_stray_locks() {
 fn baseline_midcommit_crash_rolls_back_via_logs() {
     let cluster = cluster_with_keys(ProtocolKind::Ford, 32);
     let (mut co1, l1) = cluster.coordinator().unwrap();
-    crash_single_write(&cluster, &mut co1, 9, 7, CrashMode::AfterOp).unwrap_err();
+    crash_single_write(&cluster, &mut co1, 9, 6, CrashMode::AfterOp).unwrap_err();
 
     let report = cluster.fd.declare_failed(l1.coord_id).expect("recovered");
     assert_eq!(report.rolled_back, 1);
@@ -408,8 +411,8 @@ fn multi_write_txn_rolls_back_atomically() {
     })
     .unwrap();
     let base = co1.injector().ops_issued();
-    // Ops: 3 keys × (resolve, lock, re-read) = 9; logs 2; applies 3×4=12;
-    // unlocks 3. Crash inside the applies: op 9+2+5 = 16.
+    // Ops: 3 keys × (lock CAS, fused re-read) = 6; logs 2; applies
+    // 3×4=12; unlocks 3. Crash inside the applies: op 6+2+8 = 16.
     co1.injector().arm(CrashPlan { at_op: base + 16, mode: CrashMode::AfterOp });
     {
         let mut txn = co1.begin();

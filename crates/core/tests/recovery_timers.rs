@@ -35,10 +35,10 @@ fn declared_failure_populates_all_four_step_timers() {
     // Warm the address cache so the crash point below is deterministic.
     co.run(|txn| txn.read(KV, 5).map(|_| ())).unwrap();
     let base = co.injector().ops_issued();
-    // Warm single-write layout: resolve(1) lock(2) re-read(3) logs(4,5)
-    // applies(6..9) unlock(10). Crashing mid-apply leaves a
+    // Warm single-write layout: lock CAS(1) fused re-read(2) logs(3,4)
+    // applies(5..8) unlock(9). Crashing mid-apply leaves a
     // Logged-Stray-Tx, so the log-recovery step has real work to do.
-    co.injector().arm(CrashPlan { at_op: base + 7, mode: CrashMode::AfterOp });
+    co.injector().arm(CrashPlan { at_op: base + 6, mode: CrashMode::AfterOp });
     {
         let mut txn = co.begin();
         let err = txn.write(KV, 5, &value_for(5, 1)).and_then(|()| txn.commit()).unwrap_err();

@@ -1,0 +1,282 @@
+//! Posted-verb completion engine: work ids, completions, and the
+//! fabric-wide verb-latency statistics.
+//!
+//! The simulator executes a posted verb's *effect* eagerly at post time —
+//! crash injection, liveness/revocation checks, the chaos draw, the memory
+//! operation and counter bumps all happen in post order, exactly as the
+//! blocking path did — and defers only the *latency*. Each post computes a
+//! completion deadline
+//!
+//! ```text
+//! deadline(i) = max(deadline(i-1), post_time(i) + delay_for(bytes))
+//! ```
+//!
+//! which is monotone per queue pair, so completions delivered in FIFO
+//! order observe reliable-connection program order while round trips to
+//! the same node overlap instead of summing. Blocking verbs are
+//! post-then-wait wrappers and therefore pay exactly the serial latency
+//! they always did; the chaos schedule is keyed to per-link post order, so
+//! a pipelined issue sequence draws the same verdicts as a blocking one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::error::{RdmaError, RdmaResult};
+use crate::flight::VerbKind;
+
+/// Identifier of one posted verb, unique and monotonically increasing per
+/// queue pair. Completions on one QP are always delivered in `WorkId`
+/// order (RC ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkId(pub u64);
+
+/// A delivered completion for one posted verb.
+///
+/// `result` carries the verb's scalar outcome: the *previous value* for
+/// CAS/FAA, 0 for READ/WRITE/FLUSH. READ payloads arrive in `data`.
+/// Timestamps are nanosecond offsets on the fabric clock; `completed_at -
+/// posted_at` is the modeled post→completion latency (deterministic, not
+/// a function of when the caller polled).
+#[derive(Debug)]
+pub struct Completion {
+    pub work_id: WorkId,
+    pub verb: VerbKind,
+    pub result: RdmaResult<u64>,
+    /// READ payload (present iff `verb == Read` and the verb succeeded).
+    pub data: Option<Vec<u8>>,
+    pub posted_at: u64,
+    pub completed_at: u64,
+}
+
+impl Completion {
+    /// The READ payload, or the verb's error. Panics on non-READ verbs.
+    pub fn into_data(self) -> RdmaResult<Vec<u8>> {
+        self.result?;
+        Ok(self.data.expect("READ completion carries data"))
+    }
+
+    /// True when the verb failed with an error `f` accepts.
+    pub fn failed_with(&self, f: impl FnOnce(&RdmaError) -> bool) -> bool {
+        matches!(&self.result, Err(e) if f(e))
+    }
+}
+
+/// One not-yet-delivered posted verb, queued on its QP.
+pub(crate) struct PendingEntry {
+    pub(crate) work_id: WorkId,
+    pub(crate) kind: VerbKind,
+    pub(crate) bytes: u64,
+    pub(crate) result: RdmaResult<(u64, Option<Vec<u8>>)>,
+    /// Fabric-clock timestamp of the post.
+    pub(crate) posted_ns: u64,
+    /// Modeled post→completion latency (deadline − post instant).
+    pub(crate) lat_ns: u64,
+    /// Wall-clock instant the completion becomes visible to `poll`.
+    pub(crate) deadline: Instant,
+    /// Flight-recorder span start, when the sink was enabled at post.
+    pub(crate) flight_start: Option<u64>,
+}
+
+/// Per-QP posting state: the FIFO of pending completions plus the
+/// monotone deadline that encodes RC ordering.
+#[derive(Default)]
+pub(crate) struct PendingState {
+    pub(crate) entries: std::collections::VecDeque<PendingEntry>,
+    pub(crate) next_work_id: u64,
+    pub(crate) last_deadline: Option<Instant>,
+    /// Completions a blocking waiter drained past on behalf of a
+    /// *concurrent* blocking waiter on the same QP (recovery
+    /// coordinators are shared across the FD monitor and callers of
+    /// `declare_failed`). Parked here until their owner claims them.
+    pub(crate) claimed: Vec<Completion>,
+}
+
+const KINDS: [VerbKind; 5] =
+    [VerbKind::Read, VerbKind::Write, VerbKind::Cas, VerbKind::Faa, VerbKind::Flush];
+
+#[inline]
+fn kind_index(kind: VerbKind) -> usize {
+    match kind {
+        VerbKind::Read => 0,
+        VerbKind::Write => 1,
+        VerbKind::Cas => 2,
+        VerbKind::Faa => 3,
+        VerbKind::Flush => 4,
+    }
+}
+
+/// Lock-free log₂-bucket histogram of modeled post→completion latency for
+/// one verb kind (self-contained: the protocol crates depend on
+/// `rdma-sim`, never the reverse).
+#[derive(Debug)]
+struct KindHist {
+    buckets: Box<[AtomicU64; 64]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl KindHist {
+    fn new() -> KindHist {
+        let v: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; 64]> =
+            v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("fixed size"));
+        KindHist { buckets, count: AtomicU64::new(0), sum_ns: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    fn record(&self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    fn snapshot(&self, kind: VerbKind) -> VerbKindLatency {
+        let count = self.count.load(Ordering::Relaxed);
+        let mean_ns = self.sum_ns.load(Ordering::Relaxed).checked_div(count).unwrap_or(0);
+        VerbKindLatency {
+            kind,
+            count,
+            mean_ns,
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+        }
+    }
+}
+
+/// Fabric-wide post→completion latency statistics plus the in-flight verb
+/// gauge. Shared by every QP of a fabric; recorded at post time (the
+/// modeled latency is known then), so verbs abandoned before polling are
+/// still counted.
+#[derive(Debug)]
+pub struct VerbLatencyStats {
+    kinds: [KindHist; 5],
+    in_flight: AtomicU64,
+    in_flight_high_water: AtomicU64,
+}
+
+impl Default for VerbLatencyStats {
+    fn default() -> Self {
+        VerbLatencyStats {
+            kinds: [
+                KindHist::new(),
+                KindHist::new(),
+                KindHist::new(),
+                KindHist::new(),
+                KindHist::new(),
+            ],
+            in_flight: AtomicU64::new(0),
+            in_flight_high_water: AtomicU64::new(0),
+        }
+    }
+}
+
+impl VerbLatencyStats {
+    /// A verb was posted: record its modeled latency and bump the gauge.
+    #[inline]
+    pub(crate) fn on_post(&self, kind: VerbKind, lat_ns: u64) {
+        self.kinds[kind_index(kind)].record(lat_ns);
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.in_flight_high_water.fetch_max(now, Ordering::AcqRel);
+    }
+
+    /// A completion was delivered (or its QP dropped with it pending).
+    #[inline]
+    pub(crate) fn on_complete(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub fn snapshot(&self) -> VerbLatencySnapshot {
+        let mut kinds = Vec::with_capacity(5);
+        for k in KINDS {
+            kinds.push(self.kinds[kind_index(k)].snapshot(k));
+        }
+        VerbLatencySnapshot {
+            kinds: kinds.try_into().unwrap_or_else(|_| unreachable!("fixed size")),
+            verbs_in_flight: self.in_flight.load(Ordering::Acquire),
+            in_flight_high_water: self.in_flight_high_water.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`VerbLatencyStats`], one entry per verb kind
+/// in READ/WRITE/CAS/FAA/FLUSH order.
+#[derive(Debug, Clone, Copy)]
+pub struct VerbLatencySnapshot {
+    pub kinds: [VerbKindLatency; 5],
+    /// Posted-but-undelivered verbs at snapshot time.
+    pub verbs_in_flight: u64,
+    /// High-water mark of the in-flight gauge since fabric creation.
+    pub in_flight_high_water: u64,
+}
+
+impl VerbLatencySnapshot {
+    /// Total posted verbs across all kinds.
+    pub fn total_posted(&self) -> u64 {
+        self.kinds.iter().map(|k| k.count).sum()
+    }
+}
+
+/// Post→completion latency summary for one verb kind.
+#[derive(Debug, Clone, Copy)]
+pub struct VerbKindLatency {
+    pub kind: VerbKind,
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_posts_and_high_water() {
+        let s = VerbLatencyStats::default();
+        s.on_post(VerbKind::Read, 2_000);
+        s.on_post(VerbKind::Read, 2_000);
+        s.on_post(VerbKind::Cas, 1_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.verbs_in_flight, 3);
+        assert_eq!(snap.in_flight_high_water, 3);
+        assert_eq!(snap.total_posted(), 3);
+        assert_eq!(snap.kinds[0].count, 2);
+        assert_eq!(snap.kinds[2].count, 1);
+        assert_eq!(snap.kinds[0].mean_ns, 2_000);
+        s.on_complete();
+        s.on_complete();
+        s.on_complete();
+        let snap = s.snapshot();
+        assert_eq!(snap.verbs_in_flight, 0);
+        assert_eq!(snap.in_flight_high_water, 3, "high water survives drain");
+    }
+
+    #[test]
+    fn kind_quantiles_are_log2_upper_edges() {
+        let h = KindHist::new();
+        for _ in 0..100 {
+            h.record(100_000); // bucket [2^16, 2^17)
+        }
+        let p50 = h.quantile_ns(0.5);
+        assert!((100_000..=200_000).contains(&p50));
+    }
+}

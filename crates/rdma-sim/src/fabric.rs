@@ -4,6 +4,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::chaos::ChaosModel;
+use crate::cq::{VerbLatencySnapshot, VerbLatencyStats};
 use crate::error::{RdmaError, RdmaResult};
 use crate::fault::FaultInjector;
 use crate::flight::{FabricClock, FlightTap, VerbSink};
@@ -60,6 +61,9 @@ pub struct Fabric {
     /// chaos: QPs created after installation carry a tap, `qp_admin`
     /// QPs never do.
     flight: RwLock<Option<Arc<dyn VerbSink>>>,
+    /// Fabric-wide post→completion latency histograms and the in-flight
+    /// verb gauge, shared by every QP (admin QPs included).
+    verb_stats: Arc<VerbLatencyStats>,
 }
 
 impl Fabric {
@@ -83,7 +87,14 @@ impl Fabric {
             chaos: RwLock::new(None),
             clock: FabricClock::new(),
             flight: RwLock::new(None),
+            verb_stats: Arc::new(VerbLatencyStats::default()),
         })
+    }
+
+    /// Snapshot of the fabric-wide post→completion verb-latency
+    /// histograms plus the in-flight gauge and its high-water mark.
+    pub fn verb_stats(&self) -> VerbLatencySnapshot {
+        self.verb_stats.snapshot()
     }
 
     /// The fabric's epoch clock. All flight-recorder timestamps are ns
@@ -163,7 +174,17 @@ impl Fabric {
             .read()
             .as_ref()
             .map(|s| FlightTap::new(Arc::clone(s), self.clock, endpoint.0, node.id().0));
-        Ok(QueuePair::new(node, endpoint, injector, latency, counters, chaos, flight))
+        Ok(QueuePair::new(
+            node,
+            endpoint,
+            injector,
+            latency,
+            counters,
+            chaos,
+            flight,
+            self.clock,
+            Arc::clone(&self.verb_stats),
+        ))
     }
 
     /// Administrative queue pair: zero latency and **no chaos**, for
@@ -177,7 +198,17 @@ impl Fabric {
     ) -> RdmaResult<QueuePair> {
         let node = Arc::clone(self.node(node)?);
         let counters = Arc::clone(&self.node_counters[node.id().0 as usize]);
-        Ok(QueuePair::new(node, endpoint, injector, LatencyModel::zero(), counters, None, None))
+        Ok(QueuePair::new(
+            node,
+            endpoint,
+            injector,
+            LatencyModel::zero(),
+            counters,
+            None,
+            None,
+            self.clock,
+            Arc::clone(&self.verb_stats),
+        ))
     }
 
     /// Aggregate verb counters for all traffic that ever targeted `node`,

@@ -30,6 +30,17 @@ pub struct CrashPlan {
     pub mode: CrashMode,
 }
 
+/// The historical (and default) tear point: the midpoint of the payload.
+pub const TEAR_MIDPOINT: u32 = 512;
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Compute-side crash injector with power-cut semantics.
 ///
 /// A `FaultInjector` is shared (via `Arc`) between all queue pairs of one
@@ -39,7 +50,7 @@ pub struct CrashPlan {
 /// fails the same way. The protocol layer propagates the error without
 /// running any cleanup, leaving locks, logs and partial updates in remote
 /// memory exactly as a dead process would.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultInjector {
     ops_issued: AtomicU64,
     crashed: AtomicBool,
@@ -47,11 +58,46 @@ pub struct FaultInjector {
     plan_at: AtomicU64,
     /// 0 = BeforeOp, 1 = AfterOp, 2 = MidWrite.
     plan_mode: std::sync::atomic::AtomicU8,
+    /// Tear placement for `MidWrite` crashes, in parts-per-1024 of the
+    /// torn payload (and of the entry list for batched writes).
+    tear_pp1024: std::sync::atomic::AtomicU32,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector {
+            ops_issued: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            plan_at: AtomicU64::new(0),
+            plan_mode: std::sync::atomic::AtomicU8::new(0),
+            tear_pp1024: std::sync::atomic::AtomicU32::new(TEAR_MIDPOINT),
+        }
+    }
 }
 
 impl FaultInjector {
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// Place the `MidWrite` tear at `pp1024`/1024 of the torn payload:
+    /// 0 = nothing lands (first-entry tear), [`TEAR_MIDPOINT`] = the
+    /// historical midpoint, 1024 = everything lands before the crash
+    /// (last-entry tear). Values above 1024 are clamped.
+    pub fn set_tear_point(&self, pp1024: u32) {
+        self.tear_pp1024.store(pp1024.min(1024), Ordering::Release);
+    }
+
+    /// Derive the tear point deterministically from a seed, so seeded
+    /// crash sweeps cover first-entry, midpoint, and last-entry tears
+    /// instead of always tearing at the midpoint.
+    pub fn seed_tear_point(&self, seed: u64) {
+        self.set_tear_point((splitmix64(seed) % 1025) as u32);
+    }
+
+    /// Current tear placement in parts-per-1024.
+    pub fn tear_point(&self) -> u32 {
+        self.tear_pp1024.load(Ordering::Acquire)
     }
 
     /// Arm a crash plan. Replaces any previous plan.
@@ -188,6 +234,32 @@ mod tests {
         assert!(f.on_op().is_ok());
         f.crash_now();
         assert_eq!(f.on_op(), Err(RdmaError::Crashed));
+    }
+
+    #[test]
+    fn tear_point_defaults_to_midpoint_and_is_settable() {
+        let f = FaultInjector::new();
+        assert_eq!(f.tear_point(), TEAR_MIDPOINT);
+        f.set_tear_point(0);
+        assert_eq!(f.tear_point(), 0);
+        f.set_tear_point(9999);
+        assert_eq!(f.tear_point(), 1024, "clamped to full payload");
+    }
+
+    #[test]
+    fn seeded_tear_points_are_deterministic_and_spread() {
+        let f = FaultInjector::new();
+        f.seed_tear_point(7);
+        let a = f.tear_point();
+        f.seed_tear_point(7);
+        assert_eq!(f.tear_point(), a, "same seed, same tear point");
+        // Across a seed sweep the tear point must actually move around.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            f.seed_tear_point(seed);
+            seen.insert(f.tear_point());
+        }
+        assert!(seen.len() > 16, "tear points barely vary: {seen:?}");
     }
 
     #[test]

@@ -68,15 +68,6 @@ impl LatencyModel {
         let bw = Duration::from_nanos(self.ns_per_kib.saturating_mul(bytes as u64) / 1024);
         self.rtt + bw
     }
-
-    /// Charge the delay for a verb of `bytes` payload to the calling thread.
-    #[inline]
-    pub(crate) fn charge(&self, bytes: usize) {
-        if self.is_zero() {
-            return;
-        }
-        pace(self.delay_for(bytes));
-    }
 }
 
 impl Default for LatencyModel {
@@ -112,10 +103,10 @@ mod tests {
     }
 
     #[test]
-    fn charge_spins_for_small_delays() {
+    fn pace_spins_for_small_delays() {
         let m = LatencyModel { rtt: Duration::from_micros(5), ns_per_kib: 0 };
         let t0 = Instant::now();
-        m.charge(8);
+        pace(m.delay_for(8));
         assert!(t0.elapsed() >= Duration::from_micros(5));
     }
 }

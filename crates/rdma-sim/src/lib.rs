@@ -46,6 +46,7 @@
 //! real RC transports leak when retransmission gives up.
 
 mod chaos;
+mod cq;
 mod error;
 mod fabric;
 mod fault;
@@ -56,9 +57,10 @@ mod qp;
 mod rpc;
 
 pub use chaos::{ChaosConfig, ChaosModel, ChaosStatsSnapshot, ChaosVerdict};
+pub use cq::{Completion, VerbKindLatency, VerbLatencySnapshot, WorkId};
 pub use error::{RdmaError, RdmaResult, TimeoutApplied};
 pub use fabric::{EndpointId, Fabric, FabricConfig, NodeId};
-pub use fault::{CrashMode, CrashPlan, FaultInjector};
+pub use fault::{CrashMode, CrashPlan, FaultInjector, TEAR_MIDPOINT};
 pub use flight::{FabricClock, FaultEvent, FaultKind, VerbEvent, VerbKind, VerbSink};
 pub use latency::LatencyModel;
 pub use mem::MemoryNode;

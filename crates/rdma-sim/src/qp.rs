@@ -1,12 +1,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use crate::chaos::{ChaosLink, ChaosVerdict};
+use crate::cq::{Completion, PendingEntry, PendingState, VerbLatencyStats, WorkId};
 use crate::error::{RdmaError, RdmaResult, TimeoutApplied};
 use crate::fabric::EndpointId;
 use crate::fault::{CrashAction, FaultInjector};
-use crate::flight::{FaultKind, FlightTap, VerbKind};
-use crate::latency::LatencyModel;
+use crate::flight::{FabricClock, FaultKind, FlightTap, VerbKind};
+use crate::latency::{pace, LatencyModel};
 use crate::mem::MemoryNode;
 
 /// Per-QP verb counters. The protocol crates assert round-trip counts with
@@ -75,13 +79,21 @@ impl OpCounters {
 /// A reliable-connection queue pair from one compute endpoint to one
 /// memory node, carrying the one-sided verbs.
 ///
-/// Every verb:
-/// 1. consults the [`FaultInjector`] (compute-side crash),
+/// Verbs are *posted*: `post_read`/`post_write`/`post_cas`/`post_faa`/
+/// `post_write_batch`/`post_flush` return a [`WorkId`] immediately and
+/// the matching [`Completion`] is delivered later via [`QueuePair::poll`]
+/// or [`QueuePair::wait_all`]. Every post:
+/// 1. consults the [`FaultInjector`] (compute-side crash) in post order,
 /// 2. checks the target node is alive and this endpoint unrevoked,
-/// 3. charges the latency model,
-/// 4. executes against the node's registered memory.
+/// 3. draws the chaos verdict and executes against the node's registered
+///    memory (the *effect* happens eagerly, in post order),
+/// 4. schedules the completion at `max(previous deadline, now +
+///    latency)`, so same-QP completions observe program order (RC
+///    ordering) while round trips overlap instead of summing.
 ///
-/// Verbs are synchronous; RC ordering per QP follows from program order.
+/// The classic blocking verbs (`read`/`write`/`cas`/…) are post+wait
+/// wrappers: with one verb in flight the deadline rule degenerates to
+/// `now + latency`, i.e. exactly the serial round trip they always paid.
 pub struct QueuePair {
     node: Arc<MemoryNode>,
     endpoint: EndpointId,
@@ -96,9 +108,16 @@ pub struct QueuePair {
     /// Per-link flight-recorder tap; `None` (the default) costs nothing,
     /// a disabled sink costs one atomic load per verb.
     flight: Option<FlightTap>,
+    /// Fabric clock for `posted_at`/`completed_at` stamps.
+    clock: FabricClock,
+    /// Fabric-wide post→completion latency stats + in-flight gauge.
+    stats: Arc<VerbLatencyStats>,
+    /// Pending completions, FIFO in post order.
+    pending: Mutex<PendingState>,
 }
 
 impl QueuePair {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         node: Arc<MemoryNode>,
         endpoint: EndpointId,
@@ -107,6 +126,8 @@ impl QueuePair {
         node_counters: Arc<OpCounters>,
         chaos: Option<ChaosLink>,
         flight: Option<FlightTap>,
+        clock: FabricClock,
+        stats: Arc<VerbLatencyStats>,
     ) -> Self {
         QueuePair {
             node,
@@ -117,6 +138,9 @@ impl QueuePair {
             node_counters,
             chaos,
             flight,
+            clock,
+            stats,
+            pending: Mutex::new(PendingState::default()),
         }
     }
 
@@ -153,12 +177,17 @@ impl QueuePair {
         }
     }
 
-    /// Pre-verb gate: crash injector, node liveness, revocation, latency,
-    /// then the chaos model. Crash faults take precedence over chaos (a
+    /// Post-time gate: crash injector, node liveness, revocation, then
+    /// the chaos model. Crash faults take precedence over chaos (a
     /// power-cut coordinator dies whatever the network does), so the
-    /// verdict is only consulted on a plain `Proceed`.
+    /// verdict is only consulted on a plain `Proceed`. An error here is a
+    /// *synchronous post failure* — no completion is generated and no
+    /// latency is charged, matching the blocking path where these checks
+    /// preceded the latency charge. The latency itself is deferred to the
+    /// completion deadline (chaos delay spikes still pace inline, pushing
+    /// this and every later same-QP deadline out).
     #[inline]
-    fn gate(&self, bytes: usize) -> RdmaResult<(CrashAction, ChaosVerdict)> {
+    fn gate_posted(&self) -> RdmaResult<(CrashAction, ChaosVerdict)> {
         let action = self.injector.on_op()?;
         if !self.node.is_alive() {
             return Err(RdmaError::NodeDead);
@@ -166,7 +195,6 @@ impl QueuePair {
         if self.node.is_revoked(self.endpoint.0) {
             return Err(RdmaError::AccessRevoked);
         }
-        self.latency.charge(bytes);
         let verdict = match &self.chaos {
             Some(link) if action == CrashAction::Proceed => link.on_verb(),
             _ => ChaosVerdict::Deliver,
@@ -211,47 +239,188 @@ impl QueuePair {
         }
     }
 
-    /// Run `f` as a timed flight span of `kind`. Without a tap this is a
-    /// direct call; with a tap whose sink is disabled it costs one atomic
-    /// load; only an enabled sink pays the clock reads and dispatch.
-    #[inline]
-    fn spanned<T>(
+    /// Post one verb: run the gates and the memory effect now, schedule
+    /// the completion at the RC-ordered deadline. `effect` returns the
+    /// scalar result (CAS/FAA previous value) plus the READ payload.
+    ///
+    /// Synchronous post failures (`Crashed`, `NodeDead`, `AccessRevoked`)
+    /// return `Err` directly with no completion, mirroring the blocking
+    /// path where those checks fired before any latency was charged;
+    /// every other outcome — chaos timeouts, torn writes, crash-after,
+    /// memory errors, success — is delivered as a completion carrying
+    /// the full modeled round trip.
+    fn post_with(
         &self,
         kind: VerbKind,
-        bytes: u64,
-        f: impl FnOnce() -> RdmaResult<T>,
-    ) -> RdmaResult<T> {
-        match self.flight.as_ref().and_then(FlightTap::begin) {
-            None => f(),
-            Some(start) => {
-                let r = f();
-                let tap = self.flight.as_ref().expect("begin() returned Some");
-                tap.finish(kind, bytes, start, r.is_ok());
-                r
+        bytes: usize,
+        effect: impl FnOnce(CrashAction, ChaosVerdict) -> RdmaResult<(u64, Option<Vec<u8>>)>,
+    ) -> RdmaResult<WorkId> {
+        let mut st = self.pending.lock();
+        let flight_start = self.flight.as_ref().and_then(FlightTap::begin);
+        let posted_ns = self.clock.now_ns();
+        let now = Instant::now();
+        let (action, verdict) = match self.gate_posted() {
+            Ok(g) => g,
+            Err(e) => {
+                if let (Some(start), Some(tap)) = (flight_start, self.flight.as_ref()) {
+                    tap.finish(kind, bytes as u64, start, false);
+                }
+                return Err(e);
+            }
+        };
+        let result = effect(action, verdict);
+        let mut deadline = now + self.latency.delay_for(bytes);
+        if let Some(prev) = st.last_deadline {
+            if prev > deadline {
+                deadline = prev;
+            }
+        }
+        st.last_deadline = Some(deadline);
+        let lat_ns = deadline.saturating_duration_since(now).as_nanos() as u64;
+        let work_id = WorkId(st.next_work_id);
+        st.next_work_id += 1;
+        self.stats.on_post(kind, lat_ns);
+        st.entries.push_back(PendingEntry {
+            work_id,
+            kind,
+            bytes: bytes as u64,
+            result,
+            posted_ns,
+            lat_ns,
+            deadline,
+            flight_start,
+        });
+        Ok(work_id)
+    }
+
+    /// Turn a ripe pending entry into the caller-visible completion,
+    /// emitting its flight span (post→completion) and releasing the
+    /// in-flight gauge.
+    fn deliver(&self, e: PendingEntry) -> Completion {
+        self.stats.on_complete();
+        let (result, data) = match e.result {
+            Ok((v, d)) => (Ok(v), d),
+            Err(err) => (Err(err), None),
+        };
+        if let (Some(start), Some(tap)) = (e.flight_start, self.flight.as_ref()) {
+            tap.finish(e.kind, e.bytes, start, result.is_ok());
+        }
+        Completion {
+            work_id: e.work_id,
+            verb: e.kind,
+            result,
+            data,
+            posted_at: e.posted_ns,
+            completed_at: e.posted_ns + e.lat_ns,
+        }
+    }
+
+    /// Deliver every completion whose deadline has passed, in post order.
+    /// Non-blocking.
+    pub fn poll(&self) -> Vec<Completion> {
+        let now = Instant::now();
+        let ripe: Vec<PendingEntry> = {
+            let mut st = self.pending.lock();
+            let n = st.entries.iter().take_while(|e| e.deadline <= now).count();
+            st.entries.drain(..n).collect()
+        };
+        ripe.into_iter().map(|e| self.deliver(e)).collect()
+    }
+
+    /// Block (pace) until every posted verb has completed, then deliver
+    /// all completions in post order. The completion barrier of the
+    /// fan-out commit path.
+    pub fn wait_all(&self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        loop {
+            let target = self.pending.lock().entries.back().map(|e| e.deadline);
+            match target {
+                None => return out,
+                Some(t) => {
+                    pace_until(t);
+                    out.extend(self.poll());
+                }
             }
         }
     }
 
-    /// One-sided READ of `buf.len()` bytes at `addr`.
-    #[inline]
-    pub fn read(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
-        let bytes = buf.len() as u64;
-        self.spanned(VerbKind::Read, bytes, || self.read_verb(addr, buf))
+    /// Block until `id` completes; deliver anything posted before it
+    /// (their flight spans and gauge updates still fire) and return
+    /// `id`'s completion. Backbone of the blocking wrappers.
+    ///
+    /// Safe under concurrent blocking waiters on the same QP (a shared
+    /// recovery coordinator is driven from both the FD monitor thread
+    /// and `declare_failed` callers): a waiter that drains past another
+    /// waiter's entry parks that completion in `claimed` — atomically
+    /// with the drain — and the owner picks it up on its next check.
+    ///
+    /// Panics if `id` was never posted on this QP (or already taken).
+    fn wait_take(&self, id: WorkId) -> Completion {
+        loop {
+            let target = {
+                let mut st = self.pending.lock();
+                if let Some(p) = st.claimed.iter().position(|c| c.work_id == id) {
+                    return st.claimed.swap_remove(p);
+                }
+                st.entries
+                    .iter()
+                    .find(|e| e.work_id == id)
+                    .map(|e| e.deadline)
+                    .expect("work id not pending on this QP")
+            };
+            pace_until(target);
+            let mut st = self.pending.lock();
+            let n = st.entries.iter().position(|e| e.work_id == id).map(|p| p + 1).unwrap_or(0);
+            let drained: Vec<PendingEntry> = st.entries.drain(..n).collect();
+            let mut wanted = None;
+            for e in drained {
+                let c = self.deliver(e);
+                if c.work_id == id {
+                    wanted = Some(c);
+                } else {
+                    st.claimed.push(c);
+                }
+            }
+            if let Some(c) = wanted {
+                return c;
+            }
+            // A concurrent waiter drained `id` between our deadline
+            // lookup and the drain above; it sits in `claimed` now.
+        }
     }
 
-    fn read_verb(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
-        let (action, verdict) = self.gate(buf.len())?;
-        if action == CrashAction::TearWrite {
-            // MidWrite on a READ: nothing reaches memory; plain crash.
-            return Err(RdmaError::Crashed);
-        }
-        self.chaos_pre(verdict)?;
-        self.node.copy_out(addr, buf)?;
-        self.count_read(buf.len() as u64);
-        self.chaos_post(verdict)?;
-        if action == CrashAction::CrashAfter {
-            return Err(RdmaError::Crashed);
-        }
+    /// Number of posted-but-undelivered verbs on this QP.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().entries.len()
+    }
+
+    /// Post a one-sided READ of `len` bytes at `addr`; the payload
+    /// arrives in the completion's `data`.
+    pub fn post_read(&self, addr: u64, len: usize) -> RdmaResult<WorkId> {
+        self.post_with(VerbKind::Read, len, |action, verdict| {
+            if action == CrashAction::TearWrite {
+                // MidWrite on a READ: nothing reaches memory; plain crash.
+                return Err(RdmaError::Crashed);
+            }
+            self.chaos_pre(verdict)?;
+            let mut buf = vec![0u8; len];
+            self.node.copy_out(addr, &mut buf)?;
+            self.count_read(len as u64);
+            self.chaos_post(verdict)?;
+            if action == CrashAction::CrashAfter {
+                return Err(RdmaError::Crashed);
+            }
+            Ok((0, Some(buf)))
+        })
+    }
+
+    /// One-sided READ of `buf.len()` bytes at `addr` (blocking: post+wait).
+    #[inline]
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> RdmaResult<()> {
+        let id = self.post_read(addr, buf.len())?;
+        let c = self.wait_take(id);
+        c.result?;
+        buf.copy_from_slice(c.data.as_deref().expect("READ completion carries data"));
         Ok(())
     }
 
@@ -263,31 +432,42 @@ impl QueuePair {
         Ok(u64::from_le_bytes(buf))
     }
 
-    /// One-sided WRITE of `data` at `addr`.
+    /// The (word-aligned) number of payload bytes that land when a write
+    /// of `len` bytes tears, per the injector's tear point (default: the
+    /// midpoint, the historical behaviour).
     #[inline]
-    pub fn write(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
-        self.spanned(VerbKind::Write, data.len() as u64, || self.write_verb(addr, data))
+    fn tear_len(&self, len: usize) -> usize {
+        (len * self.injector.tear_point() as usize / 1024) / 8 * 8
     }
 
-    fn write_verb(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
-        let (action, verdict) = self.gate(data.len())?;
-        if action == CrashAction::TearWrite {
-            // Torn write: only the first (word-aligned) half of the
-            // payload reaches memory before the sender dies.
-            let half = (data.len() / 2) / 8 * 8;
-            if half > 0 {
-                self.node.copy_in_revocable(addr, &data[..half], self.endpoint.0)?;
+    /// Post a one-sided WRITE of `data` at `addr`.
+    pub fn post_write(&self, addr: u64, data: &[u8]) -> RdmaResult<WorkId> {
+        self.post_with(VerbKind::Write, data.len(), |action, verdict| {
+            if action == CrashAction::TearWrite {
+                // Torn write: only a word-aligned prefix of the payload
+                // reaches memory before the sender dies.
+                let cut = self.tear_len(data.len());
+                if cut > 0 {
+                    self.node.copy_in_revocable(addr, &data[..cut], self.endpoint.0)?;
+                }
+                return Err(RdmaError::Crashed);
             }
-            return Err(RdmaError::Crashed);
-        }
-        self.chaos_pre(verdict)?;
-        self.node.copy_in_revocable(addr, data, self.endpoint.0)?;
-        self.count_write(data.len() as u64);
-        self.chaos_post(verdict)?;
-        if action == CrashAction::CrashAfter {
-            return Err(RdmaError::Crashed);
-        }
-        Ok(())
+            self.chaos_pre(verdict)?;
+            self.node.copy_in_revocable(addr, data, self.endpoint.0)?;
+            self.count_write(data.len() as u64);
+            self.chaos_post(verdict)?;
+            if action == CrashAction::CrashAfter {
+                return Err(RdmaError::Crashed);
+            }
+            Ok((0, None))
+        })
+    }
+
+    /// One-sided WRITE of `data` at `addr` (blocking: post+wait).
+    #[inline]
+    pub fn write(&self, addr: u64, data: &[u8]) -> RdmaResult<()> {
+        let id = self.post_write(addr, data)?;
+        self.wait_take(id).result.map(|_| ())
     }
 
     /// One-sided WRITE of a single aligned u64 word.
@@ -302,67 +482,76 @@ impl QueuePair {
     /// chain — FORD uses it to coalesce the commit phase's writes.
     ///
     /// Crash semantics: `BeforeOp` drops the whole batch, `AfterOp` lands
-    /// the whole batch, `MidWrite` lands a prefix of the entries (and
-    /// half of the entry it tears in).
-    pub fn write_batch(&self, writes: &[(u64, &[u8])]) -> RdmaResult<()> {
+    /// the whole batch, `MidWrite` lands a prefix of the entries (and a
+    /// prefix of the entry it tears in, both placed by the injector's
+    /// tear point — midpoint by default).
+    pub fn post_write_batch(&self, writes: &[(u64, &[u8])]) -> RdmaResult<WorkId> {
         let total: usize = writes.iter().map(|(_, d)| d.len()).sum();
-        self.spanned(VerbKind::Write, total as u64, || self.write_batch_verb(writes, total))
-    }
-
-    fn write_batch_verb(&self, writes: &[(u64, &[u8])], total: usize) -> RdmaResult<()> {
-        let (action, verdict) = self.gate(total)?;
-        if action == CrashAction::TearWrite {
-            let keep = writes.len() / 2;
-            for (addr, data) in &writes[..keep] {
+        self.post_with(VerbKind::Write, total, |action, verdict| {
+            if action == CrashAction::TearWrite {
+                let keep = writes.len() * self.injector.tear_point() as usize / 1024;
+                for (addr, data) in &writes[..keep] {
+                    self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
+                }
+                if let Some((addr, data)) = writes.get(keep) {
+                    let cut = self.tear_len(data.len());
+                    if cut > 0 {
+                        self.node.copy_in_revocable(*addr, &data[..cut], self.endpoint.0)?;
+                    }
+                }
+                return Err(RdmaError::Crashed);
+            }
+            // A doorbell chain drops or lands atomically here: either the
+            // whole chain was posted before the fault or none of it was.
+            self.chaos_pre(verdict)?;
+            for (addr, data) in writes {
                 self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
             }
-            if let Some((addr, data)) = writes.get(keep) {
-                let half = (data.len() / 2) / 8 * 8;
-                if half > 0 {
-                    self.node.copy_in_revocable(*addr, &data[..half], self.endpoint.0)?;
-                }
+            self.count_write(total as u64);
+            self.chaos_post(verdict)?;
+            if action == CrashAction::CrashAfter {
+                return Err(RdmaError::Crashed);
             }
-            return Err(RdmaError::Crashed);
-        }
-        // A doorbell chain drops or lands atomically here: either the
-        // whole chain was posted before the fault or none of it was.
-        self.chaos_pre(verdict)?;
-        for (addr, data) in writes {
-            self.node.copy_in_revocable(*addr, data, self.endpoint.0)?;
-        }
-        self.count_write(total as u64);
-        self.chaos_post(verdict)?;
-        if action == CrashAction::CrashAfter {
-            return Err(RdmaError::Crashed);
-        }
-        Ok(())
+            Ok((0, None))
+        })
     }
 
-    /// One-sided compare-and-swap on an aligned u64 word. Returns the
-    /// *previous* value, as RDMA atomics do; the caller compares it with
-    /// `expected` to learn whether the swap happened.
+    /// Doorbell-batched WRITEs, blocking (post+wait).
+    pub fn write_batch(&self, writes: &[(u64, &[u8])]) -> RdmaResult<()> {
+        let id = self.post_write_batch(writes)?;
+        self.wait_take(id).result.map(|_| ())
+    }
+
+    /// Post a one-sided compare-and-swap on an aligned u64 word. The
+    /// completion's scalar result is the *previous* value, as RDMA
+    /// atomics deliver it.
+    pub fn post_cas(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<WorkId> {
+        self.post_with(VerbKind::Cas, 8, |action, verdict| {
+            if action == CrashAction::TearWrite {
+                return Err(RdmaError::Crashed); // atomics cannot tear
+            }
+            self.chaos_pre(verdict)?;
+            let prev = self.node.cas(addr, expected, new)?;
+            self.counters.cas.fetch_add(1, Ordering::Relaxed);
+            self.node_counters.cas.fetch_add(1, Ordering::Relaxed);
+            // An ambiguous CAS is the nastiest RDMA failure: the swap may
+            // have happened, but the previous value never arrives. Callers
+            // must re-read the word to find out (see core's `cas_resolved`).
+            self.chaos_post(verdict)?;
+            if action == CrashAction::CrashAfter {
+                return Err(RdmaError::Crashed);
+            }
+            Ok((prev, None))
+        })
+    }
+
+    /// One-sided compare-and-swap, blocking (post+wait). Returns the
+    /// *previous* value; the caller compares it with `expected` to learn
+    /// whether the swap happened.
     #[inline]
     pub fn cas(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<u64> {
-        self.spanned(VerbKind::Cas, 8, || self.cas_verb(addr, expected, new))
-    }
-
-    fn cas_verb(&self, addr: u64, expected: u64, new: u64) -> RdmaResult<u64> {
-        let (action, verdict) = self.gate(8)?;
-        if action == CrashAction::TearWrite {
-            return Err(RdmaError::Crashed); // atomics cannot tear
-        }
-        self.chaos_pre(verdict)?;
-        let prev = self.node.cas(addr, expected, new)?;
-        self.counters.cas.fetch_add(1, Ordering::Relaxed);
-        self.node_counters.cas.fetch_add(1, Ordering::Relaxed);
-        // An ambiguous CAS is the nastiest RDMA failure: the swap may
-        // have happened, but the previous value never arrives. Callers
-        // must re-read the word to find out (see core's `cas_resolved`).
-        self.chaos_post(verdict)?;
-        if action == CrashAction::CrashAfter {
-            return Err(RdmaError::Crashed);
-        }
-        Ok(prev)
+        let id = self.post_cas(addr, expected, new)?;
+        self.wait_take(id).result
     }
 
     /// RNIC-cache flush for NVM persistence (paper §7: "FORD's selective
@@ -373,47 +562,74 @@ impl QueuePair {
     /// the flush tax.
     #[inline]
     pub fn flush(&self, addr: u64) -> RdmaResult<()> {
-        self.spanned(VerbKind::Flush, 8, || self.flush_verb(addr))
+        let id = self.post_flush(addr)?;
+        self.wait_take(id).result.map(|_| ())
     }
 
-    fn flush_verb(&self, addr: u64) -> RdmaResult<()> {
-        let (action, verdict) = self.gate(8)?;
-        if action == CrashAction::TearWrite {
-            return Err(RdmaError::Crashed);
-        }
-        self.chaos_pre(verdict)?;
-        // The read-back that implements the flush.
-        self.node.copy_out(addr & !7, &mut [0u8; 8])?;
-        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
-        self.node_counters.flushes.fetch_add(1, Ordering::Relaxed);
-        self.chaos_post(verdict)?;
-        if action == CrashAction::CrashAfter {
-            return Err(RdmaError::Crashed);
-        }
-        Ok(())
+    /// Post an RNIC-cache flush (see [`QueuePair::flush`]).
+    pub fn post_flush(&self, addr: u64) -> RdmaResult<WorkId> {
+        self.post_with(VerbKind::Flush, 8, |action, verdict| {
+            if action == CrashAction::TearWrite {
+                return Err(RdmaError::Crashed);
+            }
+            self.chaos_pre(verdict)?;
+            // The read-back that implements the flush.
+            self.node.copy_out(addr & !7, &mut [0u8; 8])?;
+            self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+            self.node_counters.flushes.fetch_add(1, Ordering::Relaxed);
+            self.chaos_post(verdict)?;
+            if action == CrashAction::CrashAfter {
+                return Err(RdmaError::Crashed);
+            }
+            Ok((0, None))
+        })
     }
 
-    /// One-sided fetch-and-add on an aligned u64 word. Returns the
+    /// Post a one-sided fetch-and-add on an aligned u64 word. The
+    /// completion's scalar result is the previous value.
+    pub fn post_faa(&self, addr: u64, add: u64) -> RdmaResult<WorkId> {
+        self.post_with(VerbKind::Faa, 8, |action, verdict| {
+            if action == CrashAction::TearWrite {
+                return Err(RdmaError::Crashed); // atomics cannot tear
+            }
+            self.chaos_pre(verdict)?;
+            let prev = self.node.faa(addr, add)?;
+            self.counters.faa.fetch_add(1, Ordering::Relaxed);
+            self.node_counters.faa.fetch_add(1, Ordering::Relaxed);
+            self.chaos_post(verdict)?;
+            if action == CrashAction::CrashAfter {
+                return Err(RdmaError::Crashed);
+            }
+            Ok((prev, None))
+        })
+    }
+
+    /// One-sided fetch-and-add, blocking (post+wait). Returns the
     /// previous value.
     #[inline]
     pub fn faa(&self, addr: u64, add: u64) -> RdmaResult<u64> {
-        self.spanned(VerbKind::Faa, 8, || self.faa_verb(addr, add))
+        let id = self.post_faa(addr, add)?;
+        self.wait_take(id).result
     }
+}
 
-    fn faa_verb(&self, addr: u64, add: u64) -> RdmaResult<u64> {
-        let (action, verdict) = self.gate(8)?;
-        if action == CrashAction::TearWrite {
-            return Err(RdmaError::Crashed); // atomics cannot tear
+impl Drop for QueuePair {
+    fn drop(&mut self) {
+        // Undelivered completions still occupy the fabric-wide in-flight
+        // gauge; release them (a crashed coordinator abandons its CQ).
+        for _ in 0..self.pending.lock().entries.len() {
+            self.stats.on_complete();
         }
-        self.chaos_pre(verdict)?;
-        let prev = self.node.faa(addr, add)?;
-        self.counters.faa.fetch_add(1, Ordering::Relaxed);
-        self.node_counters.faa.fetch_add(1, Ordering::Relaxed);
-        self.chaos_post(verdict)?;
-        if action == CrashAction::CrashAfter {
-            return Err(RdmaError::Crashed);
-        }
-        Ok(prev)
+    }
+}
+
+/// Busy-wait/sleep until `t` (same spin/sleep discipline as the latency
+/// model's `pace`).
+#[inline]
+fn pace_until(t: Instant) {
+    let now = Instant::now();
+    if t > now {
+        pace(t - now);
     }
 }
 
@@ -439,6 +655,33 @@ mod tests {
         let (_f, qp) = setup();
         qp.write_u64(64, 0xDEAD_BEEF).unwrap();
         assert_eq!(qp.read_u64(64).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn concurrent_blocking_verbs_on_a_shared_qp() {
+        // A recovery coordinator's QPs are driven from both the FD
+        // monitor thread and `declare_failed` callers. Interleaved
+        // post+wait pairs must each get their own completion back —
+        // a waiter draining past a concurrent waiter's entry parks it
+        // instead of discarding it.
+        let (_f, qp) = setup();
+        let qp = Arc::new(qp);
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let qp = Arc::clone(&qp);
+                std::thread::spawn(move || {
+                    let addr = 64 * t;
+                    for i in 0..500u64 {
+                        qp.write_u64(addr, i).unwrap();
+                        assert_eq!(qp.read_u64(addr).unwrap(), i, "thread {t} iteration {i}");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(qp.in_flight(), 0);
     }
 
     #[test]
@@ -576,5 +819,160 @@ mod tests {
         assert_eq!(qp.cas(0, 10, 20).unwrap(), 10);
         assert_eq!(qp.cas(0, 10, 30).unwrap(), 20); // failed swap: current value
         assert_eq!(qp.read_u64(0).unwrap(), 20);
+    }
+
+    #[test]
+    fn posted_verbs_complete_in_program_order() {
+        let (_f, qp) = setup();
+        let w = qp.post_write(0, &7u64.to_le_bytes()).unwrap();
+        let r = qp.post_read(0, 8).unwrap();
+        let c = qp.post_cas(8, 0, 5).unwrap();
+        let a = qp.post_faa(16, 3).unwrap();
+        assert_eq!(qp.in_flight(), 4);
+        let comps = qp.wait_all();
+        assert_eq!(qp.in_flight(), 0);
+        let ids: Vec<WorkId> = comps.iter().map(|c| c.work_id).collect();
+        assert_eq!(ids, vec![w, r, c, a], "same-QP completions observe post order");
+        // The read was posted after the write and must observe it (RC
+        // ordering: effects execute in post order).
+        assert_eq!(comps[1].data.as_deref(), Some(7u64.to_le_bytes().as_slice()));
+        assert_eq!(comps[2].result, Ok(0)); // CAS previous value
+        assert_eq!(comps[3].result, Ok(0)); // FAA previous value
+                                            // Timestamps are monotone across the pipeline.
+        assert!(comps.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+    }
+
+    #[test]
+    fn pipelined_posts_overlap_round_trips() {
+        use std::time::Duration;
+        let f = Fabric::new(FabricConfig {
+            memory_nodes: 1,
+            capacity_per_node: 1 << 16,
+            latency: LatencyModel { rtt: Duration::from_millis(4), ns_per_kib: 0 },
+        });
+        let qp = f.qp(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+
+        let t0 = Instant::now();
+        for i in 0..6u64 {
+            qp.post_write(i * 8, &i.to_le_bytes()).unwrap();
+        }
+        let comps = qp.wait_all();
+        let pipelined = t0.elapsed();
+        assert_eq!(comps.len(), 6);
+        assert!(comps.iter().all(|c| c.result.is_ok()));
+        // Six overlapped 4 ms round trips must come in way under the
+        // 24 ms a serial issue pays.
+        assert!(pipelined < Duration::from_millis(12), "no overlap: {pipelined:?}");
+
+        let t1 = Instant::now();
+        for i in 0..6u64 {
+            qp.write_u64(i * 8, i).unwrap();
+        }
+        let serial = t1.elapsed();
+        assert!(serial >= Duration::from_millis(24), "blocking path lost its RTTs: {serial:?}");
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_in_order() {
+        use std::time::Duration;
+        let f = Fabric::new(FabricConfig {
+            memory_nodes: 1,
+            capacity_per_node: 1 << 16,
+            latency: LatencyModel { rtt: Duration::from_millis(50), ns_per_kib: 0 },
+        });
+        let qp = f.qp(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+        qp.post_write(0, &1u64.to_le_bytes()).unwrap();
+        assert!(qp.poll().is_empty(), "completion delivered before its round trip elapsed");
+        assert_eq!(qp.in_flight(), 1);
+        let comps = qp.wait_all();
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].completed_at >= comps[0].posted_at);
+    }
+
+    #[test]
+    fn posted_crash_point_matches_blocking_crash_point() {
+        // The injector fires at post time in post order, so a crash plan
+        // armed at op 3 kills the third *posted* verb even when all five
+        // are posted before any completion is drained.
+        let f = Fabric::new(FabricConfig::default());
+        let inj = FaultInjector::new();
+        let qp = f.qp(f.register_endpoint(), NodeId(0), Arc::clone(&inj)).unwrap();
+        inj.arm(CrashPlan { at_op: 3, mode: CrashMode::BeforeOp });
+        let mut results = Vec::new();
+        for i in 0..5u64 {
+            results.push(qp.post_write(i * 8, &(i + 1).to_le_bytes()));
+        }
+        // Posts 3..5 fail synchronously (the injector is dead).
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert!(results[2..].iter().all(|r| r == &Err(RdmaError::Crashed)));
+        let comps = qp.wait_all();
+        assert_eq!(comps.len(), 2);
+        // Exactly the first two writes landed.
+        let obs = f.qp_admin(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+        assert_eq!(obs.read_u64(0).unwrap(), 1);
+        assert_eq!(obs.read_u64(8).unwrap(), 2);
+        assert_eq!(obs.read_u64(16).unwrap(), 0);
+    }
+
+    #[test]
+    fn tear_point_zero_and_full_cover_first_and_last_entry() {
+        // pp=0: nothing of the torn write lands. pp=1024: all of it lands.
+        for (pp, expect) in [(0u32, 0u64), (1024, 0xFEED)] {
+            let f = Fabric::new(FabricConfig::default());
+            let inj = FaultInjector::new();
+            inj.set_tear_point(pp);
+            let qp = f.qp(f.register_endpoint(), NodeId(0), Arc::clone(&inj)).unwrap();
+            inj.arm(CrashPlan { at_op: 1, mode: CrashMode::MidWrite });
+            let data = [0xFEEDu64.to_le_bytes(), 0xFEEDu64.to_le_bytes()].concat();
+            assert_eq!(qp.write(0, &data), Err(RdmaError::Crashed));
+            let obs = f.qp_admin(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+            assert_eq!(obs.read_u64(0).unwrap(), expect, "tear point {pp}");
+            assert_eq!(obs.read_u64(8).unwrap(), expect, "tear point {pp}");
+        }
+    }
+
+    #[test]
+    fn batch_tear_point_moves_with_injector_setting() {
+        let payload = 0xABu64.to_le_bytes();
+        let writes_at = |pp: u32| -> Vec<u64> {
+            let f = Fabric::new(FabricConfig::default());
+            let inj = FaultInjector::new();
+            inj.set_tear_point(pp);
+            let qp = f.qp(f.register_endpoint(), NodeId(0), Arc::clone(&inj)).unwrap();
+            inj.arm(CrashPlan { at_op: 1, mode: CrashMode::MidWrite });
+            let batch: Vec<(u64, &[u8])> = (0..4u64).map(|i| (i * 8, payload.as_slice())).collect();
+            assert_eq!(qp.write_batch(&batch), Err(RdmaError::Crashed));
+            let obs = f.qp_admin(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+            (0..4u64).map(|i| obs.read_u64(i * 8).unwrap()).collect()
+        };
+        let word = u64::from_le_bytes(payload);
+        assert_eq!(writes_at(0), vec![0, 0, 0, 0], "first-entry tear");
+        assert_eq!(writes_at(512), vec![word, word, 0, 0], "historical midpoint");
+        assert_eq!(writes_at(1024), vec![word, word, word, word], "last-entry tear");
+    }
+
+    #[test]
+    fn fabric_verb_stats_gauge_and_histograms() {
+        let (f, qp) = setup();
+        qp.post_write(0, &[0u8; 16]).unwrap();
+        qp.post_read(0, 8).unwrap();
+        assert_eq!(f.verb_stats().verbs_in_flight, 2);
+        qp.wait_all();
+        let s = f.verb_stats();
+        assert_eq!(s.verbs_in_flight, 0);
+        assert!(s.in_flight_high_water >= 2);
+        assert_eq!(s.kinds[0].count, 1, "one READ posted");
+        assert_eq!(s.kinds[1].count, 1, "one WRITE posted");
+        assert_eq!(s.total_posted(), 2);
+    }
+
+    #[test]
+    fn dropping_a_qp_releases_its_in_flight_verbs() {
+        let (f, qp) = setup();
+        qp.post_write(0, &[0u8; 8]).unwrap();
+        qp.post_write(8, &[0u8; 8]).unwrap();
+        assert_eq!(f.verb_stats().verbs_in_flight, 2);
+        drop(qp);
+        assert_eq!(f.verb_stats().verbs_in_flight, 0);
     }
 }

@@ -1,9 +1,11 @@
 //! Property-based tests for the simulated fabric: verb semantics over
-//! arbitrary aligned accesses, revocation isolation, crash-plan algebra.
+//! arbitrary aligned accesses, revocation isolation, crash-plan algebra,
+//! and posted-verb completion ordering.
 
 use proptest::prelude::*;
 use rdma_sim::{
-    CrashMode, CrashPlan, Fabric, FabricConfig, FaultInjector, LatencyModel, NodeId, RdmaError,
+    ChaosConfig, ChaosModel, CrashMode, CrashPlan, Fabric, FabricConfig, FaultInjector,
+    LatencyModel, NodeId, RdmaError,
 };
 
 fn fabric() -> std::sync::Arc<Fabric> {
@@ -104,6 +106,115 @@ proptest! {
         } else {
             prop_assert_eq!(first_failure, None);
         }
+    }
+
+    /// RC ordering: completions on one QP are always delivered in post
+    /// order with monotone completion timestamps — under a live chaos
+    /// model and with chaos disabled alike.
+    #[test]
+    fn same_qp_completions_observe_program_order(
+        ops in proptest::collection::vec((0u8..4, 0u64..64), 1..24),
+        chaos_on in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = Fabric::new(FabricConfig {
+            memory_nodes: 1,
+            capacity_per_node: 64 << 10,
+            latency: LatencyModel { rtt: std::time::Duration::from_micros(3), ns_per_kib: 0 },
+        });
+        let model = ChaosModel::new(ChaosConfig::light(seed));
+        f.install_chaos(std::sync::Arc::clone(&model));
+        model.set_enabled(chaos_on);
+        let qp = f.qp(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+        let mut posted = Vec::new();
+        for (kind, word) in &ops {
+            let addr = (word % 64) * 8;
+            let id = match kind {
+                0 => qp.post_write(addr, &word.to_le_bytes()),
+                1 => qp.post_read(addr, 8),
+                2 => qp.post_cas(addr, 0, *word),
+                _ => qp.post_faa(addr, 1),
+            };
+            posted.push(id.unwrap());
+        }
+        let comps = qp.wait_all();
+        prop_assert_eq!(comps.len(), posted.len());
+        for (c, id) in comps.iter().zip(&posted) {
+            prop_assert_eq!(c.work_id, *id, "same-QP completions must observe post order");
+        }
+        prop_assert!(comps.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        prop_assert!(comps.iter().all(|c| c.completed_at >= c.posted_at));
+    }
+
+    /// Cross-QP completions interleave freely on the shared time axis
+    /// (a fast link's verbs finish inside a slow link's round trips)
+    /// while each QP's own completion stream stays RC-ordered.
+    #[test]
+    fn cross_qp_completions_interleave_while_each_qp_stays_ordered(
+        n1 in 2usize..10,
+        n2 in 2usize..10,
+    ) {
+        let f = fabric();
+        let inj = FaultInjector::new();
+        let slow = LatencyModel { rtt: std::time::Duration::from_micros(400), ns_per_kib: 0 };
+        let fast = LatencyModel { rtt: std::time::Duration::from_micros(20), ns_per_kib: 0 };
+        let qp1 = f
+            .qp_with_latency(f.register_endpoint(), NodeId(0), std::sync::Arc::clone(&inj), slow)
+            .unwrap();
+        let qp2 = f
+            .qp_with_latency(f.register_endpoint(), NodeId(0), std::sync::Arc::clone(&inj), fast)
+            .unwrap();
+        for i in 0..n1.max(n2) as u64 {
+            if i < n1 as u64 {
+                qp1.post_write(i * 8, &i.to_le_bytes()).unwrap();
+            }
+            if i < n2 as u64 {
+                qp2.post_write(1024 + i * 8, &i.to_le_bytes()).unwrap();
+            }
+        }
+        let c2 = qp2.wait_all();
+        let c1 = qp1.wait_all();
+        prop_assert!(c1.windows(2).all(|w| w[0].work_id < w[1].work_id));
+        prop_assert!(c2.windows(2).all(|w| w[0].work_id < w[1].work_id));
+        prop_assert!(c1.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        prop_assert!(c2.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        // Interleaving across QPs: the fast link's first completion beats
+        // the slow link's last one.
+        prop_assert!(
+            c2.first().unwrap().completed_at < c1.last().unwrap().completed_at,
+            "fast-QP completions never overtook the slow QP"
+        );
+    }
+
+    /// The chaos schedule is keyed to per-link *post order*, so a fully
+    /// pipelined issue sequence draws byte-identical verdicts (and leaves
+    /// byte-identical memory) to a blocking one — the engine is invisible
+    /// when pipelining is off, and chaos verdicts are unchanged when it
+    /// is on.
+    #[test]
+    fn chaos_schedule_is_keyed_to_post_order_not_issue_style(
+        seed in any::<u64>(),
+        n in 1usize..40,
+    ) {
+        let run = |pipelined: bool| {
+            let f = fabric();
+            let model = ChaosModel::new(ChaosConfig::heavy(seed));
+            f.install_chaos(std::sync::Arc::clone(&model));
+            model.set_enabled(true);
+            let qp = f.qp(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+            let results: Vec<Result<(), RdmaError>> = if pipelined {
+                for i in 0..n as u64 {
+                    qp.post_write((i % 64) * 8, &(i + 1).to_le_bytes()).unwrap();
+                }
+                qp.wait_all().into_iter().map(|c| c.result.map(|_| ())).collect()
+            } else {
+                (0..n as u64).map(|i| qp.write_u64((i % 64) * 8, i + 1)).collect()
+            };
+            let obs = f.qp_admin(f.register_endpoint(), NodeId(0), FaultInjector::new()).unwrap();
+            let mem: Vec<u64> = (0..64u64).map(|w| obs.read_u64(w * 8).unwrap()).collect();
+            (results, model.stats().total_faults(), mem)
+        };
+        prop_assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn main() {
     let (mut mallory, lease) = cluster.coordinator().expect("coordinator");
     mallory.run(|txn| txn.read(ACCOUNTS, 3).map(|_| ())).unwrap(); // warm the address cache
     let base = mallory.injector().ops_issued();
-    mallory.injector().arm(CrashPlan { at_op: base + 7, mode: CrashMode::AfterOp });
+    mallory.injector().arm(CrashPlan { at_op: base + 6, mode: CrashMode::AfterOp });
     let mut txn = mallory.begin();
     let err = txn
         .write(ACCOUNTS, 3, &value(0))

@@ -39,8 +39,23 @@ fn build(protocol: ProtocolKind) -> SimCluster {
 /// Crash a two-key write transaction at verb `at_op` and verify the
 /// post-recovery state. Returns true if the crash plan actually fired.
 fn sweep_once(protocol: ProtocolKind, at_op: u64, mode: CrashMode) -> bool {
+    sweep_once_tear(protocol, at_op, mode, None)
+}
+
+/// Like [`sweep_once`], but with the `MidWrite` tear offset pinned to
+/// `tear_pp`/1024 of the torn payload (`None` keeps the default
+/// midpoint tear).
+fn sweep_once_tear(
+    protocol: ProtocolKind,
+    at_op: u64,
+    mode: CrashMode,
+    tear_pp: Option<u32>,
+) -> bool {
     let cluster = build(protocol);
     let (mut co, lease) = cluster.coordinator().unwrap();
+    if let Some(pp) = tear_pp {
+        co.injector().set_tear_point(pp);
+    }
     co.injector().arm(CrashPlan { at_op, mode });
     let commit_result = {
         let mut txn = co.begin();
@@ -138,6 +153,39 @@ fn baseline_survives_every_crash_point() {
 #[test]
 fn traditional_survives_every_crash_point() {
     sweep(ProtocolKind::Traditional);
+}
+
+#[test]
+fn tear_extremes_survive_mid_write_crashes() {
+    // MidWrite crashes historically always tore at the payload midpoint.
+    // The extreme placements are the interesting ones: pp 0 means the
+    // torn verb lands *nothing* (crash just before the write), pp 1024
+    // means it lands *everything* (crash just after) — both must leave
+    // the store recoverable at every verb index, for every protocol.
+    for protocol in [ProtocolKind::Pandora, ProtocolKind::Ford, ProtocolKind::Traditional] {
+        for pp in [0u32, 1024] {
+            let mut fired_any = false;
+            for at_op in 1..=20u64 {
+                fired_any |= sweep_once_tear(protocol, at_op, CrashMode::MidWrite, Some(pp));
+            }
+            assert!(fired_any, "{protocol:?} tear pp={pp}: no crash point fired");
+        }
+    }
+}
+
+#[test]
+fn seeded_tear_points_recover() {
+    // Seed-derived tear placements (the chaos harness path): each seed
+    // deterministically picks a tear offset; sweeping a few verb indexes
+    // under each must recover like the midpoint default does.
+    for seed in [1u64, 7, 42] {
+        let probe = rdma_sim::FaultInjector::new();
+        probe.seed_tear_point(seed);
+        let pp = probe.tear_point();
+        for at_op in [3u64, 6, 9, 12] {
+            sweep_once_tear(ProtocolKind::Pandora, at_op, CrashMode::MidWrite, Some(pp));
+        }
+    }
 }
 
 #[test]
