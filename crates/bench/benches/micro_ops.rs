@@ -241,6 +241,61 @@ fn bench_pipeline_fanout(c: &mut Criterion) {
     }
 }
 
+fn bench_interleave(c: &mut Criterion) {
+    // Throughput ablation (ISSUE 10 acceptance gate): one coordinator
+    // keeping `inflight_txns` slot transactions in flight over a striped
+    // fabric, vs the same request stream drained one commit at a time.
+    // Benchmarked per *batch* of 16 requests so both shapes amortize the
+    // same queue-management overhead; the interleaved row must land well
+    // below half the width-1 row at rtt = 2 µs.
+    use pandora::TxnRequest;
+    let latency =
+        rdma_sim::LatencyModel { rtt: std::time::Duration::from_micros(2), ns_per_kib: 0 };
+    for (label, config) in [
+        ("width1", SystemConfig::new(ProtocolKind::Pandora)),
+        (
+            "inflight8_stripes4",
+            SystemConfig::new(ProtocolKind::Pandora)
+                .with_inflight_txns(8)
+                .with_qp_stripes(4),
+        ),
+    ] {
+        let cluster = SimCluster::builder(ProtocolKind::Pandora)
+            .memory_nodes(3)
+            .replication(2)
+            .capacity_per_node(16 << 20)
+            .table(TableDef::sized_for(0, "kv", 40, 4096))
+            .max_coord_slots(64)
+            .config(config)
+            .latency(latency)
+            .build()
+            .unwrap();
+        cluster.bulk_load(TableId(0), (0..2048u64).map(|k| (k, vec![0u8; 40]))).unwrap();
+        let (mut co, _lease) = cluster.coordinator().unwrap();
+        let request = |base: u64| {
+            let mut req = TxnRequest::new();
+            for k in base..base + 4 {
+                req = req.write(TableId(0), k, vec![1u8; 40]);
+            }
+            req
+        };
+        // Warm the address cache over the whole working set.
+        for base in (0..512u64).step_by(4) {
+            let r = co.run_interleaved(&[request(base)]);
+            assert!(r.into_iter().all(|x| x.is_ok()));
+        }
+        let mut round = 0u64;
+        c.bench_function(&format!("interleave/batch16_of_4_writes/{label}"), |b| {
+            b.iter(|| {
+                let reqs: Vec<TxnRequest> =
+                    (0..16u64).map(|i| request(((round * 16 + i) * 4) % 512)).collect();
+                round = round.wrapping_add(1);
+                co.run_interleaved_retrying(&reqs).unwrap();
+            })
+        });
+    }
+}
+
 fn bench_persistence_modes(c: &mut Criterion) {
     // Ablation: commit cost per durability setting (paper §7).
     // VolatileReplicated and BatteryBackedDram share a data path; NvmFlush
@@ -296,6 +351,7 @@ criterion_group! {
         bench_lock_steal,
         bench_doorbell_batching,
         bench_pipeline_fanout,
+        bench_interleave,
         bench_persistence_modes
 }
 criterion_main!(benches);

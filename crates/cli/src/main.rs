@@ -69,6 +69,12 @@ RUN FLAGS
                         commit path                    (default 16)
   --no-pipeline         issue every verb blocking (sequential baseline;
                         same as --pipeline-depth 1)
+  --qp-stripes N        queue pairs per (coordinator, node); verbs to
+                        unrelated addresses complete out of order across
+                        the stripe lanes                (default 1)
+  --inflight-txns N     independent transactions the coordinator keeps
+                        in flight through the interleaved scheduler;
+                        capped at the 8 log lanes       (default 1)
   --write-ratio R       micro only                     (default 0.5)
   --hot-keys N          micro only: contention hot set
   --metrics-json PATH   write a machine-readable metrics snapshot (JSON);
@@ -185,6 +191,14 @@ fn parse_config(args: &Args) -> Result<SystemConfig, ParseError> {
         let depth = args.get_u64("pipeline-depth", 16)?;
         config = config.with_pipeline_depth(depth.min(u32::MAX as u64) as u32);
     }
+    if args.has("qp-stripes") {
+        let n = args.get_u64("qp-stripes", 4)?;
+        config = config.with_qp_stripes(n.min(u32::MAX as u64) as u32);
+    }
+    if args.has("inflight-txns") {
+        let n = args.get_u64("inflight-txns", 8)?;
+        config = config.with_inflight_txns(n.min(u32::MAX as u64) as u32);
+    }
     Ok(config)
 }
 
@@ -200,6 +214,9 @@ impl Workload for Shim {
     }
     fn load(&self, cluster: &SimCluster) {
         self.0.load(cluster)
+    }
+    fn request(&self, rng: &mut StdRng) -> Option<pandora::TxnRequest> {
+        self.0.request(rng)
     }
     fn execute(
         &self,

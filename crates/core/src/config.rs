@@ -166,6 +166,18 @@ pub struct SystemConfig {
     /// pre-pipelining behaviour and the sequential baseline the
     /// latency-hiding bench compares against.
     pub pipeline_depth: u32,
+    /// Queue pairs per (coordinator, node) link. Verbs are routed onto a
+    /// lane by a hash of the remote address they target, so same-object
+    /// verbs keep RC post-order completion while unrelated objects'
+    /// completions may reorder across lanes. `1` (the default) is a
+    /// single QP per node — byte-identical to the unstriped fabric.
+    pub qp_stripes: u32,
+    /// Independent transactions the interleaved scheduler keeps in
+    /// flight on one logical coordinator (capped by the number of log
+    /// lanes a coordinator's log region is divided into). `1` (the
+    /// default) disables the scheduler: `run_interleaved` degenerates to
+    /// the classic one-commit-at-a-time path.
+    pub inflight_txns: u32,
 }
 
 impl SystemConfig {
@@ -183,6 +195,8 @@ impl SystemConfig {
             fd_poll: Duration::from_millis(1),
             retry: RetryPolicy::verbs(),
             pipeline_depth: 16,
+            qp_stripes: 1,
+            inflight_txns: 1,
         }
     }
 
@@ -203,6 +217,30 @@ impl SystemConfig {
     /// Is the posted-verb fan-out path active?
     pub fn pipelining_on(&self) -> bool {
         self.pipeline_depth > 1
+    }
+
+    /// Queue pairs per (coordinator, node) link (`n <= 1` keeps the
+    /// single-QP fabric).
+    pub fn with_qp_stripes(mut self, n: u32) -> SystemConfig {
+        self.qp_stripes = n.max(1);
+        self
+    }
+
+    /// Is multi-QP striping active?
+    pub fn striping_on(&self) -> bool {
+        self.qp_stripes > 1
+    }
+
+    /// Transactions the interleaved scheduler keeps in flight per
+    /// coordinator (`n <= 1` keeps the classic sequential commit path).
+    pub fn with_inflight_txns(mut self, n: u32) -> SystemConfig {
+        self.inflight_txns = n.max(1);
+        self
+    }
+
+    /// Is the interleaved multi-transaction scheduler active?
+    pub fn interleaving_on(&self) -> bool {
+        self.inflight_txns > 1
     }
 
     pub fn with_retry(mut self, retry: RetryPolicy) -> SystemConfig {
@@ -266,6 +304,18 @@ mod tests {
         assert!(!c.without_pipeline().pipelining_on());
         assert_eq!(c.with_pipeline_depth(4).pipeline_depth, 4);
         assert!(!c.with_pipeline_depth(1).pipelining_on());
+    }
+
+    #[test]
+    fn striping_and_interleaving_default_off() {
+        let c = SystemConfig::new(ProtocolKind::Pandora);
+        assert!(!c.striping_on());
+        assert!(!c.interleaving_on());
+        assert!(c.with_qp_stripes(4).striping_on());
+        assert!(c.with_inflight_txns(8).interleaving_on());
+        // Zero is clamped to the disabled setting, not an empty fabric.
+        assert_eq!(c.with_qp_stripes(0).qp_stripes, 1);
+        assert_eq!(c.with_inflight_txns(0).inflight_txns, 1);
     }
 
     #[test]

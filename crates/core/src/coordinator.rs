@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use dkvs::hash::FxHashMap;
 use dkvs::{ClusterMap, LockWord, SlotImage, SlotLayout, SlotRef, TableId};
-use rdma_sim::{EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult, WorkId};
+use rdma_sim::{EndpointId, FaultInjector, NodeId, QpStripe, QueuePair, RdmaResult, WorkId};
 
 use crate::context::SharedContext;
 use crate::fd::{CoordinatorLease, FailureDetector};
@@ -28,14 +28,16 @@ pub struct CoordStats {
 }
 
 /// A transaction coordinator (paper §2.1 "Architecture"). One coordinator
-/// runs one transaction at a time; a compute server hosts many
-/// coordinators. Each coordinator owns a QP to every memory node, all
-/// sharing one [`FaultInjector`] so a crash stops the whole context.
+/// runs one transaction at a time (or up to `inflight_txns` at a time
+/// through [`Coordinator::run_interleaved`]); a compute server hosts many
+/// coordinators. Each coordinator owns a [`QpStripe`] — one or more QPs —
+/// to every memory node, all sharing one [`FaultInjector`] so a crash
+/// stops the whole context.
 pub struct Coordinator {
     pub(crate) ctx: Arc<SharedContext>,
     pub(crate) coord_id: u16,
     pub(crate) endpoint: EndpointId,
-    pub(crate) qps: Vec<QueuePair>,
+    pub(crate) qps: Vec<QpStripe>,
     pub(crate) injector: Arc<FaultInjector>,
     pub(crate) gate: Arc<CoordGate>,
     pub(crate) addr_cache: FxHashMap<(TableId, u64), SlotRef>,
@@ -46,6 +48,9 @@ pub struct Coordinator {
     /// Flight-recorder emission handle, auto-attached at connect time
     /// when the cluster has a recorder installed (see [`crate::flight`]).
     pub(crate) flight: Option<FlightHandle>,
+    /// Interleaved-scheduler gauges (in-flight transactions, admissions),
+    /// attached via [`Coordinator::with_sched_stats`].
+    pub(crate) sched: Option<std::sync::Arc<crate::sched::SchedStats>>,
     pub stats: CoordStats,
 }
 
@@ -69,15 +74,18 @@ pub(crate) struct FanoutOutcome {
 }
 
 /// Route completions back to their fan-out items (first error wins,
-/// READ payloads are kept).
+/// READ payloads are kept). Completions are keyed by (node, lane, work
+/// id): work ids are only unique per queue pair, and a striped link has
+/// several.
 fn settle_completions(
     outcomes: &mut [FanoutOutcome],
-    tags: &FxHashMap<(u16, WorkId), usize>,
+    tags: &FxHashMap<(u16, u32, WorkId), usize>,
     node: NodeId,
+    lane: u32,
     comps: Vec<rdma_sim::Completion>,
 ) {
     for c in comps {
-        let Some(&i) = tags.get(&(node.0, c.work_id)) else { continue };
+        let Some(&i) = tags.get(&(node.0, lane, c.work_id)) else { continue };
         match c.result {
             Ok(_) => {
                 if c.data.is_some() {
@@ -122,9 +130,10 @@ impl Coordinator {
         endpoint: EndpointId,
         injector: Arc<FaultInjector>,
     ) -> RdmaResult<Coordinator> {
+        let width = ctx.config.qp_stripes.max(1);
         let mut qps = Vec::with_capacity(ctx.fabric.num_nodes() as usize);
         for n in ctx.fabric.node_ids() {
-            qps.push(ctx.fabric.qp(endpoint, n, Arc::clone(&injector))?);
+            qps.push(ctx.fabric.qp_stripe(endpoint, n, Arc::clone(&injector), width)?);
         }
         let gate = ctx.pause.register();
         let flight = ctx.flight().map(|rec| rec.handle(coord_id));
@@ -141,6 +150,7 @@ impl Coordinator {
             tracer: None,
             phase_stats: None,
             flight,
+            sched: None,
             stats: CoordStats::default(),
         })
     }
@@ -181,6 +191,12 @@ impl Coordinator {
     /// Attach per-phase commit-path statistics (see [`crate::obs`]).
     pub fn with_phase_stats(mut self, stats: Arc<PhaseStats>) -> Coordinator {
         self.phase_stats = Some(stats);
+        self
+    }
+
+    /// Attach interleaved-scheduler gauges (see [`crate::sched`]).
+    pub fn with_sched_stats(mut self, stats: Arc<crate::sched::SchedStats>) -> Coordinator {
+        self.sched = Some(stats);
         self
     }
 
@@ -266,10 +282,17 @@ impl Coordinator {
         }
     }
 
-    /// Per-node verb counters of this coordinator's queue pairs (used to
-    /// assert round-trip counts, e.g. Pandora's f+1 log writes).
+    /// Per-node verb counters of this coordinator's queue pairs, summed
+    /// across stripe lanes (used to assert round-trip counts, e.g.
+    /// Pandora's f+1 log writes).
     pub fn op_counters(&self) -> Vec<(NodeId, rdma_sim::OpCountersSnapshot)> {
-        self.qps.iter().map(|qp| (qp.node_id(), qp.counters().snapshot())).collect()
+        self.qps.iter().map(|s| (s.node_id(), s.counters_snapshot())).collect()
+    }
+
+    /// Per-node, per-lane verb counters of this coordinator's stripes
+    /// (lane order), for the metrics export.
+    pub fn stripe_counters(&self) -> Vec<(NodeId, Vec<rdma_sim::OpCountersSnapshot>)> {
+        self.qps.iter().map(|s| (s.node_id(), s.lane_counters())).collect()
     }
 
     /// Snapshot of the address cache (key → slot). A replacement
@@ -315,9 +338,28 @@ impl Coordinator {
         }
     }
 
+    /// Lane 0 of the stripe to `node` — the QP every blocking wrapper
+    /// and unrouted verb uses. With `qp_stripes = 1` this *is* the
+    /// node's only QP, reproducing the unstriped fabric exactly.
     #[inline]
     pub(crate) fn qp(&self, node: NodeId) -> &QueuePair {
+        self.qps[node.0 as usize].lane(0)
+    }
+
+    /// The whole stripe to `node`.
+    #[inline]
+    pub(crate) fn stripe(&self, node: NodeId) -> &QpStripe {
         &self.qps[node.0 as usize]
+    }
+
+    /// The stripe lane the route address hashes to. Verbs that rely on
+    /// RC ordering among themselves must share a route; the protocol
+    /// layer routes by the base address of the object being operated on
+    /// (slot base for lock/read/apply/unlock verbs, log-lane base for
+    /// log writes).
+    #[inline]
+    pub(crate) fn qp_routed(&self, node: NodeId, route: u64) -> &QueuePair {
+        self.qps[node.0 as usize].route(route)
     }
 
     /// Per-QP posted-verb window (`<= 1` means the fan-out path is off).
@@ -335,13 +377,17 @@ impl Coordinator {
     /// Fan one phase's verbs out across memory nodes with a single
     /// completion barrier.
     ///
-    /// For each item, `post` issues its verb(s) on the given QP (chosen
-    /// by `node_of`) and pushes every returned [`WorkId`]; items whose
-    /// verbs all target one QP keep their intra-item order by RC
-    /// ordering. Posting is capped at the configured pipeline depth per
-    /// QP — an item's verbs always post together, the cap is enforced
-    /// between items. After all items have posted, every touched QP is
-    /// drained once (the barrier).
+    /// For each item, `route_of` names the node *and* the route address
+    /// the item's verbs are about (slot base, log-lane base); the route
+    /// picks a stripe lane, and `post` issues the item's verb(s) on that
+    /// QP and pushes every returned [`WorkId`]. An item's verbs all post
+    /// on one lane, so intra-item order is kept by RC ordering — and so
+    /// are inter-item orders for items sharing a route, which is how
+    /// same-object verbs stay ordered under striping. Posting is capped
+    /// at the configured pipeline depth per lane — an item's verbs
+    /// always post together, the cap is enforced between items. After
+    /// all items have posted, every touched lane is drained once (the
+    /// barrier).
     ///
     /// Failures are *not* resolved here: a synchronous post error or a
     /// failed completion lands in the item's [`FanoutOutcome`], and the
@@ -351,37 +397,40 @@ impl Coordinator {
     pub(crate) fn fanout<I>(
         &self,
         items: &[I],
-        node_of: impl Fn(&I) -> NodeId,
+        route_of: impl Fn(&I) -> (NodeId, u64),
         post: impl Fn(&QueuePair, &I, &mut Vec<WorkId>) -> RdmaResult<()>,
     ) -> Vec<FanoutOutcome> {
         let depth = self.pipeline_depth();
         let mut outcomes: Vec<FanoutOutcome> =
             items.iter().map(|_| FanoutOutcome { result: Ok(()), data: None }).collect();
-        let mut tags: FxHashMap<(u16, WorkId), usize> = FxHashMap::default();
-        let mut touched: Vec<NodeId> = Vec::new();
+        let mut tags: FxHashMap<(u16, u32, WorkId), usize> = FxHashMap::default();
+        let mut touched: Vec<(NodeId, u32)> = Vec::new();
         let mut ids: Vec<WorkId> = Vec::new();
         for (i, item) in items.iter().enumerate() {
-            let node = node_of(item);
-            let qp = self.qp(node);
+            let (node, route) = route_of(item);
+            let stripe = self.stripe(node);
+            let lane = stripe.lane_for(route);
+            let qp = stripe.lane(lane);
             ids.clear();
             // A post error may leave the item's earlier verbs in flight;
             // tag them anyway so the barrier accounts for them.
             let posted = post(qp, item, &mut ids);
-            if !ids.is_empty() && !touched.contains(&node) {
-                touched.push(node);
+            if !ids.is_empty() && !touched.contains(&(node, lane)) {
+                touched.push((node, lane));
             }
             for id in ids.drain(..) {
-                tags.insert((node.0, id), i);
+                tags.insert((node.0, lane, id), i);
             }
             if let Err(e) = posted {
                 outcomes[i].result = Err(e);
             }
             if qp.in_flight() >= depth {
-                settle_completions(&mut outcomes, &tags, node, qp.wait_all());
+                settle_completions(&mut outcomes, &tags, node, lane, qp.wait_all());
             }
         }
-        for node in touched {
-            settle_completions(&mut outcomes, &tags, node, self.qp(node).wait_all());
+        for (node, lane) in touched {
+            let comps = self.stripe(node).lane(lane).wait_all();
+            settle_completions(&mut outcomes, &tags, node, lane, comps);
         }
         outcomes
     }
@@ -486,9 +535,10 @@ impl Coordinator {
     pub fn reincarnate(&mut self, fd: &FailureDetector) -> RdmaResult<CoordinatorLease> {
         let endpoint = self.ctx.fabric.register_endpoint();
         let lease = fd.register(endpoint);
+        let width = self.ctx.config.qp_stripes.max(1);
         let mut qps = Vec::with_capacity(self.ctx.fabric.num_nodes() as usize);
         for n in self.ctx.fabric.node_ids() {
-            qps.push(self.ctx.fabric.qp(endpoint, n, Arc::clone(&self.injector))?);
+            qps.push(self.ctx.fabric.qp_stripe(endpoint, n, Arc::clone(&self.injector), width)?);
         }
         // The fenced incarnation's pause gate must never hold up a
         // stop-the-world recovery; register a fresh one.
@@ -520,8 +570,18 @@ impl Coordinator {
     /// ABA, see [`LockWord::pill_tagged`]).
     #[inline]
     pub(crate) fn my_lock(&self) -> LockWord {
+        self.lock_for(self.txn_seq)
+    }
+
+    /// Lock word for an explicit transaction sequence number — the
+    /// interleaved scheduler runs several transactions of one
+    /// coordinator at once, each with its own seq and therefore its own
+    /// distinguishable lock word (`my_lock` always reads the *latest*
+    /// seq).
+    #[inline]
+    pub(crate) fn lock_for(&self, seq: u64) -> LockWord {
         if self.ctx.config.pill_active() {
-            let tag = (self.endpoint.0.wrapping_mul(0x9E37_79B1)) ^ (self.txn_seq as u32);
+            let tag = (self.endpoint.0.wrapping_mul(0x9E37_79B1)) ^ (seq as u32);
             LockWord::pill_tagged(self.coord_id, tag)
         } else {
             LockWord::anonymous()

@@ -51,6 +51,12 @@ fn jstr(s: &str) -> String {
 pub enum FlightTrack {
     /// A transaction coordinator (compute side).
     Coordinator(u16),
+    /// One in-flight transaction slot of an interleaved coordinator
+    /// (`(coord, slot)`): the scheduler runs several transactions of one
+    /// coordinator at once, and giving each slot its own timeline makes
+    /// the overlap visible instead of folding every span onto the
+    /// coordinator's track.
+    TxnSlot(u16, u16),
     /// A memory node (verb spans land here, attributed to the issuing
     /// endpoint via [`FlightSpan::aux`]).
     MemoryNode(u16),
@@ -61,10 +67,11 @@ pub enum FlightTrack {
 
 impl FlightTrack {
     /// Stable thread-id for the Chrome trace export. Coordinators sort
-    /// first, then memory nodes, then the chaos track.
+    /// first, then their txn slots, then memory nodes, then chaos.
     fn tid(self) -> u64 {
         match self {
             FlightTrack::Coordinator(c) => 10 + c as u64,
+            FlightTrack::TxnSlot(c, s) => 50_000 + (c as u64) * 64 + s as u64,
             FlightTrack::MemoryNode(n) => 100_000 + n as u64,
             FlightTrack::Chaos => 1,
         }
@@ -73,6 +80,7 @@ impl FlightTrack {
     fn label(self) -> String {
         match self {
             FlightTrack::Coordinator(c) => format!("coordinator {c}"),
+            FlightTrack::TxnSlot(c, s) => format!("coordinator {c} txn slot {s}"),
             FlightTrack::MemoryNode(n) => format!("memory node {n}"),
             FlightTrack::Chaos => "chaos".to_string(),
         }
@@ -215,12 +223,12 @@ impl FlightRecorder {
     /// survive coordinator-id recycling: a recycled id continues its
     /// predecessor's track, which is exactly what a fail-over timeline
     /// wants to show.
-    fn coord_ring(&self, coord: u16) -> Arc<Ring> {
+    fn coord_ring(&self, track: FlightTrack) -> Arc<Ring> {
         let mut coords = self.coords.lock();
-        if let Some(ring) = coords.iter().find(|r| r.track == FlightTrack::Coordinator(coord)) {
+        if let Some(ring) = coords.iter().find(|r| r.track == track) {
             return Arc::clone(ring);
         }
-        let ring = Arc::new(Ring::new(FlightTrack::Coordinator(coord), self.capacity));
+        let ring = Arc::new(Ring::new(track, self.capacity));
         coords.push(Arc::clone(&ring));
         ring
     }
@@ -228,7 +236,19 @@ impl FlightRecorder {
     /// A cheap per-coordinator emission handle (caches the ring so the
     /// hot path never searches).
     pub fn handle(self: &Arc<Self>, coord: u16) -> FlightHandle {
-        FlightHandle { rec: Arc::clone(self), ring: self.coord_ring(coord) }
+        FlightHandle {
+            rec: Arc::clone(self),
+            ring: self.coord_ring(FlightTrack::Coordinator(coord)),
+        }
+    }
+
+    /// An emission handle for one interleaved-scheduler transaction slot
+    /// (its own [`FlightTrack::TxnSlot`] timeline).
+    pub fn slot_handle(self: &Arc<Self>, coord: u16, slot: u16) -> FlightHandle {
+        FlightHandle {
+            rec: Arc::clone(self),
+            ring: self.coord_ring(FlightTrack::TxnSlot(coord, slot)),
+        }
     }
 
     /// The recorder's current timestamp (pair with

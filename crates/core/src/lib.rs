@@ -58,6 +58,7 @@ pub mod obs;
 pub mod pause;
 pub mod recovery;
 pub mod retry;
+pub mod sched;
 pub mod sim;
 pub mod trace;
 pub mod txn;
@@ -74,11 +75,13 @@ pub use metrics::{
     mean_tps, LatencyHistogram, Sample, Sampler, ThroughputProbe, TimelinePoint, TimelineSampler,
 };
 pub use obs::{
-    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PhaseStats, RecoverySnapshot, TxnPhase,
+    merge_stripe_counters, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PhaseStats,
+    RecoverySnapshot, StripeStore, TxnPhase,
 };
 pub use pause::{CoordGate, WorldPause};
 pub use recovery::{RecoveryCoordinator, RecoveryCrashPlan, RecoveryReport, RecoveryStep};
 pub use retry::{ResilienceSnapshot, ResilienceStats, RetryPolicy};
+pub use sched::{SchedSnapshot, SchedStats, TxnOp, TxnOutcome, TxnRequest, UpdateFn};
 pub use sim::{SimCluster, SimClusterBuilder};
 pub use trace::{TraceRecord, Tracer, TxnEvent};
 pub use txn::{AbortReason, Txn, TxnError};

@@ -231,8 +231,48 @@ pub struct MetricsRegistry {
     fabric: Option<Arc<Fabric>>,
     resilience: Option<Arc<ResilienceStats>>,
     chaos: Option<Arc<ChaosModel>>,
+    sched: Option<Arc<crate::sched::SchedStats>>,
     reports: Mutex<Vec<RecoveryReport>>,
     timeline: Mutex<Vec<TimelinePoint>>,
+    stripes: StripeStore,
+}
+
+/// Shared accumulator for per-stripe lane counters: `(node id, one
+/// [`OpCountersSnapshot`] per lane)`. Worker threads merge into it as
+/// they retire (coordinator QPs are thread-owned, so counters can only
+/// be read where the coordinator lives); a registry wired to the same
+/// store via [`MetricsRegistry::with_stripe_store`] sees everything
+/// merged so far at snapshot time.
+pub type StripeStore = Arc<Mutex<Vec<(u16, Vec<OpCountersSnapshot>)>>>;
+
+/// Merge one coordinator's per-stripe lane counters (from
+/// [`crate::Coordinator::stripe_counters`]) into a [`StripeStore`];
+/// counts of the same `(node, lane)` accumulate.
+pub fn merge_stripe_counters(
+    store: &StripeStore,
+    counters: &[(rdma_sim::NodeId, Vec<OpCountersSnapshot>)],
+) {
+    let mut stripes = store.lock();
+    for (node, lanes) in counters {
+        match stripes.iter_mut().find(|(n, _)| *n == node.0) {
+            Some((_, acc)) => {
+                if acc.len() < lanes.len() {
+                    acc.resize(lanes.len(), OpCountersSnapshot::default());
+                }
+                for (a, l) in acc.iter_mut().zip(lanes) {
+                    a.reads += l.reads;
+                    a.writes += l.writes;
+                    a.cas += l.cas;
+                    a.faa += l.faa;
+                    a.flushes += l.flushes;
+                    a.bytes_read += l.bytes_read;
+                    a.bytes_written += l.bytes_written;
+                }
+            }
+            None => stripes.push((node.0, lanes.clone())),
+        }
+    }
+    stripes.sort_by_key(|(n, _)| *n);
 }
 
 impl MetricsRegistry {
@@ -268,6 +308,29 @@ impl MetricsRegistry {
     pub fn with_chaos(mut self, chaos: Arc<ChaosModel>) -> MetricsRegistry {
         self.chaos = Some(chaos);
         self
+    }
+
+    /// Wire the interleaved scheduler's gauges (see
+    /// [`crate::sched::SchedStats`]): the `txns_in_flight` gauge and the
+    /// admission/commit/abort counters land under `"sched"`.
+    pub fn with_sched(mut self, sched: Arc<crate::sched::SchedStats>) -> MetricsRegistry {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Share an externally-owned [`StripeStore`] (e.g. the workload
+    /// runner's) so counters merged after this registry was built still
+    /// appear in its snapshots.
+    pub fn with_stripe_store(mut self, store: StripeStore) -> MetricsRegistry {
+        self.stripes = store;
+        self
+    }
+
+    /// Merge one coordinator's per-stripe lane counters (from
+    /// [`crate::Coordinator::stripe_counters`]); lane verb counts of the
+    /// same `(node, lane)` accumulate across coordinators.
+    pub fn add_stripe_counters(&self, counters: &[(rdma_sim::NodeId, Vec<OpCountersSnapshot>)]) {
+        merge_stripe_counters(&self.stripes, counters);
     }
 
     /// Append recovery reports (e.g. from `FailureDetector::reports`).
@@ -310,6 +373,8 @@ impl MetricsRegistry {
             verbs: self.fabric.as_ref().map(|f| f.verb_stats()),
             resilience: self.resilience.as_ref().map(|r| r.snapshot()),
             chaos: self.chaos.as_ref().map(|c| c.stats()),
+            sched: self.sched.as_ref().map(|s| s.snapshot()),
+            stripes: self.stripes.lock().clone(),
             recoveries: self.reports.lock().iter().map(RecoverySnapshot::from_report).collect(),
             timeline: self.timeline.lock().clone(),
         }
@@ -342,6 +407,12 @@ pub struct MetricsSnapshot {
     pub resilience: Option<ResilienceSnapshot>,
     /// Injected-fault counters, when a chaos model was installed.
     pub chaos: Option<ChaosStatsSnapshot>,
+    /// Interleaved-scheduler gauges (`txns_in_flight` et al.), when a
+    /// [`crate::sched::SchedStats`] was wired in.
+    pub sched: Option<crate::sched::SchedSnapshot>,
+    /// Per-node per-stripe-lane verb counters, accumulated across the
+    /// coordinators that reported theirs ([`MetricsRegistry::add_stripe_counters`]).
+    pub stripes: Vec<(u16, Vec<OpCountersSnapshot>)>,
     /// One entry per recovery performed during the run.
     pub recoveries: Vec<RecoverySnapshot>,
     /// Sampled throughput/abort/recovery-gauge series (empty when no
@@ -455,7 +526,30 @@ impl MetricsSnapshot {
             )),
             None => s.push_str("null"),
         }
-        s.push_str(",\"recoveries\":[");
+        s.push_str(",\"sched\":");
+        match &self.sched {
+            Some(g) => s.push_str(&format!(
+                "{{\"txns_in_flight\":{},\"txns_in_flight_high_water\":{},\
+                 \"admitted\":{},\"committed\":{},\"aborted\":{}}}",
+                g.in_flight, g.high_water, g.admitted, g.committed, g.aborted
+            )),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"stripes\":[");
+        for (i, (node, lanes)) in self.stripes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"node\":{node},\"lanes\":["));
+            for (j, ops) in lanes.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&ops_json(ops));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"recoveries\":[");
         for (i, r) in self.recoveries.iter().enumerate() {
             if i > 0 {
                 s.push(',');

@@ -25,7 +25,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dkvs::hash::FxHashMap;
-use dkvs::{LockWord, LogEntry, SlotLayout, TableId, UndoRecord, LOG_REGION_BYTES};
+use dkvs::{
+    log_lane_offset, LockWord, LogEntry, SlotLayout, TableId, UndoRecord, LOG_REGION_BYTES,
+    TXN_LOG_LANES,
+};
 use parking_lot::Mutex;
 use rdma_sim::{CrashMode, CrashPlan, EndpointId, FaultInjector, NodeId, QueuePair, RdmaResult};
 
@@ -365,34 +368,50 @@ impl RecoveryCoordinator {
     }
 
     /// Read the failed coordinator's log regions from `log_nodes`, merge
-    /// entries (f+1 copies; some may be torn/missing), and resolve the
-    /// coordinator's in-flight transaction. Idempotent: ends by
-    /// truncating all regions.
+    /// entries (f+1 copies; some may be torn/missing), and resolve *all*
+    /// of the coordinator's in-flight transactions — the interleaved
+    /// scheduler keeps up to [`dkvs::TXN_LOG_LANES`] of them in flight,
+    /// one per log lane. Idempotent: ends by truncating all regions.
     ///
-    /// Two hardening rules beyond the paper's sketch (found by review):
+    /// Lane walk: a scheduler slot writes its entry at its own lane
+    /// offset; the classic engine writes at the region base and its
+    /// entry may *span* lanes. The walk visits lane offsets in ascending
+    /// order and skips any offset covered by the extent of a previously
+    /// decoded entry ([`LogEntry::encoded_len`]); the entry checksum
+    /// rejects the middle bytes of a torn or partially-overwritten
+    /// spanning entry, so the two layouts cannot be confused.
     ///
-    /// * **Only the newest entry acts.** Commits do not truncate their
-    ///   logs (DESIGN §9.2), so a crash between the log writes of txn
-    ///   N+1 can leave txn N's stale committed entry on one log server
-    ///   and N+1's on another. A coordinator runs one transaction at a
-    ///   time, so any entry older than the newest is necessarily a
-    ///   *committed* transaction whose locks were already released —
-    ///   acting on it (in particular CAS-unlocking `pill(coord)`) could
-    ///   release locks the newest, unresolved transaction still holds.
-    /// * **Restore → truncate → unlock for roll-backs.** If the RC dies
+    /// Hardening rules beyond the paper's sketch (found by review):
+    ///
+    /// * **Only the newest entry per lane acts.** The classic engine's
+    ///   commits do not truncate their logs (DESIGN §9.2), so a crash
+    ///   between the log writes of txn N+1 can leave txn N's stale
+    ///   committed entry on one log server and N+1's on another. A lane
+    ///   runs one transaction at a time, so within a lane any entry
+    ///   older than the newest is necessarily a *committed* transaction
+    ///   whose locks were already released — acting on it (in particular
+    ///   CAS-unlocking `pill(coord)`) could release locks a newer,
+    ///   unresolved transaction still holds. Distinct lanes never hold
+    ///   the same object's lock simultaneously (both would have to own
+    ///   its lock word), so resolving the lanes independently is safe.
+    /// * **Classify all → restore all → truncate all → unlock all.**
+    ///   Unlocks come strictly after every lane's pre-images are
+    ///   restored and every lane entry is truncated. If the RC dies
     ///   after unlocking some pre-image-restored objects but before
     ///   truncating, a live transaction can commit into the freed slot
-    ///   and a re-executed recovery would clobber that acked commit.
-    ///   Keeping every lock held until the pre-images are restored and
-    ///   the log is truncated makes re-execution safe at every step.
+    ///   and a re-executed recovery would clobber that acked commit;
+    ///   and a stale committed lane's owner-checked unlock is only
+    ///   idempotent once no unresolved lane can still hold that word.
     fn log_recovery(&self, coord: u16, log_nodes: &[NodeId]) -> RecoveryReport {
         self.enter_step(RecoveryStep::LogRecovery);
         let mut report = RecoveryReport::default();
         let dead = self.ctx.dead_nodes();
 
         // f+1 region READs (paper: "the RC can read all logs by issuing
-        // f+1 RDMA Reads").
-        let mut txns: FxHashMap<u64, Vec<UndoRecord>> = FxHashMap::default();
+        // f+1 RDMA Reads"), then a per-server extent-skip lane walk and
+        // a per-lane newest-txn merge across the copies.
+        let mut lanes: Vec<FxHashMap<u64, Vec<UndoRecord>>> =
+            (0..TXN_LOG_LANES as usize).map(|_| FxHashMap::default()).collect();
         for &node in log_nodes {
             if dead.contains(&node) {
                 continue;
@@ -402,11 +421,20 @@ impl RecoveryCoordinator {
             if self.verb_or_fence(|| self.qp(node).read(region.base, &mut buf)).is_err() {
                 continue;
             }
-            if let Some(entry) = LogEntry::decode(&buf) {
+            let mut covered = 0u64; // end of the last decoded entry's extent
+            for (lane, lane_entries) in lanes.iter_mut().enumerate() {
+                let off = log_lane_offset(lane as u32);
+                if off < covered {
+                    continue; // inside a spanning (classic, solo) entry
+                }
+                let Some(entry) = LogEntry::decode(&buf[off as usize..]) else {
+                    continue;
+                };
+                covered = off + entry.encoded_len() as u64;
                 if entry.coord != coord {
                     continue; // slot reused by another id — not ours
                 }
-                let records = txns.entry(entry.txn_id).or_default();
+                let records = lane_entries.entry(entry.txn_id).or_default();
                 for r in entry.writes {
                     if !self.record_in_range(&r) {
                         continue; // garbage coordinates (decode cannot know table shapes)
@@ -418,59 +446,68 @@ impl RecoveryCoordinator {
             }
         }
 
-        // Only the newest entry can be un-resolved (see docs above).
-        let newest = txns.keys().copied().max();
-        let records = match newest {
-            Some(id) => {
-                report.logged_txns = 1;
-                txns.remove(&id).expect("key came from the map")
-            }
-            None => Vec::new(),
-        };
-
-        if !records.is_empty() {
-            if self.txn_fully_applied(&records, &dead) {
-                // Roll forward: updates are in place; truncate, then
-                // release the primary locks (owner-checked CAS so a live
-                // coordinator that re-acquired a lock is never clobbered).
-                self.truncate_logs(coord, log_nodes, &dead);
-                for r in &records {
-                    self.unlock_primary_cas(coord, r, &dead);
+        // Within each lane only the newest entry can be un-resolved
+        // (see docs above).
+        let lane_records: Vec<Vec<UndoRecord>> = lanes
+            .into_iter()
+            .map(|mut txns| match txns.keys().copied().max() {
+                Some(id) => {
+                    report.logged_txns += 1;
+                    txns.remove(&id).expect("key came from the map")
                 }
+                None => Vec::new(),
+            })
+            .collect();
+
+        // Phase 1: classify every lane before mutating anything — a
+        // rollback restore must not race this RC's own unlocks.
+        let applied: Vec<bool> = lane_records
+            .iter()
+            .map(|records| records.is_empty() || self.txn_fully_applied(records, &dead))
+            .collect();
+
+        // Phase 2: restore every rollback lane's pre-images (value
+        // first, version second) while all locks are still held.
+        for (records, &fully_applied) in lane_records.iter().zip(&applied) {
+            if fully_applied {
+                continue;
+            }
+            for r in records {
+                for node in self.ctx.map.replicas(r.table, r.bucket) {
+                    if dead.contains(&node) {
+                        continue;
+                    }
+                    let base = self.ctx.map.slot_addr(node, r.table, r.bucket, r.slot);
+                    // A restore write that exhausts its retries fences
+                    // the RC: a silently-skipped pre-image would leave
+                    // this replica holding the failed txn's partial
+                    // update after truncation erased the undo record.
+                    let _ = self.verb_or_fence(|| {
+                        self.qp(node).write(base + SlotLayout::VALUE_OFF, &r.old_value)
+                    });
+                    let _ = self.verb_or_fence(|| {
+                        self.qp(node).write_u64(base + SlotLayout::VERSION_OFF, r.old_version.raw())
+                    });
+                }
+            }
+        }
+
+        // Phase 3: truncate every lane of every live log copy.
+        self.truncate_logs(coord, log_nodes, &dead);
+
+        // Phase 4: owner-checked unlocks, all lanes.
+        for (records, &fully_applied) in lane_records.iter().zip(&applied) {
+            if records.is_empty() {
+                continue;
+            }
+            for r in records {
+                self.unlock_primary_cas(coord, r, &dead);
+            }
+            if fully_applied {
                 report.rolled_forward += 1;
             } else {
-                // Roll back: restore every pre-image (value first,
-                // version second) while the locks are still held, then
-                // truncate, then unlock.
-                for r in &records {
-                    for node in self.ctx.map.replicas(r.table, r.bucket) {
-                        if dead.contains(&node) {
-                            continue;
-                        }
-                        let base = self.ctx.map.slot_addr(node, r.table, r.bucket, r.slot);
-                        // A restore write that exhausts its retries fences
-                        // the RC: a silently-skipped pre-image would leave
-                        // this replica holding the failed txn's partial
-                        // update after truncation erased the undo record.
-                        let _ = self.verb_or_fence(|| {
-                            self.qp(node).write(base + SlotLayout::VALUE_OFF, &r.old_value)
-                        });
-                        let _ = self.verb_or_fence(|| {
-                            self.qp(node)
-                                .write_u64(base + SlotLayout::VERSION_OFF, r.old_version.raw())
-                        });
-                    }
-                }
-                self.truncate_logs(coord, log_nodes, &dead);
-                for r in &records {
-                    self.unlock_primary_cas(coord, r, &dead);
-                }
                 report.rolled_back += 1;
             }
-        } else {
-            // Nothing logged (or only stale committed entries): truncate
-            // so re-execution and slot reuse start clean (§3.2.3).
-            self.truncate_logs(coord, log_nodes, &dead);
         }
         report
     }
@@ -485,20 +522,29 @@ impl RecoveryCoordinator {
                 continue;
             }
             let log = self.ctx.map.log_region(node, coord);
-            let _ = self.verb_or_fence(|| self.qp(node).write_u64(log.base, 0));
+            for lane in 0..TXN_LOG_LANES as u32 {
+                let _ = self
+                    .verb_or_fence(|| self.qp(node).write_u64(log.base + log_lane_offset(lane), 0));
+            }
             let intents = self.ctx.map.intent_region(node, coord);
             let _ = self.verb_or_fence(|| self.qp(node).write_u64(intents.base, 0));
         }
     }
 
-    /// Truncate `coord`'s log regions on every live log node.
+    /// Truncate every lane of `coord`'s log regions on every live log
+    /// node (a spanning classic entry dies with its lane-0 header; lane
+    /// entries die individually).
     fn truncate_logs(&self, coord: u16, log_nodes: &[NodeId], dead: &[NodeId]) {
         for &node in log_nodes {
             if dead.contains(&node) {
                 continue;
             }
             let region = self.ctx.map.log_region(node, coord);
-            let _ = self.verb_or_fence(|| self.qp(node).write_u64(region.base, 0));
+            for lane in 0..TXN_LOG_LANES as u32 {
+                let _ = self.verb_or_fence(|| {
+                    self.qp(node).write_u64(region.base + log_lane_offset(lane), 0)
+                });
+            }
         }
     }
 

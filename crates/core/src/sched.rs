@@ -1,0 +1,1889 @@
+//! # Interleaved multi-transaction coordinator scheduler
+//!
+//! One logical coordinator, up to `inflight_txns` independent commits in
+//! flight at once. The classic [`crate::txn::Txn`] engine runs one
+//! transaction to completion — every phase barrier stalls the whole
+//! coordinator for a fabric round trip even though the verbs of
+//! *different* transactions are completely independent. This module
+//! overlaps those stalls: each in-flight transaction is a [`SlotTxn`]
+//! with its own phase state machine (execute → validate → log → apply →
+//! flush → finalize), its verbs post asynchronously on the striped
+//! fabric, and a single event loop advances whichever slot's completion
+//! barrier has ripened. With K slots and round-trip-dominated phases the
+//! coordinator commits up to K transactions per phase-barrier latency
+//! instead of one.
+//!
+//! Isolation between sibling slots is the ordinary protocol: every slot
+//! locks with its own per-transaction [`dkvs::LockWord`] (see
+//! [`Coordinator::lock_for`]), so two slots writing one object conflict
+//! exactly like two independent coordinators would — the loser aborts
+//! with `LockConflict` and [`Coordinator::run_interleaved_retrying`]
+//! resubmits it. Undo logging is slot-isolated by the log-lane split of
+//! [`dkvs::log`]: slot *i* writes its entry at lane *i* of the
+//! coordinator's log region, so recovery can enumerate and resolve every
+//! in-flight transaction of a dead coordinator independently (see
+//! `recovery.rs`). A transaction whose entry does not fit one lane
+//! cannot run interleaved; the scheduler drains and runs it solo through
+//! the classic engine with the full region.
+//!
+//! ## Correctness notes
+//!
+//! * Posted verbs' **effects execute eagerly** at post time (see
+//!   `rdma-sim`): a posted lock CAS may have acquired its lock before
+//!   the slot ever processes the completion. [`resolve_posted_locks`]
+//!   therefore sweeps *every* posted CAS outcome into a definite
+//!   [`LockState`] before any abort decision, and `held` — not the
+//!   write-set — is the source of truth for abort-path lock release.
+//! * Verbs that rely on RC ordering among themselves share a stripe
+//!   route (the slot base for object verbs, the lane base for log
+//!   verbs), exactly like the classic fan-out path.
+//! * The commit-ack point is after apply (+ flush under NVM) and before
+//!   unlock/truncate, mirroring `Txn::commit_inner`. Unlike the classic
+//!   engine, a committed slot *truncates its own log lane* during
+//!   finalize — lanes are a shared 8-entry budget, and a stale entry
+//!   would alias the next transaction scheduled onto the same lane. A
+//!   failed truncation is tolerated (the entry classifies as
+//!   fully-applied during recovery and rolls forward as a no-op).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dkvs::{
+    entry_encoded_size, log_lane_offset, LockWord, LogEntry, SlotLayout, SlotRef, TableId,
+    UndoRecord, VersionWord, LOG_LANE_BYTES, TXN_LOG_LANES,
+};
+use rdma_sim::{NodeId, RdmaError, RdmaResult, TimeoutApplied, WorkId};
+
+use crate::coordinator::{parse_full_slot, Coordinator, FullSlot};
+use crate::flight::FlightHandle;
+use crate::trace::TxnEvent;
+use crate::txn::{pad8, AbortReason, ReadEntry, TxnError, WriteEntry, WriteKind};
+
+/// A read-modify-write closure: old value in, new value out (the new
+/// value must match the table's `value_len`).
+pub type UpdateFn = Box<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// One operation of a scheduled transaction. The scheduler executes a
+/// *declared* operation list (unlike the classic closure-driven API):
+/// declaration is what lets it post the execution phase's verbs up
+/// front and interleave with sibling transactions.
+pub enum TxnOp {
+    /// Transactional read; its result lands in [`TxnOutcome::reads`].
+    Read { table: TableId, key: u64 },
+    /// Blind write of an existing key.
+    Write { table: TableId, key: u64, value: Vec<u8> },
+    /// Read-modify-write of an existing key (aborts `NotFound` when the
+    /// key is absent).
+    Update { table: TableId, key: u64, f: UpdateFn },
+}
+
+impl std::fmt::Debug for TxnOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnOp::Read { table, key } => write!(f, "Read({table:?}, {key})"),
+            TxnOp::Write { table, key, value } => {
+                write!(f, "Write({table:?}, {key}, {}B)", value.len())
+            }
+            TxnOp::Update { table, key, .. } => write!(f, "Update({table:?}, {key}, <fn>)"),
+        }
+    }
+}
+
+impl TxnOp {
+    /// The `(table, key)` a write-class op targets (`None` for reads).
+    fn write_target(&self) -> Option<(TableId, u64)> {
+        match self {
+            TxnOp::Write { table, key, .. } | TxnOp::Update { table, key, .. } => {
+                Some((*table, *key))
+            }
+            TxnOp::Read { .. } => None,
+        }
+    }
+
+    fn target(&self) -> (TableId, u64) {
+        match self {
+            TxnOp::Read { table, key }
+            | TxnOp::Write { table, key, .. }
+            | TxnOp::Update { table, key, .. } => (*table, *key),
+        }
+    }
+}
+
+/// One transaction request for [`Coordinator::run_interleaved`].
+#[derive(Debug, Default)]
+pub struct TxnRequest {
+    pub ops: Vec<TxnOp>,
+}
+
+impl TxnRequest {
+    pub fn new() -> TxnRequest {
+        TxnRequest { ops: Vec::new() }
+    }
+
+    pub fn read(mut self, table: TableId, key: u64) -> TxnRequest {
+        self.ops.push(TxnOp::Read { table, key });
+        self
+    }
+
+    pub fn write(mut self, table: TableId, key: u64, value: Vec<u8>) -> TxnRequest {
+        self.ops.push(TxnOp::Write { table, key, value });
+        self
+    }
+
+    pub fn update(
+        mut self,
+        table: TableId,
+        key: u64,
+        f: impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    ) -> TxnRequest {
+        self.ops.push(TxnOp::Update { table, key, f: Box::new(f) });
+        self
+    }
+}
+
+/// Result of one committed request: the values of its `Read` ops, in
+/// op order (`None` = key absent).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnOutcome {
+    pub reads: Vec<Option<Vec<u8>>>,
+}
+
+/// Interleaved-scheduler gauges, shared across coordinators (attach via
+/// [`Coordinator::with_sched_stats`]; exported by `obs.rs`).
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Transactions currently admitted to a slot (gauge).
+    pub in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    pub high_water: AtomicU64,
+    /// Total admissions (a retried transaction admits again).
+    pub admitted: AtomicU64,
+    pub committed: AtomicU64,
+    pub aborted: AtomicU64,
+}
+
+/// Point-in-time copy of [`SchedStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    pub in_flight: u64,
+    pub high_water: u64,
+    pub admitted: u64,
+    pub committed: u64,
+    pub aborted: u64,
+}
+
+impl SchedStats {
+    pub fn new() -> Arc<SchedStats> {
+        Arc::new(SchedStats::default())
+    }
+
+    fn note_admit(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn note_finish(&self, result: &Result<TxnOutcome, TxnError>) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match result {
+            Ok(_) => {
+                self.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TxnError::Aborted(_)) => {
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
+        }
+    }
+
+    pub fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            high_water: self.high_water.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slot internals
+// ---------------------------------------------------------------------
+
+/// Commit-pipeline position of a slot transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Execute,
+    Validate,
+    Log,
+    ApplyPrimaries,
+    ApplyBackups,
+    Flush,
+    Finalize,
+}
+
+/// Outcome of a posted lock CAS after [`resolve_posted_locks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockState {
+    Unresolved,
+    /// We own the word; `held` tracks it for abort release.
+    Held,
+    /// Somebody else's word (the CAS-observed value).
+    Conflict(u64),
+    /// The CAS definitely did not execute; take the blocking path.
+    Fresh,
+}
+
+/// Per-op posting plan built at admission.
+enum OpPlan {
+    /// Served locally or through the blocking verbs at process time.
+    Blocking,
+    /// A full-slot READ was posted for this read op.
+    ReadPosted { sref: SlotRef, res: Option<RdmaResult<u64>>, data: Option<Vec<u8>> },
+    /// A lock CAS (+ fused under-lock READ) was posted for this write op.
+    WritePosted {
+        sref: SlotRef,
+        node: NodeId,
+        cas: Option<RdmaResult<u64>>,
+        img: Option<Vec<u8>>,
+        lock: LockState,
+    },
+    /// Consumed by processing.
+    Done,
+}
+
+/// What a harvested completion belongs to.
+#[derive(Debug, Clone, Copy)]
+enum Role {
+    /// Lock CAS of op `usize`.
+    Cas(usize),
+    /// Fused under-lock READ of op `usize`.
+    Img(usize),
+    /// Full-slot READ of read op `usize`.
+    Read(usize),
+    /// Item `usize` of the current phase's item list.
+    Item(usize),
+}
+
+/// An in-flight posted verb awaiting its completion.
+#[derive(Debug, Clone, Copy)]
+struct Pend {
+    node: NodeId,
+    lane: u32,
+    id: WorkId,
+    role: Role,
+}
+
+/// Per-item fan-out outcome for the barrier phases (validate / log /
+/// apply / flush / finalize). `posted` is set only when *all* of the
+/// item's verbs posted; a failed completion sets `failed`. Items that
+/// are not `posted && !failed` re-run through the blocking fallback.
+#[derive(Debug, Default)]
+struct ItemRes {
+    posted: bool,
+    failed: bool,
+    data: Option<Vec<u8>>,
+}
+
+/// One finalize-phase item: a lock release or a log-lane truncation.
+#[derive(Debug, Clone, Copy)]
+struct FinItem {
+    node: NodeId,
+    addr: u64,
+    unlock: bool,
+}
+
+/// One in-flight interleaved transaction. The slot index doubles as the
+/// log-lane index, so at most [`TXN_LOG_LANES`] slots exist.
+struct SlotTxn {
+    /// Index into the request batch.
+    req: usize,
+    txn_id: u64,
+    /// Log lane == slot index.
+    lane: u32,
+    /// This transaction's own lock word (per-seq, see
+    /// [`Coordinator::lock_for`]).
+    lock: LockWord,
+    flight: Option<FlightHandle>,
+    t0: Instant,
+    phase_t0: Instant,
+    phase: Phase,
+    plan: Vec<OpPlan>,
+    pending: Vec<Pend>,
+    read_set: Vec<ReadEntry>,
+    write_set: Vec<WriteEntry>,
+    reads_out: Vec<Option<Vec<u8>>>,
+    /// Locks this slot actually owns remotely (including eagerly-taken
+    /// posted CASes) — the abort path releases exactly these.
+    held: Vec<SlotRef>,
+    logged_nodes: Vec<NodeId>,
+    log_targets: Vec<(NodeId, u64, Vec<u8>)>,
+    apply_started: bool,
+    tier_primaries: Vec<(usize, NodeId)>,
+    tier_backups: Vec<(usize, NodeId)>,
+    landed: Vec<(usize, NodeId)>,
+    flush_points: Vec<(NodeId, u64)>,
+    fin: Vec<FinItem>,
+    /// Validation checks: (read-set index, primary).
+    checks: Vec<(usize, NodeId)>,
+    items: Vec<ItemRes>,
+    finished: bool,
+    result: Option<Result<TxnOutcome, TxnError>>,
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+impl Coordinator {
+    /// Run a batch of requests through the interleaved scheduler,
+    /// keeping up to `inflight_txns` of them in flight at once.
+    /// Admission is FIFO. Each request resolves independently:
+    /// `Err(Aborted)` entries are clean per-transaction aborts (locks
+    /// released, log lane truncated) and safe to resubmit.
+    ///
+    /// When the configuration does not support interleaving (see
+    /// [`Coordinator::sched_supported`]) every request runs through the
+    /// classic engine sequentially — same results, no overlap.
+    pub fn run_interleaved(&mut self, reqs: &[TxnRequest]) -> Vec<Result<TxnOutcome, TxnError>> {
+        let mut results: Vec<Option<Result<TxnOutcome, TxnError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        if self.sched_supported() {
+            let idxs: Vec<usize> = (0..reqs.len()).collect();
+            self.run_indexed(reqs, &idxs, &mut results);
+        } else {
+            for (i, req) in reqs.iter().enumerate() {
+                results[i] = Some(self.run_classic(req));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every request resolved")).collect()
+    }
+
+    /// [`Coordinator::run_interleaved`] with abort-retry: aborted
+    /// requests are resubmitted (in their original order) until every
+    /// request commits or a non-abort error surfaces. Returns the
+    /// outcomes plus the number of aborts endured — the interleaved
+    /// analogue of [`Coordinator::run`].
+    pub fn run_interleaved_retrying(
+        &mut self,
+        reqs: &[TxnRequest],
+    ) -> Result<(Vec<TxnOutcome>, u64), TxnError> {
+        let mut results: Vec<Option<Result<TxnOutcome, TxnError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        let mut aborts = 0u64;
+        let mut todo: Vec<usize> = (0..reqs.len()).collect();
+        let supported = self.sched_supported();
+        while !todo.is_empty() {
+            if supported {
+                self.run_indexed(reqs, &todo, &mut results);
+            } else {
+                for &i in &todo {
+                    results[i] = Some(self.run_classic(&reqs[i]));
+                }
+            }
+            let mut next = Vec::new();
+            for &i in &todo {
+                match results[i].as_ref().expect("request resolved") {
+                    Err(TxnError::Aborted(_)) => {
+                        aborts += 1;
+                        results[i] = None;
+                        next.push(i);
+                    }
+                    Err(e) => return Err(e.clone()),
+                    Ok(_) => {}
+                }
+            }
+            todo = next;
+        }
+        let outcomes = results
+            .into_iter()
+            .map(|r| match r {
+                Some(Ok(v)) => v,
+                _ => unreachable!("loop exits only when every request committed"),
+            })
+            .collect();
+        Ok((outcomes, aborts))
+    }
+
+    /// Can the interleaved scheduler run under the current
+    /// configuration? Requires the Pandora protocol (per-coordinator
+    /// log regions give the lanes), PILL lock words (slots need
+    /// per-transaction lock identity), the posted-verb path, and none
+    /// of the bug reproductions or the stall-on-conflict study mode
+    /// (their machinery hooks the classic engine's sequential
+    /// interleavings).
+    pub fn sched_supported(&self) -> bool {
+        let c = &self.ctx.config;
+        c.interleaving_on()
+            && c.protocol == crate::config::ProtocolKind::Pandora
+            && c.pill_active()
+            && c.pipelining_on()
+            && !c.bugs.any()
+            && !c.stall_on_conflict
+    }
+
+    /// Run one request through the classic engine (the fallback for
+    /// unsupported configurations and oversized transactions).
+    fn run_classic(&mut self, req: &TxnRequest) -> Result<TxnOutcome, TxnError> {
+        let mut reads = Vec::new();
+        let mut txn = self.begin();
+        for op in &req.ops {
+            match op {
+                TxnOp::Read { table, key } => reads.push(txn.read(*table, *key)?),
+                TxnOp::Write { table, key, value } => txn.write(*table, *key, value)?,
+                TxnOp::Update { table, key, f } => {
+                    let Some(cur) = txn.read(*table, *key)? else {
+                        return Err(txn.abort_now(AbortReason::NotFound));
+                    };
+                    let new = f(&cur);
+                    txn.write(*table, *key, &new)?;
+                }
+            }
+        }
+        txn.commit()?;
+        Ok(TxnOutcome { reads })
+    }
+
+    /// The scheduler event loop over the requests named by `idxs`.
+    fn run_indexed(
+        &mut self,
+        reqs: &[TxnRequest],
+        idxs: &[usize],
+        results: &mut [Option<Result<TxnOutcome, TxnError>>],
+    ) {
+        let max_slots = (self.ctx.config.inflight_txns.max(1) as usize)
+            .min(TXN_LOG_LANES as usize)
+            .max(1);
+        let mut slots: Vec<Option<SlotTxn>> = Vec::new();
+        slots.resize_with(max_slots, || None);
+        let mut queue: VecDeque<usize> = idxs.iter().copied().collect();
+        let mut crashed = false;
+        self.ctx.pause.enter_txn(&self.gate);
+        'event: loop {
+            if self.injector.is_crashed() {
+                crashed = true;
+            }
+            if crashed {
+                break 'event;
+            }
+            // --- Admission (FIFO: only ever the queue head) ---
+            if !self.ctx.pause.pause_requested() {
+                while let Some(&idx) = queue.front() {
+                    let Some(si) = slots.iter().position(Option::is_none) else { break };
+                    if oversized(self, &reqs[idx].ops) {
+                        // A transaction whose undo entry exceeds one log
+                        // lane cannot run interleaved: drain the active
+                        // slots, then run it solo through the classic
+                        // engine (full log region, classic recovery).
+                        if slots.iter().any(Option::is_some) {
+                            break;
+                        }
+                        queue.pop_front();
+                        self.ctx.pause.exit_txn(&self.gate);
+                        let r = self.run_classic(&reqs[idx]);
+                        let solo_crashed = matches!(r, Err(TxnError::Crashed));
+                        results[idx] = Some(r);
+                        if solo_crashed {
+                            crashed = true;
+                            continue 'event;
+                        }
+                        self.ctx.pause.enter_txn(&self.gate);
+                        continue;
+                    }
+                    queue.pop_front();
+                    let slot = admit(self, idx, si, &reqs[idx].ops);
+                    slots[si] = Some(slot);
+                }
+            } else if slots.iter().all(Option::is_none) && !queue.is_empty() {
+                // A stop-the-world pause is pending and the pipeline is
+                // drained: step out of the gate so the pause can run,
+                // then re-enter (blocks through the pause) and resume.
+                self.ctx.pause.exit_txn(&self.gate);
+                self.ctx.pause.enter_txn(&self.gate);
+                continue;
+            }
+            if slots.iter().all(Option::is_none) && queue.is_empty() {
+                break;
+            }
+            // --- Poll completions and advance ripe slots ---
+            let mut progressed = false;
+            for slot in slots.iter_mut() {
+                let Some(mut s) = slot.take() else { continue };
+                let mut j = 0;
+                while j < s.pending.len() {
+                    let p = s.pending[j];
+                    match self.stripe(p.node).lane(p.lane).try_take(p.id) {
+                        Some(c) => {
+                            record_completion(&mut s, p.role, c);
+                            s.pending.swap_remove(j);
+                            progressed = true;
+                        }
+                        None => j += 1,
+                    }
+                }
+                if s.pending.is_empty() && !s.finished {
+                    let req_ops = &reqs[s.req].ops;
+                    advance(self, &mut s, req_ops);
+                    progressed = true;
+                }
+                if matches!(s.result, Some(Err(TxnError::Crashed))) || self.injector.is_crashed() {
+                    crashed = true;
+                }
+                if s.finished {
+                    let result =
+                        s.result.take().unwrap_or(Err(TxnError::Aborted(AbortReason::UserAbort)));
+                    finish_slot(self, &mut s, &result);
+                    results[s.req] = Some(result);
+                } else {
+                    *slot = Some(s);
+                }
+                if crashed {
+                    break;
+                }
+            }
+            if crashed {
+                break;
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        if crashed {
+            // Power-cut semantics: no acks were delivered for anything
+            // still in flight; locks, logs and partial applies stay in
+            // place for recovery. A slot that already passed its
+            // commit-ack point keeps its Ok result (the classic engine
+            // behaves identically for post-ack crashes).
+            for slot in slots.iter_mut() {
+                if let Some(mut s) = slot.take() {
+                    self.trace(TxnEvent::Crashed { txn_id: s.txn_id });
+                    let result = s.result.take().unwrap_or(Err(TxnError::Crashed));
+                    finish_slot(self, &mut s, &result);
+                    results[s.req] = Some(result);
+                }
+            }
+            while let Some(idx) = queue.pop_front() {
+                results[idx] = Some(Err(TxnError::Crashed));
+            }
+            self.note_crashed();
+        }
+        self.ctx.pause.exit_txn(&self.gate);
+    }
+}
+
+/// Per-slot finish bookkeeping: gauges and the whole-transaction flight
+/// span on the slot's own track.
+fn finish_slot(co: &Coordinator, s: &mut SlotTxn, result: &Result<TxnOutcome, TxnError>) {
+    if let Some(st) = &co.sched {
+        st.note_finish(result);
+    }
+    if let Some(f) = &s.flight {
+        if f.enabled() {
+            f.end_from_instant("txn", s.txn_id, s.t0, result.is_ok());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission & the execute phase's posted plan
+// ---------------------------------------------------------------------
+
+/// Does the request's undo entry exceed one log lane? (Checked before
+/// admission; see `dkvs::log::entry_encoded_size`.)
+fn oversized(co: &Coordinator, ops: &[TxnOp]) -> bool {
+    let mut keys: Vec<(TableId, u64)> = Vec::new();
+    for op in ops {
+        let Some(t) = op.write_target() else { continue };
+        if !keys.contains(&t) {
+            keys.push(t);
+        }
+    }
+    let lens: Vec<usize> = keys.iter().map(|&(t, _)| co.map().layout(t).value_padded()).collect();
+    entry_encoded_size(lens) > LOG_LANE_BYTES as usize
+}
+
+/// Admit a request into slot `si`: allocate its transaction identity
+/// (seq, lock word, log lane, flight track) and post the execution
+/// phase's verbs.
+fn admit(co: &mut Coordinator, req: usize, si: usize, ops: &[TxnOp]) -> SlotTxn {
+    co.txn_seq += 1;
+    let seq = co.txn_seq;
+    let txn_id = ((co.coord_id as u64) << 48) | seq;
+    co.trace(TxnEvent::Begin { txn_id });
+    if let Some(st) = &co.sched {
+        st.note_admit();
+    }
+    let flight = co.ctx.flight().map(|rec| rec.slot_handle(co.coord_id, si as u16));
+    let now = Instant::now();
+    let mut s = SlotTxn {
+        req,
+        txn_id,
+        lane: si as u32,
+        lock: co.lock_for(seq),
+        flight,
+        t0: now,
+        phase_t0: now,
+        phase: Phase::Execute,
+        plan: Vec::with_capacity(ops.len()),
+        pending: Vec::new(),
+        read_set: Vec::new(),
+        write_set: Vec::new(),
+        reads_out: Vec::new(),
+        held: Vec::new(),
+        logged_nodes: Vec::new(),
+        log_targets: Vec::new(),
+        apply_started: false,
+        tier_primaries: Vec::new(),
+        tier_backups: Vec::new(),
+        landed: Vec::new(),
+        flush_points: Vec::new(),
+        fin: Vec::new(),
+        checks: Vec::new(),
+        items: Vec::new(),
+        finished: false,
+        result: None,
+    };
+    post_execute(co, &mut s, ops);
+    s
+}
+
+/// Post the execution phase: for every address-cached op, the verbs
+/// that the classic engine would block on — a full-slot READ per read
+/// op, a lock CAS fused with an under-lock READ per (first) write op —
+/// post up front on the stripe lane the slot base routes to. Ops that
+/// miss the cache, repeat a key, or exceed the per-lane pipeline depth
+/// stay `Blocking` and run through the classic blocking ladders at
+/// process time.
+fn post_execute(co: &mut Coordinator, s: &mut SlotTxn, ops: &[TxnOp]) {
+    let depth = co.pipeline_depth();
+    for (i, op) in ops.iter().enumerate() {
+        let (table, key) = op.target();
+        let touched_earlier = ops[..i].iter().any(|o| o.target() == (table, key));
+        let plan = if key == u64::MAX || touched_earlier {
+            OpPlan::Blocking
+        } else {
+            match (op, co.addr_cache.get(&(table, key)).copied()) {
+                (TxnOp::Read { .. }, Some(sref)) => post_read_op(co, s, i, sref, depth),
+                (TxnOp::Write { .. } | TxnOp::Update { .. }, Some(sref)) => {
+                    post_write_op(co, s, i, sref, depth)
+                }
+                _ => OpPlan::Blocking,
+            }
+        };
+        s.plan.push(plan);
+    }
+}
+
+fn post_read_op(
+    co: &Coordinator,
+    s: &mut SlotTxn,
+    i: usize,
+    sref: SlotRef,
+    depth: usize,
+) -> OpPlan {
+    let Ok(node) = co.primary_of(sref.table, sref.bucket) else { return OpPlan::Blocking };
+    let base = co.map().slot_addr(node, sref.table, sref.bucket, sref.slot);
+    let stripe = co.stripe(node);
+    let lane = stripe.lane_for(base);
+    let qp = stripe.lane(lane);
+    if qp.in_flight() >= depth {
+        return OpPlan::Blocking;
+    }
+    let len = co.map().layout(sref.table).slot_bytes() as usize;
+    match qp.post_read(base, len) {
+        Ok(id) => {
+            s.pending.push(Pend { node, lane, id, role: Role::Read(i) });
+            OpPlan::ReadPosted { sref, res: None, data: None }
+        }
+        Err(_) => OpPlan::Blocking,
+    }
+}
+
+fn post_write_op(
+    co: &Coordinator,
+    s: &mut SlotTxn,
+    i: usize,
+    sref: SlotRef,
+    depth: usize,
+) -> OpPlan {
+    let Ok(node) = co.primary_of(sref.table, sref.bucket) else { return OpPlan::Blocking };
+    let base = co.map().slot_addr(node, sref.table, sref.bucket, sref.slot);
+    let stripe = co.stripe(node);
+    let lane = stripe.lane_for(base);
+    let qp = stripe.lane(lane);
+    if qp.in_flight() >= depth {
+        return OpPlan::Blocking;
+    }
+    match qp.post_cas(base + SlotLayout::LOCK_OFF, 0, s.lock.raw()) {
+        Ok(cas_id) => {
+            s.pending.push(Pend { node, lane, id: cas_id, role: Role::Cas(i) });
+            // Fused under-lock READ riding the CAS's RC order (the
+            // classic `try_lock_read` image); losing it is harmless —
+            // staging falls back to a blocking re-read.
+            let len = co.map().layout(sref.table).slot_bytes() as usize;
+            if let Ok(rid) = qp.post_read(base, len) {
+                s.pending.push(Pend { node, lane, id: rid, role: Role::Img(i) });
+            }
+            OpPlan::WritePosted { sref, node, cas: None, img: None, lock: LockState::Unresolved }
+        }
+        Err(_) => OpPlan::Blocking,
+    }
+}
+
+/// Route a harvested completion into the slot's plan / item state.
+fn record_completion(s: &mut SlotTxn, role: Role, c: rdma_sim::Completion) {
+    match role {
+        Role::Cas(i) => {
+            if let OpPlan::WritePosted { cas, .. } = &mut s.plan[i] {
+                *cas = Some(c.result);
+            }
+        }
+        Role::Img(i) => {
+            if let OpPlan::WritePosted { img, .. } = &mut s.plan[i] {
+                if c.result.is_ok() {
+                    *img = c.data;
+                }
+            }
+        }
+        Role::Read(i) => {
+            if let OpPlan::ReadPosted { res, data, .. } = &mut s.plan[i] {
+                *res = Some(c.result);
+                *data = c.data;
+            }
+        }
+        Role::Item(k) => {
+            let it = &mut s.items[k];
+            match c.result {
+                Ok(_) => {
+                    if c.data.is_some() {
+                        it.data = c.data;
+                    }
+                }
+                Err(_) => it.failed = true,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-slot state machine
+// ---------------------------------------------------------------------
+
+/// Process the completed phase and post the next one. Called only with
+/// an empty pending set. On error the slot's result is recorded and the
+/// slot finishes.
+fn advance(co: &mut Coordinator, s: &mut SlotTxn, ops: &[TxnOp]) {
+    let pre_apply = !s.apply_started;
+    let step: Result<(), TxnError> = (|| match s.phase {
+        Phase::Execute => {
+            process_execute(co, s, ops)?;
+            end_phase_span(s, "execute");
+            start_validate(co, s)
+        }
+        Phase::Validate => {
+            process_validate(co, s)?;
+            end_phase_span(s, "validate");
+            if s.write_set.is_empty() {
+                // Read-only: validation is the whole commit.
+                commit_point(co, s);
+                s.finished = true;
+                Ok(())
+            } else {
+                start_log(co, s)
+            }
+        }
+        Phase::Log => {
+            process_log(co, s)?;
+            end_phase_span(s, "log");
+            start_apply(co, s, true);
+            Ok(())
+        }
+        Phase::ApplyPrimaries => {
+            process_apply_tier(co, s, true)?;
+            start_apply(co, s, false);
+            Ok(())
+        }
+        Phase::ApplyBackups => {
+            process_apply_tier(co, s, false)?;
+            // Memory-failure rule (paper §3.2.5): commit iff every
+            // entry reached at least one live replica.
+            for i in 0..s.write_set.len() {
+                if !s.landed.iter().any(|&(j, _)| j == i) {
+                    return Err(TxnError::Aborted(AbortReason::MemoryFailure));
+                }
+            }
+            end_phase_span(s, "apply");
+            if co.ctx.config.persistence.needs_flush() {
+                start_flush(co, s)
+            } else {
+                commit_point(co, s);
+                start_finalize(co, s);
+                Ok(())
+            }
+        }
+        Phase::Flush => {
+            process_flush(co, s)?;
+            end_phase_span(s, "flush");
+            commit_point(co, s);
+            start_finalize(co, s);
+            Ok(())
+        }
+        Phase::Finalize => {
+            process_finalize(co, s);
+            end_phase_span(s, "unlock");
+            s.finished = true;
+            Ok(())
+        }
+    })();
+    if let Err(e) = step {
+        let shaped = if pre_apply {
+            surface_slot_error(co, s, e)
+        } else {
+            // Mid-apply failure: leave locks AND logs in place — only
+            // recovery can restore atomicity from the undo images.
+            e
+        };
+        s.result = Some(Err(shaped));
+        s.finished = true;
+    }
+}
+
+fn end_phase_span(s: &mut SlotTxn, name: &'static str) {
+    if let Some(f) = &s.flight {
+        if f.enabled() {
+            f.end_from_instant(name, s.txn_id, s.phase_t0, true);
+        }
+    }
+    s.phase_t0 = Instant::now();
+}
+
+/// Map a raw phase error to its surfaced form, running the slot's abort
+/// path for clean pre-apply aborts (the scheduler twin of the classic
+/// `surface_transient` + `abort_now` + `cleanup_pre_apply` ladder).
+fn surface_slot_error(co: &mut Coordinator, s: &mut SlotTxn, e: TxnError) -> TxnError {
+    match e {
+        TxnError::Aborted(reason) => slot_abort(co, s, reason),
+        TxnError::Crashed => TxnError::Crashed,
+        TxnError::Rdma(RdmaError::Timeout { .. }) => slot_abort(co, s, AbortReason::NetworkTimeout),
+        TxnError::Rdma(e) => {
+            // Pre-apply fabric error from a live coordinator: truncate
+            // this slot's lane, release its locks (both-or-neither).
+            if slot_truncate_logs(co, s) {
+                release_all_held(co, s);
+            }
+            TxnError::Rdma(e)
+        }
+    }
+}
+
+/// The slot abort path: truncate the slot's log-lane entries, release
+/// the locks it holds, count and trace the abort.
+fn slot_abort(co: &mut Coordinator, s: &mut SlotTxn, reason: AbortReason) -> TxnError {
+    let truncated = slot_truncate_logs(co, s);
+    if truncated {
+        release_all_held(co, s);
+    }
+    // else: the undo entry could not be erased — keep the locks so
+    // recovery resolves the logged transaction atomically.
+    if co.injector().is_crashed() {
+        co.trace(TxnEvent::Crashed { txn_id: s.txn_id });
+        return TxnError::Crashed;
+    }
+    co.stats.aborted += 1;
+    co.note_abort(reason);
+    co.trace(TxnEvent::Aborted { txn_id: s.txn_id, reason: reason.name() });
+    if let Some(p) = &co.probe {
+        p.abort();
+    }
+    TxnError::Aborted(reason)
+}
+
+/// Truncate this slot's lane on every logged node (blocking, escalated
+/// budget). Returns `false` when a live node's copy could not be
+/// truncated — the caller must then keep the locks (see
+/// `Txn::truncate_own_logs` for the safety argument).
+fn slot_truncate_logs(co: &mut Coordinator, s: &mut SlotTxn) -> bool {
+    let off = log_lane_offset(s.lane);
+    let coord = co.coord_id;
+    let mut safe = true;
+    let mut fence = false;
+    for node in std::mem::take(&mut s.logged_nodes) {
+        let addr = co.map().log_region(node, coord).base + off;
+        match co.retry_release(|| co.qp(node).write_u64(addr, 0)) {
+            Ok(_) => {}
+            Err(RdmaError::NodeDead) => {}
+            Err(RdmaError::Timeout { .. }) => {
+                safe = false;
+                fence = true;
+            }
+            Err(_) => safe = false,
+        }
+    }
+    if fence {
+        co.ctx.resilience.note_self_fence();
+        co.flight_fence("self-fence-truncate");
+        co.injector().crash_now();
+    }
+    safe
+}
+
+/// Release every lock in `held` (live primaries only; a dead node's
+/// lock word died with it).
+fn release_all_held(co: &mut Coordinator, s: &mut SlotTxn) {
+    let dead = co.ctx.dead_nodes();
+    for sref in std::mem::take(&mut s.held) {
+        if let Ok(primary) = co.primary_of(sref.table, sref.bucket) {
+            if dead.contains(&primary) {
+                continue;
+            }
+            release_lock_or_fence(co, primary, co.lock_addr(primary, sref));
+        }
+    }
+}
+
+/// Release one held lock mid-execution (stale-cache path) and drop it
+/// from `held`.
+fn release_held(co: &mut Coordinator, s: &mut SlotTxn, sref: SlotRef) {
+    if let Some(p) = s.held.iter().position(|&h| h == sref) {
+        s.held.swap_remove(p);
+    }
+    if let Ok(primary) = co.primary_of(sref.table, sref.bucket) {
+        release_lock_or_fence(co, primary, co.lock_addr(primary, sref));
+    }
+}
+
+/// Scheduler twin of `Txn::release_lock_or_fence`: a live coordinator
+/// that cannot release a lock it owns self-fences.
+fn release_lock_or_fence(co: &Coordinator, node: NodeId, addr: u64) {
+    match co.retry_release(|| co.qp(node).write_u64(addr, 0)) {
+        Ok(_) => {}
+        Err(RdmaError::Timeout { .. }) => {
+            co.ctx.resilience.note_self_fence();
+            co.flight_fence("self-fence-unlock");
+            co.injector().crash_now();
+        }
+        // Crashed / AccessRevoked / NodeDead: recovery owns the word.
+        Err(_) => {}
+    }
+}
+
+fn lock_is_stray(co: &Coordinator, lock: LockWord) -> bool {
+    co.ctx.config.pill_active() && lock.is_locked() && co.ctx.failed.contains(lock.owner())
+}
+
+fn pad_value(co: &Coordinator, table: TableId, value: &[u8]) -> Vec<u8> {
+    let layout = co.map().layout(table);
+    assert_eq!(value.len(), layout.value_len, "value length must match the table's value_len");
+    let mut v = value.to_vec();
+    v.resize(layout.value_padded(), 0);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Execute phase processing
+// ---------------------------------------------------------------------
+
+/// Resolve every posted lock CAS into a definite [`LockState`] *before*
+/// any abort decision can be made: posted effects execute eagerly, so a
+/// CAS may have locked remote state even though this slot is about to
+/// abort — every such lock must land in `held` or it leaks a
+/// live-owned lock no recovery will ever steal.
+fn resolve_posted_locks(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    let mut first_err: Option<TxnError> = None;
+    for i in 0..s.plan.len() {
+        let (sref, node, cas) = match &mut s.plan[i] {
+            OpPlan::WritePosted { sref, node, cas, .. } => (*sref, *node, cas.take()),
+            _ => continue,
+        };
+        let mut keep_img = false;
+        let state = match cas {
+            Some(Ok(0)) => {
+                keep_img = true;
+                LockState::Held
+            }
+            Some(Ok(prev)) => LockState::Conflict(prev),
+            Some(Err(RdmaError::Timeout { applied: TimeoutApplied::Ambiguous }))
+                if first_err.is_none() =>
+            {
+                // PILL lock words are unique per incarnation and
+                // transaction: re-read the word to disambiguate.
+                let addr = co.lock_addr(node, sref);
+                match co.retry_verb(|| co.qp(node).read_u64(addr)) {
+                    Ok(cur) if cur == s.lock.raw() => {
+                        co.ctx.resilience.ambiguous_resolved.fetch_add(1, Ordering::Relaxed);
+                        LockState::Held
+                    }
+                    Ok(0) => LockState::Fresh,
+                    Ok(cur) => {
+                        co.ctx.resilience.ambiguous_resolved.fetch_add(1, Ordering::Relaxed);
+                        LockState::Conflict(cur)
+                    }
+                    Err(e) => {
+                        first_err = Some(TxnError::from_rdma(e));
+                        LockState::Fresh
+                    }
+                }
+            }
+            Some(Err(RdmaError::Crashed)) => {
+                first_err = Some(TxnError::Crashed);
+                LockState::Fresh
+            }
+            // NotApplied (or an unresolved ambiguity behind an earlier
+            // error): the CAS did not take the lock; blocking path.
+            Some(Err(RdmaError::Timeout { .. })) | None => LockState::Fresh,
+            Some(Err(e)) => {
+                first_err = Some(TxnError::Rdma(e));
+                LockState::Fresh
+            }
+        };
+        if let OpPlan::WritePosted { img, lock, .. } = &mut s.plan[i] {
+            if !keep_img {
+                *img = None;
+            }
+            *lock = state;
+        }
+        if state == LockState::Held {
+            s.held.push(sref);
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn process_execute(co: &mut Coordinator, s: &mut SlotTxn, ops: &[TxnOp]) -> Result<(), TxnError> {
+    resolve_posted_locks(co, s)?;
+    if co.ctx.pause.pause_requested() {
+        return Err(TxnError::Aborted(AbortReason::Paused));
+    }
+    for i in 0..ops.len() {
+        let plan = std::mem::replace(&mut s.plan[i], OpPlan::Done);
+        match &ops[i] {
+            TxnOp::Read { table, key } => {
+                let posted = match plan {
+                    OpPlan::ReadPosted { sref, res, data } => Some((sref, res, data)),
+                    _ => None,
+                };
+                let v = slot_read(co, s, *table, *key, posted)?;
+                s.reads_out.push(v);
+            }
+            TxnOp::Write { .. } | TxnOp::Update { .. } => {
+                slot_write_op(co, s, i, plan, ops)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A harvested posted-read: the slot it covered, the verb result, and
+/// the returned bytes (if the verb delivered any).
+type PostedRead = (SlotRef, Option<RdmaResult<u64>>, Option<Vec<u8>>);
+
+/// Transactional read (scheduler twin of `Txn::read_impl` +
+/// `finish_read`). Returns raw errors; the caller shapes them.
+fn slot_read(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    table: TableId,
+    key: u64,
+    posted: Option<PostedRead>,
+) -> Result<Option<Vec<u8>>, TxnError> {
+    if key == u64::MAX {
+        return Ok(None);
+    }
+    if let Some(w) = s.write_set.iter().find(|w| w.table == table && w.key == key) {
+        let layout = co.map().layout(table);
+        return Ok(match w.kind {
+            WriteKind::Delete => None,
+            _ => Some(w.new_value[..layout.value_len].to_vec()),
+        });
+    }
+    if let Some(r) = s.read_set.iter().find(|r| r.table == table && r.key == key) {
+        return Ok(Some(r.value.clone()));
+    }
+    if let Some((sref, res, data)) = posted {
+        if matches!(res, Some(Ok(_))) {
+            if let Some(buf) = data {
+                let layout = co.map().layout(table);
+                let full = parse_full_slot(layout, &buf);
+                if full.key == dkvs::layout::stored_key(key) {
+                    return slot_finish_read(co, s, table, key, sref, full);
+                }
+                // The cached slot no longer holds the key: stale
+                // mapping, take the resolve path.
+                co.addr_cache.remove(&(table, key));
+            }
+        }
+    }
+    let Some((sref, full)) = slot_resolve(co, table, key)? else {
+        return Ok(None);
+    };
+    slot_finish_read(co, s, table, key, sref, full)
+}
+
+/// Wait out live locks on a read target, then record the read-set
+/// entry. A lock word equal to this slot's own (a later write op's
+/// eagerly-executed posted CAS on the same object) reads as unlocked —
+/// the value bytes are still the pre-image until apply.
+fn slot_finish_read(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    table: TableId,
+    key: u64,
+    sref: SlotRef,
+    mut full: FullSlot,
+) -> Result<Option<Vec<u8>>, TxnError> {
+    let mut tries = 0u32;
+    loop {
+        let lock = full.image.lock;
+        if !lock.is_locked() || lock_is_stray(co, lock) || lock == s.lock {
+            break;
+        }
+        tries += 1;
+        if tries > co.ctx.config.read_lock_retries {
+            return Err(TxnError::Aborted(AbortReason::LockConflict));
+        }
+        if co.ctx.pause.pause_requested() {
+            return Err(TxnError::Aborted(AbortReason::Paused));
+        }
+        std::thread::yield_now();
+        let primary = co.primary_of(table, sref.bucket)?;
+        full = co.read_full_slot(primary, sref)?;
+        if full.key != dkvs::layout::stored_key(key) {
+            co.addr_cache.remove(&(table, key));
+            return Ok(None);
+        }
+    }
+    if !full.image.version.is_present() {
+        return Ok(None);
+    }
+    let layout = co.map().layout(table);
+    let value = full.image.value[..layout.value_len].to_vec();
+    s.read_set.push(ReadEntry {
+        table,
+        key,
+        slot: sref,
+        version: full.image.version,
+        value: value.clone(),
+    });
+    Ok(Some(value))
+}
+
+/// Scheduler twin of `Txn::resolve`: address-cache fast path or bucket
+/// READs along the bounded probe sequence.
+fn slot_resolve(
+    co: &mut Coordinator,
+    table: TableId,
+    key: u64,
+) -> Result<Option<(SlotRef, FullSlot)>, TxnError> {
+    if let Some(&sref) = co.addr_cache.get(&(table, key)) {
+        let primary = co.primary_of(table, sref.bucket)?;
+        let full = co.read_full_slot(primary, sref)?;
+        if full.key == dkvs::layout::stored_key(key) {
+            return Ok(Some((sref, full)));
+        }
+        co.addr_cache.remove(&(table, key));
+    }
+    let (buckets, home) = {
+        let def = co.map().table(table);
+        (def.buckets, def.bucket_for(key))
+    };
+    let mut first_match: Option<(SlotRef, FullSlot)> = None;
+    'probe: for p in 0..dkvs::table::PROBE_LIMIT.min(buckets) {
+        let bucket = (home + p) % buckets;
+        let primary = co.primary_of(table, bucket)?;
+        let slots = co.read_bucket(primary, table, bucket)?;
+        let mut saw_empty = false;
+        for (i, full) in slots.into_iter().enumerate() {
+            if full.key == dkvs::layout::EMPTY_KEY {
+                saw_empty = true;
+                continue;
+            }
+            if full.key == dkvs::layout::stored_key(key) {
+                let sref = SlotRef { table, bucket, slot: i as u32 };
+                if full.image.version.raw() != 0 {
+                    co.addr_cache.insert((table, key), sref);
+                    return Ok(Some((sref, full)));
+                }
+                if first_match.is_none() {
+                    first_match = Some((sref, full));
+                }
+            }
+        }
+        if saw_empty {
+            break 'probe;
+        }
+    }
+    if let Some((sref, full)) = first_match {
+        co.addr_cache.insert((table, key), sref);
+        return Ok(Some((sref, full)));
+    }
+    Ok(None)
+}
+
+/// Stage a write-class op (scheduler twin of `Txn::write_impl` for the
+/// `Update` write kind — the scheduler supports writes and updates of
+/// existing keys; inserts and deletes take the classic engine).
+fn slot_write_op(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    i: usize,
+    plan: OpPlan,
+    ops: &[TxnOp],
+) -> Result<(), TxnError> {
+    let (table, key) = ops[i].target();
+    // Repeat write of a staged key mutates the staged post-image.
+    if s.write_set.iter().any(|w| w.table == table && w.key == key) {
+        let layout = co.map().layout(table);
+        let new_value = match &ops[i] {
+            TxnOp::Write { value, .. } => pad_value(co, table, value),
+            TxnOp::Update { f, .. } => {
+                let w = s
+                    .write_set
+                    .iter()
+                    .find(|w| w.table == table && w.key == key)
+                    .expect("checked above");
+                pad_value(co, table, &f(&w.new_value[..layout.value_len]))
+            }
+            TxnOp::Read { .. } => unreachable!("write staging of a read op"),
+        };
+        let w = s
+            .write_set
+            .iter_mut()
+            .find(|w| w.table == table && w.key == key)
+            .expect("checked above");
+        w.new_value = new_value;
+        return Ok(());
+    }
+    if key == u64::MAX {
+        return Err(TxnError::Aborted(AbortReason::InvalidKey));
+    }
+    match plan {
+        OpPlan::WritePosted { sref, node: _, cas: _, img, lock } => match lock {
+            LockState::Held => {
+                co.trace(TxnEvent::Lock { table, key, stolen: false });
+                slot_stage_under_lock(co, s, i, table, key, sref, img, ops)
+            }
+            LockState::Conflict(prev) => {
+                if slot_lock_after_conflict(co, s, sref, key, prev)? {
+                    s.held.push(sref);
+                    slot_stage_under_lock(co, s, i, table, key, sref, None, ops)
+                } else {
+                    Err(TxnError::Aborted(AbortReason::LockConflict))
+                }
+            }
+            LockState::Fresh => slot_stage_blocking(co, s, i, table, key, ops),
+            LockState::Unresolved => unreachable!("resolve_posted_locks ran first"),
+        },
+        _ => slot_stage_blocking(co, s, i, table, key, ops),
+    }
+}
+
+/// Stage a write whose lock is already held: authenticate the slot from
+/// the under-lock image (the fused READ, or a blocking re-read), then
+/// finish the entry. Mirrors `Txn::stage_locked_write_cached` past its
+/// lock step.
+#[allow(clippy::too_many_arguments)]
+fn slot_stage_under_lock(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    i: usize,
+    table: TableId,
+    key: u64,
+    sref: SlotRef,
+    img: Option<Vec<u8>>,
+    ops: &[TxnOp],
+) -> Result<(), TxnError> {
+    let layout = co.map().layout(table);
+    let full = match img {
+        Some(buf) => parse_full_slot(layout, &buf),
+        None => {
+            let primary = co.primary_of(table, sref.bucket)?;
+            // On failure the lock stays in `held`; the abort path
+            // releases it (or recovery does, after a crash).
+            co.read_full_slot(primary, sref)?
+        }
+    };
+    if full.key != dkvs::layout::stored_key(key) {
+        // Stale cache entry: the slot belongs to someone else now.
+        release_held(co, s, sref);
+        if co.injector().is_crashed() {
+            return Err(TxnError::Crashed);
+        }
+        co.addr_cache.remove(&(table, key));
+        return slot_stage_blocking(co, s, i, table, key, ops);
+    }
+    slot_finish_entry(co, s, i, table, key, sref, full, ops)
+}
+
+/// Blocking write staging: resolve, lock, re-read under the lock,
+/// finish (the classic `write_impl` slow path).
+fn slot_stage_blocking(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    i: usize,
+    table: TableId,
+    key: u64,
+    ops: &[TxnOp],
+) -> Result<(), TxnError> {
+    let Some((sref, full)) = slot_resolve(co, table, key)? else {
+        return Err(TxnError::Aborted(AbortReason::NotFound));
+    };
+    if !full.image.version.is_present() && !lock_is_stray(co, full.image.lock) {
+        return Err(TxnError::Aborted(AbortReason::NotFound));
+    }
+    if !slot_try_lock(co, s, sref, key)? {
+        return Err(TxnError::Aborted(AbortReason::LockConflict));
+    }
+    s.held.push(sref);
+    let primary = co.primary_of(table, sref.bucket)?;
+    let full = co.read_full_slot(primary, sref)?;
+    if full.key != dkvs::layout::stored_key(key) {
+        // Slot repurposed between resolve and lock; retryable.
+        release_held(co, s, sref);
+        if co.injector().is_crashed() {
+            return Err(TxnError::Crashed);
+        }
+        return Err(TxnError::Aborted(AbortReason::LockConflict));
+    }
+    slot_finish_entry(co, s, i, table, key, sref, full, ops)
+}
+
+/// CAS-lock the primary of `sref` with this slot's lock word; steal
+/// stray locks under PILL (twin of `Txn::try_lock`).
+fn slot_try_lock(
+    co: &mut Coordinator,
+    s: &SlotTxn,
+    sref: SlotRef,
+    key: u64,
+) -> Result<bool, TxnError> {
+    let primary = co.primary_of(sref.table, sref.bucket)?;
+    let addr = co.lock_addr(primary, sref);
+    let prev = co
+        .cas_resolved(primary, addr, 0, s.lock.raw(), true)
+        .map_err(TxnError::from_rdma)?;
+    if prev == 0 {
+        co.trace(TxnEvent::Lock { table: sref.table, key, stolen: false });
+        return Ok(true);
+    }
+    slot_lock_after_conflict(co, s, sref, key, prev)
+}
+
+/// Tail of both lock paths once a CAS observed `prev != 0`: steal a
+/// stray lock or report the conflict (twin of `Txn::lock_after_conflict`;
+/// a sibling slot's lock is a live conflict like any other
+/// coordinator's).
+fn slot_lock_after_conflict(
+    co: &mut Coordinator,
+    s: &SlotTxn,
+    sref: SlotRef,
+    key: u64,
+    prev: u64,
+) -> Result<bool, TxnError> {
+    let primary = co.primary_of(sref.table, sref.bucket)?;
+    let addr = co.lock_addr(primary, sref);
+    let prev_lock = LockWord(prev);
+    if lock_is_stray(co, prev_lock) && prev_lock != s.lock {
+        let got = co
+            .cas_resolved(primary, addr, prev, s.lock.raw(), true)
+            .map_err(TxnError::from_rdma)?;
+        if got == prev {
+            co.stats.locks_stolen += 1;
+            co.trace(TxnEvent::Lock { table: sref.table, key, stolen: true });
+            return Ok(true);
+        }
+    }
+    co.trace(TxnEvent::LockConflict { table: sref.table, key, owner: prev_lock.owner() });
+    Ok(false)
+}
+
+/// Post-lock staging: entry liveness, read-set continuity, write-set
+/// entry (twin of `Txn::finish_locked_entry` for `WriteKind::Update`;
+/// on failure the lock stays in `held` for the abort path).
+#[allow(clippy::too_many_arguments)]
+fn slot_finish_entry(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    i: usize,
+    table: TableId,
+    key: u64,
+    sref: SlotRef,
+    full: FullSlot,
+    ops: &[TxnOp],
+) -> Result<(), TxnError> {
+    let entry_ok = full.image.version.is_present();
+    let read_version_ok = s
+        .read_set
+        .iter()
+        .find(|r| r.table == table && r.key == key)
+        .is_none_or(|r| r.version == full.image.version);
+    if !entry_ok || !read_version_ok {
+        let reason =
+            if !read_version_ok { AbortReason::ValidationVersion } else { AbortReason::NotFound };
+        return Err(TxnError::Aborted(reason));
+    }
+    let layout = co.map().layout(table);
+    let new_value = match &ops[i] {
+        TxnOp::Write { value, .. } => pad_value(co, table, value),
+        TxnOp::Update { f, .. } => pad_value(co, table, &f(&full.image.value[..layout.value_len])),
+        TxnOp::Read { .. } => unreachable!("write staging of a read op"),
+    };
+    let old_version = full.image.version;
+    s.write_set.push(WriteEntry {
+        table,
+        key,
+        slot: sref,
+        old_version,
+        new_version: old_version.next_write(),
+        old_value: pad8(full.image.value),
+        new_value,
+        kind: WriteKind::Update,
+        locked: true,
+    });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Validate phase
+// ---------------------------------------------------------------------
+
+fn start_validate(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    s.phase = Phase::Validate;
+    s.checks.clear();
+    for i in 0..s.read_set.len() {
+        let r = &s.read_set[i];
+        if s.write_set.iter().any(|w| w.table == r.table && w.key == r.key) {
+            continue; // write locks already protect these
+        }
+        let primary = co.primary_of(r.table, r.slot.bucket)?;
+        s.checks.push((i, primary));
+    }
+    s.items = (0..s.checks.len()).map(|_| ItemRes::default()).collect();
+    let depth = co.pipeline_depth();
+    for k in 0..s.checks.len() {
+        let (i, node) = s.checks[k];
+        let sref = s.read_set[i].slot;
+        let base = co.map().slot_addr(node, sref.table, sref.bucket, sref.slot);
+        let stripe = co.stripe(node);
+        let lane = stripe.lane_for(base);
+        let qp = stripe.lane(lane);
+        if qp.in_flight() >= depth {
+            continue; // blocking fallback at process time
+        }
+        if let Ok(id) = qp.post_read(base + SlotLayout::LOCK_OFF, 16) {
+            s.pending.push(Pend { node, lane, id, role: Role::Item(k) });
+            s.items[k].posted = true;
+        }
+    }
+    Ok(())
+}
+
+fn process_validate(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    for k in 0..s.checks.len() {
+        let (i, primary) = s.checks[k];
+        let (sref, version) = (s.read_set[i].slot, s.read_set[i].version);
+        let usable = s.items[k].posted && !s.items[k].failed;
+        let (lock, cur_version) = match s.items[k].data.take() {
+            Some(buf) if usable && buf.len() >= 16 => (
+                LockWord(u64::from_le_bytes(buf[0..8].try_into().expect("8B"))),
+                VersionWord(u64::from_le_bytes(buf[8..16].try_into().expect("8B"))),
+            ),
+            _ => co
+                .read_lock_version(primary, sref)
+                .map_err(|_| TxnError::Aborted(AbortReason::ValidationVersion))?,
+        };
+        // Covert-locks fix: a locked read-set object means a concurrent
+        // writer holds it (this slot's own write locks were excluded
+        // from the checks; a *sibling* slot's lock aborts like any
+        // foreign coordinator's).
+        if lock.is_locked() && !lock_is_stray(co, lock) {
+            return Err(TxnError::Aborted(AbortReason::ValidationLocked));
+        }
+        if cur_version != version {
+            return Err(TxnError::Aborted(AbortReason::ValidationVersion));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Log phase
+// ---------------------------------------------------------------------
+
+fn start_log(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    s.phase = Phase::Log;
+    let entry = LogEntry {
+        txn_id: s.txn_id,
+        coord: co.coord_id,
+        writes: s
+            .write_set
+            .iter()
+            .map(|w| UndoRecord {
+                table: w.table,
+                key: w.key,
+                bucket: w.slot.bucket,
+                slot: w.slot.slot,
+                old_version: w.old_version,
+                new_version: w.new_version,
+                old_value: w.old_value.clone(),
+            })
+            .collect(),
+    };
+    let buf = entry.encode();
+    debug_assert!(buf.len() <= LOG_LANE_BYTES as usize, "oversize admission check must have run");
+    let coord = co.coord_id;
+    let dead = co.ctx.dead_nodes();
+    let off = log_lane_offset(s.lane);
+    s.log_targets = co
+        .map()
+        .log_servers(coord)
+        .into_iter()
+        .filter(|n| !dead.contains(n))
+        .map(|n| (n, co.map().log_region(n, coord).base + off, buf.clone()))
+        .collect();
+    // Conservative superset before any outcome resolves: a posted WRITE
+    // may have landed even when its completion fails.
+    s.logged_nodes = s.log_targets.iter().map(|t| t.0).collect();
+    let flush = co.ctx.config.persistence.needs_flush();
+    s.items = (0..s.log_targets.len()).map(|_| ItemRes::default()).collect();
+    let depth = co.pipeline_depth();
+    for k in 0..s.log_targets.len() {
+        let (node, addr, ref bytes) = s.log_targets[k];
+        let stripe = co.stripe(node);
+        let lane = stripe.lane_for(addr);
+        let qp = stripe.lane(lane);
+        if qp.in_flight() >= depth {
+            continue;
+        }
+        let Ok(id) = qp.post_write(addr, bytes) else { continue };
+        s.pending.push(Pend { node, lane, id, role: Role::Item(k) });
+        if flush {
+            // The flush rides the write's RC order on the same lane.
+            let Ok(fid) = qp.post_flush(addr) else { continue };
+            s.pending.push(Pend { node, lane, id: fid, role: Role::Item(k) });
+        }
+        s.items[k].posted = true;
+    }
+    Ok(())
+}
+
+fn process_log(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    let flush = co.ctx.config.persistence.needs_flush();
+    for k in 0..s.log_targets.len() {
+        if s.items[k].posted && !s.items[k].failed {
+            continue;
+        }
+        let (node, addr, ref bytes) = s.log_targets[k];
+        // Blocking (re-)issue: same bytes, same address — idempotent.
+        co.retry_verb(|| co.qp(node).write(addr, bytes)).map_err(TxnError::from_rdma)?;
+        if flush {
+            co.retry_verb(|| co.qp(node).flush(addr)).map_err(TxnError::from_rdma)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Apply + flush phases
+// ---------------------------------------------------------------------
+
+fn start_apply(co: &mut Coordinator, s: &mut SlotTxn, primaries: bool) {
+    if primaries {
+        s.phase = Phase::ApplyPrimaries;
+        s.apply_started = !s.write_set.is_empty();
+        let dead = co.ctx.dead_nodes();
+        s.tier_primaries.clear();
+        s.tier_backups.clear();
+        s.landed.clear();
+        for (i, w) in s.write_set.iter().enumerate() {
+            let mut tier0 = true;
+            for node in co.map().replicas(w.table, w.slot.bucket) {
+                if dead.contains(&node) {
+                    continue;
+                }
+                if tier0 {
+                    s.tier_primaries.push((i, node));
+                    tier0 = false;
+                } else {
+                    s.tier_backups.push((i, node));
+                }
+            }
+        }
+    } else {
+        s.phase = Phase::ApplyBackups;
+    }
+    let items = if primaries { s.tier_primaries.clone() } else { s.tier_backups.clone() };
+    s.items = (0..items.len()).map(|_| ItemRes::default()).collect();
+    let depth = co.pipeline_depth();
+    for (k, &(i, node)) in items.iter().enumerate() {
+        let w = &s.write_set[i];
+        let base = co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
+        let stripe = co.stripe(node);
+        let lane = stripe.lane_for(base);
+        let qp = stripe.lane(lane);
+        if qp.in_flight() >= depth {
+            continue;
+        }
+        // Value first, version second (batched or not): same-lane RC
+        // ordering keeps a concurrent reader from validating a torn
+        // value. The scheduler only stages `Update` entries, so the key
+        // word is never written.
+        let version_word = w.new_version.raw().to_le_bytes();
+        let mut ids: Vec<WorkId> = Vec::new();
+        let posted: RdmaResult<()> = (|| {
+            if co.ctx.config.doorbell_batching {
+                ids.push(qp.post_write_batch(&[
+                    (base + SlotLayout::VALUE_OFF, w.new_value.as_slice()),
+                    (base + SlotLayout::VERSION_OFF, &version_word),
+                ])?);
+            } else {
+                ids.push(qp.post_write(base + SlotLayout::VALUE_OFF, &w.new_value)?);
+                ids.push(qp.post_write(base + SlotLayout::VERSION_OFF, &version_word)?);
+            }
+            Ok(())
+        })();
+        // Tag even a partially-posted item's verbs so the poll loop
+        // accounts for their completions.
+        for id in ids {
+            s.pending.push(Pend { node, lane, id, role: Role::Item(k) });
+        }
+        if posted.is_ok() {
+            s.items[k].posted = true;
+        }
+    }
+}
+
+fn process_apply_tier(
+    co: &mut Coordinator,
+    s: &mut SlotTxn,
+    primaries: bool,
+) -> Result<(), TxnError> {
+    let items = if primaries { s.tier_primaries.clone() } else { s.tier_backups.clone() };
+    for (k, &(i, node)) in items.iter().enumerate() {
+        if s.items[k].posted && !s.items[k].failed {
+            s.landed.push((i, node));
+            continue;
+        }
+        match co.retry_verb(|| apply_write_blocking(co, s, i, node)) {
+            Ok(()) => s.landed.push((i, node)),
+            Err(RdmaError::NodeDead) => {
+                // Raced a memory-server death: a confirmed-dead replica
+                // is skipped (memory-failure rule, paper §3.2.5).
+                if co.ctx.fabric.node(node).map(|n| n.is_alive()).unwrap_or(false) {
+                    return Err(TxnError::Rdma(RdmaError::NodeDead));
+                }
+            }
+            Err(RdmaError::Timeout { .. }) => {
+                // Mid-apply exhaustion: fail-stop so recovery resolves
+                // the transaction from its undo log.
+                co.ctx.resilience.note_self_fence();
+                co.flight_fence("self-fence-apply");
+                co.injector().crash_now();
+                return Err(TxnError::Crashed);
+            }
+            Err(e) => return Err(TxnError::from_rdma(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Blocking twin of the posted apply writes (value, then version).
+fn apply_write_blocking(co: &Coordinator, s: &SlotTxn, i: usize, node: NodeId) -> RdmaResult<()> {
+    let w = &s.write_set[i];
+    let base = co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
+    let version_word = w.new_version.raw().to_le_bytes();
+    if co.ctx.config.doorbell_batching {
+        co.qp(node).write_batch(&[
+            (base + SlotLayout::VALUE_OFF, w.new_value.as_slice()),
+            (base + SlotLayout::VERSION_OFF, &version_word),
+        ])?;
+        return Ok(());
+    }
+    co.qp(node).write(base + SlotLayout::VALUE_OFF, &w.new_value)?;
+    co.qp(node).write(base + SlotLayout::VERSION_OFF, &version_word)?;
+    Ok(())
+}
+
+fn start_flush(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    s.phase = Phase::Flush;
+    // Selective flush: the last-written address per node, entry-major
+    // order (one flush per touched node, not per write).
+    s.flush_points.clear();
+    for (i, w) in s.write_set.iter().enumerate() {
+        for node in co.map().replicas(w.table, w.slot.bucket) {
+            if !s.landed.contains(&(i, node)) {
+                continue;
+            }
+            let base = co.map().slot_addr(node, w.table, w.slot.bucket, w.slot.slot);
+            match s.flush_points.iter_mut().find(|(n, _)| *n == node) {
+                Some(fp) => fp.1 = base,
+                None => s.flush_points.push((node, base)),
+            }
+        }
+    }
+    s.items = (0..s.flush_points.len()).map(|_| ItemRes::default()).collect();
+    let depth = co.pipeline_depth();
+    for k in 0..s.flush_points.len() {
+        let (node, addr) = s.flush_points[k];
+        let stripe = co.stripe(node);
+        let lane = stripe.lane_for(addr);
+        let qp = stripe.lane(lane);
+        if qp.in_flight() >= depth {
+            continue;
+        }
+        if let Ok(id) = qp.post_flush(addr) {
+            s.pending.push(Pend { node, lane, id, role: Role::Item(k) });
+            s.items[k].posted = true;
+        }
+    }
+    Ok(())
+}
+
+fn process_flush(co: &mut Coordinator, s: &mut SlotTxn) -> Result<(), TxnError> {
+    for k in 0..s.flush_points.len() {
+        if s.items[k].posted && !s.items[k].failed {
+            continue;
+        }
+        let (node, addr) = s.flush_points[k];
+        match co.retry_verb(|| co.qp(node).flush(addr)) {
+            Ok(()) => {}
+            Err(RdmaError::Timeout { .. }) => {
+                co.ctx.resilience.note_self_fence();
+                co.flight_fence("self-fence-flush");
+                co.injector().crash_now();
+                return Err(TxnError::Crashed);
+            }
+            Err(e) => return Err(TxnError::from_rdma(e)),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Commit point & finalize
+// ---------------------------------------------------------------------
+
+/// The client commit-ack point (after apply/flush, before unlock).
+fn commit_point(co: &mut Coordinator, s: &mut SlotTxn) {
+    co.stats.committed += 1;
+    co.trace(TxnEvent::Committed { txn_id: s.txn_id });
+    if let Some(p) = &co.probe {
+        p.commit();
+    }
+    s.result = Some(Ok(TxnOutcome { reads: std::mem::take(&mut s.reads_out) }));
+}
+
+/// Post the post-ack cleanup: lock releases (routed by slot base, like
+/// the writes they follow) and this slot's log-lane truncations, one
+/// barrier for both.
+fn start_finalize(co: &mut Coordinator, s: &mut SlotTxn) {
+    s.phase = Phase::Finalize;
+    s.fin.clear();
+    let dead = co.ctx.dead_nodes();
+    for w in &s.write_set {
+        if !w.locked {
+            continue;
+        }
+        if let Ok(primary) = co.primary_of(w.table, w.slot.bucket) {
+            if dead.contains(&primary) {
+                continue;
+            }
+            s.fin.push(FinItem {
+                node: primary,
+                addr: co.lock_addr(primary, w.slot),
+                unlock: true,
+            });
+        }
+    }
+    let coord = co.coord_id;
+    let off = log_lane_offset(s.lane);
+    for node in std::mem::take(&mut s.logged_nodes) {
+        if dead.contains(&node) {
+            continue;
+        }
+        s.fin.push(FinItem {
+            node,
+            addr: co.map().log_region(node, coord).base + off,
+            unlock: false,
+        });
+    }
+    s.items = (0..s.fin.len()).map(|_| ItemRes::default()).collect();
+    let depth = co.pipeline_depth();
+    let zero = 0u64.to_le_bytes();
+    for k in 0..s.fin.len() {
+        let item = s.fin[k];
+        // Unlocks route by the slot base (the lane that applied the
+        // slot's writes); truncations route by the lane base.
+        let route = if item.unlock { item.addr - SlotLayout::LOCK_OFF } else { item.addr };
+        let stripe = co.stripe(item.node);
+        let lane = stripe.lane_for(route);
+        let qp = stripe.lane(lane);
+        if qp.in_flight() >= depth {
+            continue;
+        }
+        if let Ok(id) = qp.post_write(item.addr, &zero) {
+            s.pending.push(Pend { node: item.node, lane, id, role: Role::Item(k) });
+            s.items[k].posted = true;
+        }
+    }
+}
+
+/// Post-ack cleanup processing: failures here never change the commit
+/// result. An unreleasable lock self-fences (classic semantics); an
+/// untruncatable lane is tolerated — the committed entry classifies as
+/// fully-applied during recovery and rolls forward as a no-op.
+fn process_finalize(co: &mut Coordinator, s: &mut SlotTxn) {
+    for k in 0..s.fin.len() {
+        if s.items[k].posted && !s.items[k].failed {
+            continue;
+        }
+        let item = s.fin[k];
+        if item.unlock {
+            release_lock_or_fence(co, item.node, item.addr);
+            if co.injector().is_crashed() {
+                return;
+            }
+        } else {
+            let _ = co.retry_release(|| co.qp(item.node).write_u64(item.addr, 0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_stats_counts() {
+        let st = SchedStats::new();
+        st.note_admit();
+        st.note_admit();
+        assert_eq!(st.snapshot().in_flight, 2);
+        assert_eq!(st.snapshot().high_water, 2);
+        st.note_finish(&Ok(TxnOutcome::default()));
+        st.note_finish(&Err(TxnError::Aborted(AbortReason::LockConflict)));
+        let snap = st.snapshot();
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.high_water, 2);
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.committed, 1);
+        assert_eq!(snap.aborted, 1);
+    }
+
+    #[test]
+    fn request_builder_orders_ops() {
+        let req = TxnRequest::new().read(TableId(0), 1).write(TableId(0), 2, vec![0u8; 8]).update(
+            TableId(0),
+            3,
+            |old| old.to_vec(),
+        );
+        assert_eq!(req.ops.len(), 3);
+        assert_eq!(req.ops[0].target(), (TableId(0), 1));
+        assert!(req.ops[0].write_target().is_none());
+        assert_eq!(req.ops[2].write_target(), Some((TableId(0), 3)));
+    }
+}

@@ -382,7 +382,9 @@ impl<'c> Txn<'c> {
                 let layout = self.co.map().layout(table);
                 let outcomes = self.co.fanout(
                     &items,
-                    |&(_, _, node)| node,
+                    |&(_, slot, node)| {
+                        (node, self.co.map().slot_addr(node, table, slot.bucket, slot.slot))
+                    },
                     |qp, &(_, slot, node), ids| {
                         let addr = self.co.map().slot_addr(node, table, slot.bucket, slot.slot);
                         ids.push(qp.post_read(addr, layout.slot_bytes() as usize)?);
@@ -1096,7 +1098,9 @@ impl<'c> Txn<'c> {
         let unique = self.co.ctx.config.pill_active();
         let layout = self.co.map().layout(slot.table);
         let base = self.co.map().slot_addr(primary, slot.table, slot.bucket, slot.slot);
-        let qp = self.co.qp(primary);
+        // Route by slot base: the CAS and the READ must share a lane so
+        // the under-lock image is read *after* the lock landed.
+        let qp = self.co.qp_routed(primary, base);
         let cas_id = qp.post_cas(addr, 0, my.raw()).map_err(TxnError::from_rdma)?;
         // If the READ fails to post (e.g. a crash fired between the two
         // posts), the CAS outcome still decides the lock; the image just
@@ -1191,7 +1195,10 @@ impl<'c> Txn<'c> {
         if self.co.pipelining_on() && checks.len() > 1 {
             let outcomes = self.co.fanout(
                 &checks,
-                |&(_, node)| node,
+                |&(i, node)| {
+                    let s = self.read_set[i].slot;
+                    (node, self.co.map().slot_addr(node, s.table, s.bucket, s.slot))
+                },
                 |qp, &(i, node), ids| {
                     let addr = self.co.lock_addr(node, self.read_set[i].slot);
                     ids.push(qp.post_read(addr, 16)?);
@@ -1360,7 +1367,7 @@ impl<'c> Txn<'c> {
         let outcomes = if self.co.pipelining_on() && targets.len() > 1 {
             let o = self.co.fanout(
                 targets,
-                |t| t.0,
+                |t| (t.0, t.1), // route by the log region/lane base
                 |qp, t, ids| {
                     ids.push(qp.post_write(t.1, &t.2)?);
                     if flush {
@@ -1661,7 +1668,10 @@ impl<'c> Txn<'c> {
         let outcomes = if self.co.pipelining_on() && items.len() > 1 {
             Some(self.co.fanout(
                 items,
-                |&(_, n)| n,
+                |&(i, n)| {
+                    let w = &self.write_set[i];
+                    (n, self.co.map().slot_addr(n, w.table, w.slot.bucket, w.slot.slot))
+                },
                 |qp, &(i, _), ids| self.post_apply_writes(qp, i, ids),
             ))
         } else {
@@ -1711,7 +1721,7 @@ impl<'c> Txn<'c> {
         let outcomes = if self.co.pipelining_on() && points.len() > 1 {
             Some(self.co.fanout(
                 points,
-                |&(n, _)| n,
+                |&(n, addr)| (n, addr),
                 |qp, &(_, addr), ids| {
                     ids.push(qp.post_flush(addr)?);
                     Ok(())
@@ -1782,7 +1792,10 @@ impl<'c> Txn<'c> {
         let outcomes = if self.co.pipelining_on() && locks.len() > 1 {
             Some(self.co.fanout(
                 &locks,
-                |&(n, _)| n,
+                // Route by slot base (the lock word sits inside the
+                // slot), keeping the release on the lane that applied
+                // the slot's writes.
+                |&(n, addr)| (n, addr - SlotLayout::LOCK_OFF),
                 |qp, &(_, addr), ids| {
                     ids.push(qp.post_write(addr, &0u64.to_le_bytes())?);
                     Ok(())
@@ -1813,7 +1826,7 @@ impl<'c> Txn<'c> {
         let outcomes = if self.co.pipelining_on() && targets.len() > 1 {
             Some(self.co.fanout(
                 &targets,
-                |&(n, _)| n,
+                |&(n, base)| (n, base),
                 |qp, &(_, base), ids| {
                     ids.push(qp.post_write(base, &0u64.to_le_bytes())?);
                     Ok(())
@@ -1861,7 +1874,9 @@ impl<'c> Txn<'c> {
 
     /// The abort path: truncate logs, release acquired locks, ack.
     /// (Complicit-aborts bug: blindly release *every* write-set lock.)
-    fn abort_now(&mut self, reason: AbortReason) -> TxnError {
+    /// `pub(crate)` so the scheduler's classic fallback can abort a
+    /// request whose read-modify-write found no value to modify.
+    pub(crate) fn abort_now(&mut self, reason: AbortReason) -> TxnError {
         let bugs = self.co.ctx.config.bugs;
         // Truncate any logs written for this txn (Pandora §3.1.5 "First,
         // the coordinator logs the decision by truncating logs"). The
@@ -1919,7 +1934,7 @@ impl<'c> Txn<'c> {
 
 /// Pad a raw (unpadded) slot value to the 8-byte boundary the log codec
 /// and WRITE verbs require (same rule as `SlotLayout::value_padded`).
-fn pad8(mut v: Vec<u8>) -> Vec<u8> {
+pub(crate) fn pad8(mut v: Vec<u8>) -> Vec<u8> {
     v.resize(dkvs::SlotLayout::new(v.len()).value_padded(), 0);
     v
 }

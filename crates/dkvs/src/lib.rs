@@ -33,6 +33,9 @@ pub mod table;
 
 pub use cluster::{ClusterMap, ClusterMapBuilder};
 pub use layout::{LockWord, SlotImage, SlotLayout, VersionWord, COORD_ID_BITS, MAX_COORDINATORS};
-pub use log::{LogEntry, LogRegion, UndoRecord, LOG_REGION_BYTES};
+pub use log::{
+    entry_encoded_size, log_lane_offset, LogEntry, LogRegion, UndoRecord, LOG_LANE_BYTES,
+    LOG_REGION_BYTES, TXN_LOG_LANES,
+};
 pub use placement::Placement;
 pub use table::{BucketRef, SlotRef, TableDef, TableId};

@@ -35,6 +35,27 @@ use crate::table::TableId;
 /// "Each coordinator is allocated 32KB for logs").
 pub const LOG_REGION_BYTES: u64 = 32 * 1024;
 
+/// Log lanes per coordinator region, for the interleaved scheduler: the
+/// 32 KiB region is divided into this many fixed-size lanes, one per
+/// concurrently in-flight transaction slot, so K interleaved commits log
+/// to disjoint offsets of the *same* region on the same f+1 log servers.
+/// Lane 0 starts at the region base — the classic one-at-a-time path
+/// writes there, so `inflight_txns = 1` is byte-identical with or
+/// without lanes.
+pub const TXN_LOG_LANES: u64 = 8;
+
+/// Bytes per log lane (4 KiB). An entry that does not fit a lane cannot
+/// run interleaved; the scheduler falls back to running it solo with the
+/// full region (the classic path).
+pub const LOG_LANE_BYTES: u64 = LOG_REGION_BYTES / TXN_LOG_LANES;
+
+/// Byte offset of `lane` within a coordinator's log region.
+#[inline]
+pub fn log_lane_offset(lane: u32) -> u64 {
+    assert!((lane as u64) < TXN_LOG_LANES, "lane {lane} out of range");
+    lane as u64 * LOG_LANE_BYTES
+}
+
 const ENTRY_HEADER_WORDS: usize = 5;
 const RECORD_FIXED_WORDS: usize = 7;
 
@@ -55,6 +76,25 @@ pub struct UndoRecord {
 impl UndoRecord {
     fn encoded_len(&self) -> usize {
         RECORD_FIXED_WORDS * 8 + self.old_value.len()
+    }
+}
+
+/// Encoded size of a one-entry undo log whose records would carry the
+/// given padded pre-image lengths — computable *before* any record is
+/// staged (the interleaved scheduler's lane-fit admission check).
+pub fn entry_encoded_size(padded_value_lens: impl IntoIterator<Item = usize>) -> usize {
+    (ENTRY_HEADER_WORDS + 1) * 8
+        + padded_value_lens.into_iter().map(|l| RECORD_FIXED_WORDS * 8 + l).sum::<usize>()
+}
+
+impl LogEntry {
+    /// Encoded size in bytes, without serializing. Recovery uses this to
+    /// skip lane offsets covered by a larger entry written at an earlier
+    /// offset (a classic full-region entry spans lanes); the scheduler
+    /// uses it to decide whether a transaction's entry fits a lane.
+    pub fn encoded_len(&self) -> usize {
+        let payload_len: usize = self.writes.iter().map(UndoRecord::encoded_len).sum();
+        (ENTRY_HEADER_WORDS + 1) * 8 + payload_len
     }
 }
 
@@ -269,6 +309,24 @@ mod tests {
         let mut region = vec![0u8; LOG_REGION_BYTES as usize];
         region[..buf.len()].copy_from_slice(&buf);
         assert_eq!(LogEntry::decode(&region), Some(e));
+    }
+
+    #[test]
+    fn lane_geometry_and_encoded_len() {
+        assert_eq!(TXN_LOG_LANES * LOG_LANE_BYTES, LOG_REGION_BYTES);
+        assert_eq!(log_lane_offset(0), 0, "lane 0 is the classic region base");
+        assert_eq!(log_lane_offset(1), LOG_LANE_BYTES);
+        assert_eq!(log_lane_offset(7), 7 * LOG_LANE_BYTES);
+        let e = sample_entry();
+        assert_eq!(e.encoded_len(), e.encode().len());
+        let empty = LogEntry { txn_id: 1, coord: 0, writes: vec![] };
+        assert_eq!(empty.encoded_len(), empty.encode().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_offset_rejects_out_of_range_lane() {
+        let _ = log_lane_offset(TXN_LOG_LANES as u32);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -12,6 +12,7 @@ use crate::latency::LatencyModel;
 use crate::mem::{MemoryNode, MAX_ENDPOINTS};
 use crate::qp::{OpCounters, OpCountersSnapshot, QueuePair};
 use crate::rpc::{CtrlClient, CtrlService};
+use crate::stripe::QpStripe;
 
 /// Identifier of a memory server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,6 +62,9 @@ pub struct Fabric {
     /// chaos: QPs created after installation carry a tap, `qp_admin`
     /// QPs never do.
     flight: RwLock<Option<Arc<dyn VerbSink>>>,
+    /// Striped bundles handed out so far — guards the chaos install
+    /// ordering (`install_chaos` debug-asserts this is still zero).
+    stripes_created: AtomicU64,
     /// Fabric-wide post→completion latency histograms and the in-flight
     /// verb gauge, shared by every QP (admin QPs included).
     verb_stats: Arc<VerbLatencyStats>,
@@ -87,6 +91,7 @@ impl Fabric {
             chaos: RwLock::new(None),
             clock: FabricClock::new(),
             flight: RwLock::new(None),
+            stripes_created: AtomicU64::new(0),
             verb_stats: Arc::new(VerbLatencyStats::default()),
         })
     }
@@ -115,7 +120,20 @@ impl Fabric {
     /// Install a chaos model. Queue pairs created *after* this call pick
     /// up per-link chaos handles; pre-existing QPs (and `qp_admin` QPs)
     /// are unaffected.
+    ///
+    /// Striped bundles ([`Fabric::qp_stripe`]) must therefore be created
+    /// *after* installation — a stripe built earlier would silently run
+    /// all of its lanes outside the fault model. Debug builds assert
+    /// that no stripe predates the installation; single QPs keep the
+    /// historical create-then-install leniency because observer QPs in
+    /// tests rely on it.
     pub fn install_chaos(&self, model: Arc<ChaosModel>) {
+        debug_assert_eq!(
+            self.stripes_created.load(Ordering::Acquire),
+            0,
+            "install_chaos after qp_stripe: chaos links attach at QP creation, \
+             so already-built stripes would bypass the fault model"
+        );
         *self.chaos.write() = Some(model);
     }
 
@@ -185,6 +203,36 @@ impl Fabric {
             self.clock,
             Arc::clone(&self.verb_stats),
         ))
+    }
+
+    /// Create a [`QpStripe`]: `width` independent queue pairs from
+    /// `endpoint` to `node` behind a deterministic address-hash router.
+    /// All lanes share the coordinator's `injector` and — when chaos is
+    /// installed — the per-(endpoint, node) link state, so the fault
+    /// schedule stays keyed to the link's total verb order across lanes.
+    ///
+    /// Must be called *after* `install_chaos` when a chaos model is in
+    /// play (see [`Fabric::install_chaos`]); debug builds enforce the
+    /// ordering.
+    pub fn qp_stripe(
+        &self,
+        endpoint: EndpointId,
+        node: NodeId,
+        injector: Arc<FaultInjector>,
+        width: u32,
+    ) -> RdmaResult<QpStripe> {
+        let width = width.max(1);
+        self.stripes_created.fetch_add(1, Ordering::AcqRel);
+        let mut lanes = Vec::with_capacity(width as usize);
+        for _ in 0..width {
+            lanes.push(self.qp_with_latency(
+                endpoint,
+                node,
+                Arc::clone(&injector),
+                self.latency,
+            )?);
+        }
+        Ok(QpStripe::new(lanes))
     }
 
     /// Administrative queue pair: zero latency and **no chaos**, for

@@ -55,6 +55,7 @@ mod latency;
 mod mem;
 mod qp;
 mod rpc;
+mod stripe;
 
 pub use chaos::{ChaosConfig, ChaosModel, ChaosStatsSnapshot, ChaosVerdict};
 pub use cq::{Completion, VerbKindLatency, VerbLatencySnapshot, WorkId};
@@ -66,3 +67,4 @@ pub use latency::LatencyModel;
 pub use mem::MemoryNode;
 pub use qp::{OpCounters, OpCountersSnapshot, QueuePair};
 pub use rpc::{CtrlClient, CtrlRequest, CtrlResponse};
+pub use stripe::QpStripe;

@@ -389,6 +389,37 @@ impl QueuePair {
         }
     }
 
+    /// Non-blocking fetch of one completion by work id. Drains every
+    /// *ripe* entry (deadline passed) in post order — parking the others
+    /// in `claimed` for their own takers, exactly as `wait_take` does —
+    /// and returns `id`'s completion if it has ripened, `None` otherwise.
+    ///
+    /// This is the polling primitive of the interleaved transaction
+    /// scheduler: the scheduler tracks each slot's posted work ids and
+    /// pulls them individually, so a slot's *blocking* fallback verb on
+    /// the same lane (`wait_take` via the blocking wrappers) and the
+    /// scheduler's posted verbs can coexist without losing completions
+    /// to the claimed buffer.
+    pub fn try_take(&self, id: WorkId) -> Option<Completion> {
+        let now = Instant::now();
+        let mut st = self.pending.lock();
+        if let Some(p) = st.claimed.iter().position(|c| c.work_id == id) {
+            return Some(st.claimed.swap_remove(p));
+        }
+        let n = st.entries.iter().take_while(|e| e.deadline <= now).count();
+        let drained: Vec<PendingEntry> = st.entries.drain(..n).collect();
+        let mut wanted = None;
+        for e in drained {
+            let c = self.deliver(e);
+            if c.work_id == id {
+                wanted = Some(c);
+            } else {
+                st.claimed.push(c);
+            }
+        }
+        wanted
+    }
+
     /// Number of posted-but-undelivered verbs on this QP.
     pub fn in_flight(&self) -> usize {
         self.pending.lock().entries.len()

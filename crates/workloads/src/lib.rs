@@ -23,7 +23,7 @@ pub mod ycsb;
 pub mod zipf;
 
 use dkvs::TableDef;
-use pandora::{Coordinator, SimCluster, SimClusterBuilder, TxnError};
+use pandora::{Coordinator, SimCluster, SimClusterBuilder, TxnError, TxnRequest};
 use rand::rngs::StdRng;
 
 pub use micro::MicroBench;
@@ -47,6 +47,16 @@ pub trait Workload: Send + Sync + 'static {
     /// Execute ONE transaction drawn from the mix. No internal retries:
     /// aborts surface to the caller so abort rates stay observable.
     fn execute(&self, co: &mut Coordinator, rng: &mut StdRng) -> Result<(), TxnError>;
+
+    /// Draw ONE transaction of the mix as a *declared* request for the
+    /// interleaved scheduler ([`Coordinator::run_interleaved`]). `None`
+    /// means this mix (or this particular draw) cannot be declared ahead
+    /// of execution — inserts, deletes, scans, or value-dependent
+    /// control flow — and must go through [`Workload::execute`].
+    fn request(&self, rng: &mut StdRng) -> Option<TxnRequest> {
+        let _ = rng;
+        None
+    }
 }
 
 /// Register a workload's tables on a cluster builder.

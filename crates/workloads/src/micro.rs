@@ -68,6 +68,31 @@ impl Workload for MicroBench {
             .expect("load microbench");
     }
 
+    fn request(&self, rng: &mut StdRng) -> Option<pandora::TxnRequest> {
+        // Same mix as `execute`, declared up front: counter increments
+        // become `Update` ops (the scheduler reads the old value under
+        // the lock and applies the closure).
+        let mut keys = Vec::with_capacity(self.ops_per_txn);
+        while keys.len() < self.ops_per_txn {
+            let k = rng.random_range(0..self.hot_keys);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys.sort_unstable();
+        let mut req = pandora::TxnRequest::new();
+        for k in keys {
+            if rng.random_bool(self.write_ratio) {
+                req = req.update(MICRO_TABLE, k, |old| {
+                    encode_value(MICRO_VALUE_LEN, decode_field(old) + 1)
+                });
+            } else {
+                req = req.read(MICRO_TABLE, k);
+            }
+        }
+        Some(req)
+    }
+
     fn execute(&self, co: &mut Coordinator, rng: &mut StdRng) -> Result<(), TxnError> {
         // Draw distinct keys from the hot set.
         let mut keys = Vec::with_capacity(self.ops_per_txn);

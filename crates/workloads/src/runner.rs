@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use pandora::{
     CoordStats, Coordinator, CoordinatorLease, LatencyHistogram, MetricsRegistry, PhaseStats,
-    SimCluster, ThroughputProbe, TxnError,
+    SchedStats, SimCluster, StripeStore, ThroughputProbe, TxnError, TxnRequest,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +62,8 @@ pub struct WorkloadRunner<W: Workload> {
     stop: Arc<AtomicBool>,
     slots: Vec<WorkerSlot>,
     next_seed: u64,
+    sched: Arc<SchedStats>,
+    stripes: StripeStore,
 }
 
 impl<W: Workload> WorkloadRunner<W> {
@@ -83,6 +85,8 @@ impl<W: Workload> WorkloadRunner<W> {
             stop,
             slots: Vec::with_capacity(config.coordinators),
             next_seed: config.seed,
+            sched: SchedStats::new(),
+            stripes: StripeStore::default(),
         };
         for _ in 0..config.coordinators {
             runner.spawn_worker(Vec::new());
@@ -94,7 +98,8 @@ impl<W: Workload> WorkloadRunner<W> {
         let seed = self.next_seed;
         self.next_seed += 1;
         let (co, lease) = self.cluster.coordinator().expect("spawn coordinator");
-        let mut co = co.with_probe(Arc::clone(&self.probe));
+        let mut co =
+            co.with_probe(Arc::clone(&self.probe)).with_sched_stats(Arc::clone(&self.sched));
         if self.attach_phases {
             co = co.with_phase_stats(Arc::clone(&self.phases));
         }
@@ -106,6 +111,16 @@ impl<W: Workload> WorkloadRunner<W> {
         let workload = Arc::clone(&self.workload);
         let stop = Arc::clone(&self.stop);
         let latency = Arc::clone(&self.latency);
+        let stripes = Arc::clone(&self.stripes);
+        // Interleaved mode: submit declared-request batches through the
+        // scheduler, keeping `inflight_txns` commits in flight per
+        // worker. A batch of a few pipelines' worth keeps admission from
+        // draining between batches without starving fairness.
+        let interleave_batch = if self.cluster.ctx.config.interleaving_on() {
+            (self.cluster.ctx.config.inflight_txns.max(1) as usize) * 4
+        } else {
+            0
+        };
         let handle = std::thread::Builder::new()
             .name(format!("worker-{}", lease.coord_id))
             .spawn(move || {
@@ -116,7 +131,18 @@ impl<W: Workload> WorkloadRunner<W> {
                 while !stop.load(Ordering::Acquire) {
                     lease.beat();
                     let t0 = std::time::Instant::now();
-                    match workload.execute(&mut co, &mut rng) {
+                    let result = if interleave_batch > 0 {
+                        match draw_batch(&*workload, &mut rng, interleave_batch) {
+                            Some(batch) => {
+                                co.run_interleaved_retrying(&batch).map(|(_outcomes, _aborts)| ())
+                            }
+                            // The mix can't be declared — classic path.
+                            None => workload.execute(&mut co, &mut rng),
+                        }
+                    } else {
+                        workload.execute(&mut co, &mut rng)
+                    };
+                    match result {
                         Ok(()) => {
                             latency.record(t0.elapsed());
                             consecutive_aborts = 0;
@@ -169,6 +195,7 @@ impl<W: Workload> WorkloadRunner<W> {
                         Err(TxnError::Rdma(_)) => break,
                     }
                 }
+                pandora::merge_stripe_counters(&stripes, &co.stripe_counters());
                 WorkerExit { stats: co.stats, addr_cache: co.export_addr_cache() }
             })
             .expect("spawn worker thread");
@@ -206,7 +233,17 @@ impl<W: Workload> WorkloadRunner<W> {
         if let Some(chaos) = &self.cluster.chaos {
             registry = registry.with_chaos(Arc::clone(chaos));
         }
+        registry = registry
+            .with_sched(Arc::clone(&self.sched))
+            .with_stripe_store(Arc::clone(&self.stripes));
         registry
+    }
+
+    /// Interleaved-scheduler gauges shared by all workers (the
+    /// `txns_in_flight` gauge stays at zero when the cluster runs with
+    /// `inflight_txns = 1`).
+    pub fn sched_stats(&self) -> Arc<SchedStats> {
+        Arc::clone(&self.sched)
     }
 
     /// Start a timeline sampler wired to this runner's probe and the
@@ -293,6 +330,17 @@ impl<W: Workload> WorkloadRunner<W> {
         }
         stats
     }
+}
+
+/// Draw a batch of declared requests for the interleaved scheduler.
+/// Returns `None` when the workload's current mix cannot be declared
+/// (the caller falls back to the classic one-at-a-time path).
+fn draw_batch<W: Workload>(workload: &W, rng: &mut StdRng, n: usize) -> Option<Vec<TxnRequest>> {
+    let mut batch = Vec::with_capacity(n);
+    for _ in 0..n {
+        batch.push(workload.request(rng)?);
+    }
+    Some(batch)
 }
 
 /// Ride out a false suspicion (paper §3.3.2, Cor. 4): a live coordinator

@@ -15,7 +15,7 @@ use std::time::Duration;
 use dkvs::{TableDef, TableId};
 use pandora::{
     FdOutcome, ProtocolKind, QuorumFd, RecoveryCoordinator, RecoveryCrashPlan, RecoveryStep,
-    SimCluster, SystemConfig,
+    SimCluster, SystemConfig, TxnRequest,
 };
 use rdma_sim::{ChaosConfig, CrashMode, CrashPlan, EndpointId, NodeId};
 
@@ -347,6 +347,91 @@ fn concurrent_distinct_recoveries_with_a_killed_recoverer() {
         let rolled_back = b[from] == INITIAL && b[to] == INITIAL;
         assert!(applied || rolled_back, "pair ({from},{to}) torn: ({}, {})", b[from], b[to]);
     }
+}
+
+/// Interleaved-scheduler crash sweep: a coordinator driving K > 1
+/// transactions through the slot scheduler is killed at every verb
+/// offset, leaving several log lanes and lock sets behind at once.
+/// One recovery pass must resolve *all* of them — per-pair atomicity,
+/// zero residual locks, conservation — and the sweep must hit at least
+/// one state where multiple lanes held entries (the multi-lane walk is
+/// actually exercised, not just the PR-9 single-lane case).
+#[test]
+fn interleaved_crash_sweep_recovers_all_inflight_txns() {
+    const PAIRS: [(u64, u64); 4] = [(0, 8), (1, 9), (2, 10), (3, 11)];
+
+    let build_interleaved = || {
+        let cluster = SimCluster::builder(ProtocolKind::Pandora)
+            .memory_nodes(3)
+            .replication(2)
+            .capacity_per_node(8 << 20)
+            .table(TableDef::new(0, "kv", 16, 32, 8))
+            .max_coord_slots(16)
+            .config(
+                SystemConfig::new(ProtocolKind::Pandora)
+                    .with_inflight_txns(8)
+                    .with_qp_stripes(2),
+            )
+            .build()
+            .unwrap();
+        cluster
+            .bulk_load(ACCOUNTS, (0..N_ACCOUNTS).map(|k| (k, value(INITIAL))))
+            .unwrap();
+        cluster
+    };
+
+    let mut max_logged = 0usize;
+    let mut fired_cells = 0u64;
+    for at_op in 1..=48u64 {
+        let label = format!("interleaved crash at verb {at_op}");
+        let cluster = build_interleaved();
+        let (mut co, lease) = cluster.coordinator().unwrap();
+        co.injector().arm(CrashPlan { at_op, mode: CrashMode::AfterOp });
+        let reqs: Vec<TxnRequest> = PAIRS
+            .iter()
+            .map(|&(from, to)| {
+                TxnRequest::new()
+                    .update(ACCOUNTS, from, |old| value(balance(old) - AMOUNT))
+                    .update(ACCOUNTS, to, |old| value(balance(old) + AMOUNT))
+            })
+            .collect();
+        let results = co.run_interleaved(&reqs);
+        if !co.injector().is_crashed() {
+            // Past the batch's last verb: everything committed cleanly.
+            assert!(results.iter().all(|r| r.is_ok()), "{label}: clean run had failures");
+            continue;
+        }
+        fired_cells += 1;
+        co.gate().mark_dead();
+        let report = cluster.fd.declare_failed(lease.coord_id).expect("recovery runs");
+        assert!(report.completed, "{label}: recovery incomplete");
+        max_logged = max_logged.max(report.logged_txns);
+        audit_clean(&cluster, &label);
+        let b = balances(&cluster);
+        for &(from, to) in &PAIRS {
+            let (from, to) = (from as usize, to as usize);
+            let applied = b[from] == INITIAL - AMOUNT && b[to] == INITIAL + AMOUNT;
+            let rolled_back = b[from] == INITIAL && b[to] == INITIAL;
+            assert!(
+                applied || rolled_back,
+                "{label}: pair ({from},{to}) torn: ({}, {})",
+                b[from],
+                b[to]
+            );
+            // A transaction the scheduler acked as committed must
+            // survive recovery (post-ack durability).
+            let idx = PAIRS.iter().position(|&(f, _)| f == from as u64).unwrap();
+            if results[idx].is_ok() {
+                assert!(applied, "{label}: acked txn ({from},{to}) rolled back by recovery");
+            }
+        }
+    }
+    assert!(fired_cells >= 24, "sweep too short: only {fired_cells} cells crashed mid-flight");
+    assert!(
+        max_logged >= 2,
+        "no crash state had multiple logged lanes (max {max_logged}) — the multi-lane \
+         recovery walk was never exercised"
+    );
 }
 
 /// Recovery's own verbs run under the chaos model: heavy transient
